@@ -1,0 +1,202 @@
+// Command coolnet runs one live networked Coolstreaming node — the
+// deployable data plane of internal/netpeer over real TCP, with the
+// HTTP bootstrap of internal/netboot for discovery and the §IV-B
+// adaptation loop.
+//
+// A self-organising overlay on one machine (four terminals):
+//
+//	coolnet -role bootstrap -http 127.0.0.1:7001
+//	coolnet -role source -id 0 -bootstrap http://127.0.0.1:7001
+//	coolnet -role peer -id 1 -bootstrap http://127.0.0.1:7001 -duration 15s
+//	coolnet -role peer -id 2 -bootstrap http://127.0.0.1:7001 -duration 15s -adapt
+//
+// Peers may also be wired manually with -connect host:port[,host:port].
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"coolstream/internal/buffer"
+	"coolstream/internal/netboot"
+	"coolstream/internal/netpeer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "coolnet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role     = flag.String("role", "peer", "bootstrap | source | peer")
+		id       = flag.Int("id", 1, "node id (unique per overlay)")
+		boot     = flag.String("bootstrap", "", "bootstrap base URL (e.g. http://127.0.0.1:7001)")
+		httpAddr = flag.String("http", "127.0.0.1:7001", "listen address (bootstrap role)")
+		connect  = flag.String("connect", "", "comma-separated parent addresses (peer role; overrides -bootstrap discovery)")
+		parentsN = flag.Int("maxparents", 3, "parents to connect to via bootstrap discovery")
+		upload   = flag.Float64("upload", 4, "upload capacity as a multiple of the stream rate (0 = unlimited)")
+		rate     = flag.Float64("rate", 512e3, "stream rate in bits/s")
+		k        = flag.Int("k", 4, "number of sub-streams")
+		block    = flag.Int("block", 800, "block size in bytes")
+		duration = flag.Duration("duration", 10*time.Second, "how long to stream (peer role)")
+		shift    = flag.Int64("shift", 3, "join this many blocks behind the freshest parent")
+		adapt    = flag.Bool("adapt", false, "enable the peer-adaptation monitor (Inequalities 1-2)")
+	)
+	flag.Parse()
+
+	if *role == "bootstrap" {
+		srv := netboot.NewServer(uint64(time.Now().UnixNano()))
+		fmt.Printf("bootstrap listening on http://%s\n", *httpAddr)
+		return http.ListenAndServe(*httpAddr, srv)
+	}
+
+	layout := buffer.Layout{K: *k, RateBps: *rate, BlockBytes: *block}
+	uploadBps := *upload * *rate
+	if *upload == 0 {
+		uploadBps = 0
+	}
+	cfg := netpeer.Config{
+		ID:           int32(*id),
+		Layout:       layout,
+		UploadBps:    uploadBps,
+		BMPeriod:     250 * time.Millisecond,
+		BufferBlocks: 600,
+		ReadyBlocks:  10,
+	}
+	node, err := netpeer.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	addr, err := node.Listen()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %d (%s) listening on %s\n", *id, *role, addr)
+
+	var bc *netboot.Client
+	if *boot != "" {
+		bc = netboot.NewClient(*boot, nil)
+		if err := bc.Register(int32(*id), addr); err != nil {
+			return fmt.Errorf("bootstrap register: %w", err)
+		}
+		defer bc.Leave(int32(*id))
+	}
+
+	switch *role {
+	case "source":
+		if err := node.StartSource(); err != nil {
+			return err
+		}
+		fmt.Printf("streaming %.0f kbps in %d sub-streams (%.0f blocks/s); ctrl-c to stop\n",
+			*rate/1e3, *k, layout.BlocksPerSecond())
+		select {} // run until killed
+
+	case "peer":
+		addrs, parents, err := discoverParents(node, bc, *connect, *parentsN, int32(*id))
+		if err != nil {
+			return err
+		}
+		for i, pid := range parents {
+			fmt.Printf("partnered with node %d at %s\n", pid, addrs[i])
+		}
+		// Wait for a buffer map so the join position is known.
+		start := waitForStart(node, parents, *shift, 5*time.Second)
+		if err := node.InitBuffers(start); err != nil {
+			return err
+		}
+		for j := 0; j < *k; j++ {
+			parent := parents[j%len(parents)]
+			if err := node.SubscribeTracked(parent, j, start); err != nil {
+				return err
+			}
+		}
+		if *adapt {
+			node.EnableAdaptation(netpeer.AdaptConfig{
+				Ts: 10, Tp: 20, Ta: time.Second,
+				Check: 250 * time.Millisecond,
+				Seed:  uint64(*id),
+			})
+			fmt.Println("adaptation monitor enabled")
+		}
+		fmt.Printf("subscribed %d sub-streams from block %d; streaming %v...\n", *k, start, *duration)
+		time.Sleep(*duration)
+		fmt.Printf("ready: %v  continuity: %.4f  latest: %d  combined: %d\n",
+			node.Ready(), node.Continuity(), node.Latest(0), node.Combined())
+		return nil
+
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+}
+
+// discoverParents connects to explicit addresses or to bootstrap
+// candidates, returning the addresses and peer IDs partnered with.
+func discoverParents(node *netpeer.Node, bc *netboot.Client, connect string, maxParents int, self int32) ([]string, []int32, error) {
+	var addrs []string
+	if connect != "" {
+		for _, a := range strings.Split(connect, ",") {
+			addrs = append(addrs, strings.TrimSpace(a))
+		}
+	} else {
+		if bc == nil {
+			return nil, nil, fmt.Errorf("peer needs -connect or -bootstrap")
+		}
+		cands, err := bc.Candidates(maxParents, self)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(cands) == 0 {
+			return nil, nil, fmt.Errorf("bootstrap knows no candidates yet")
+		}
+		for _, e := range cands {
+			addrs = append(addrs, e.Addr)
+		}
+	}
+	var connected []string
+	var parents []int32
+	for _, a := range addrs {
+		pid, err := node.Connect(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coolnet: connect %s failed: %v\n", a, err)
+			continue
+		}
+		connected = append(connected, a)
+		parents = append(parents, pid)
+	}
+	if len(parents) == 0 {
+		return nil, nil, fmt.Errorf("no parent reachable")
+	}
+	return connected, parents, nil
+}
+
+// waitForStart blocks until some partner advertises progress, then
+// returns the shift-adjusted join position.
+func waitForStart(node *netpeer.Node, parents []int32, shift int64, timeout time.Duration) int64 {
+	deadline := time.Now().Add(timeout)
+	var start int64 = -1
+	for time.Now().Before(deadline) {
+		for _, pid := range parents {
+			if bm, ok := node.PartnerBM(pid); ok && bm.MaxLatest() > shift {
+				if s := bm.MaxLatest() - shift; s > start {
+					start = s
+				}
+			}
+		}
+		if start >= 0 {
+			return start
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if start < 0 {
+		return 0
+	}
+	return start
+}

@@ -1,0 +1,78 @@
+// Package coolstream is a Go reproduction of the system measured in
+// "A Measurement of a Large-scale Peer-to-Peer Live Video Streaming
+// System" (Xie, Keung, Li — ICPP 2007): the Coolstreaming data-driven
+// (mesh-pull) P2P live streaming system, together with the internal
+// logging/measurement apparatus the paper's analysis was built on.
+//
+// The package is a facade over the internal implementation:
+//
+//   - configure a run with Config (presets: DefaultConfig, DayConfig,
+//     FlashCrowdConfig, SteadyConfig),
+//   - execute it with Run, obtaining a Result,
+//   - regenerate the paper's figures from the Result via its FigNN
+//     methods, or dig into Result.Analysis for raw measurements.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every figure.
+package coolstream
+
+import (
+	"coolstream/internal/core"
+	"coolstream/internal/metrics"
+	"coolstream/internal/peer"
+	"coolstream/internal/sim"
+	"coolstream/internal/workload"
+)
+
+// Config describes one simulation run. See core.Config.
+type Config = core.Config
+
+// Result carries a run's records, analysis and snapshots.
+type Result = core.Result
+
+// Params are the protocol parameters (Table I).
+type Params = peer.Params
+
+// Table is the rendered-figure container.
+type Table = metrics.Table
+
+// Time is virtual simulation time in milliseconds.
+type Time = sim.Time
+
+// Re-exported time units.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// DefaultConfig returns the mid-sized steady-state configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DayConfig returns the compressed broadcast-day scenario (Fig. 5).
+func DayConfig(dayLength Time, baseRate float64, seed uint64) Config {
+	return core.DayConfig(dayLength, baseRate, seed)
+}
+
+// FlashCrowdConfig returns the arrival-burst scenario (Figs. 7, 9b).
+func FlashCrowdConfig(warm, burst Time, quietRate, burstRate float64, seed uint64) Config {
+	return core.FlashCrowdConfig(warm, burst, quietRate, burstRate, seed)
+}
+
+// SteadyConfig returns a constant-arrival configuration.
+func SteadyConfig(rate float64, horizon Time, seed uint64) Config {
+	return core.SteadyConfig(rate, horizon, seed)
+}
+
+// DefaultParams returns the Table I protocol parameters.
+func DefaultParams() Params { return peer.DefaultParams() }
+
+// DiurnalProfile exposes the Fig. 5 arrival-rate shape for custom
+// workloads.
+func DiurnalProfile(dayLength Time, baseRate, peakFactor float64) workload.RateProfile {
+	return workload.DiurnalProfile(dayLength, baseRate, peakFactor)
+}

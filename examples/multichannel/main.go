@@ -1,0 +1,67 @@
+// Multichannel runs the deployment's multi-program reality: several
+// simultaneous overlays over a shared engine, Zipf-skewed channel
+// popularity, and channel-zapping users who leave one overlay and join
+// another. It reports per-channel audience and QoS plus the zap volume.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"coolstream/internal/channels"
+	"coolstream/internal/metrics"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/stats"
+	"coolstream/internal/xrand"
+)
+
+func main() {
+	engine := sim.NewEngine(sim.Second)
+	cfg := channels.DefaultConfig(42)
+	sys, err := channels.New(cfg, engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 200 viewers arrive over the first minute; dwell ~60 s, 40% zap.
+	prof := netmodel.DefaultCapacityProfile(cfg.Params.Layout.RateBps)
+	mix := netmodel.DefaultClassMix().Sampler()
+	rng := xrand.New(7)
+	dwell := stats.LogNormal{Mu: 4.1, Sigma: 0.6}
+	for i := 0; i < 200; i++ {
+		i := i
+		at := 30*sim.Second + sim.Time(rng.Intn(60))*sim.Second
+		engine.Schedule(at, func() {
+			class := netmodel.UserClass(mix.Draw(rng))
+			sys.SpawnUser(1000+i, prof.Draw(class, rng), dwell, 1)
+		})
+	}
+	engine.Run(8 * sim.Minute)
+
+	fmt.Printf("%d viewers spawned, %d zaps performed, %d watching now\n\n",
+		200, sys.Zaps, sys.TotalViewers())
+
+	t := &metrics.Table{
+		Title:  "per-channel audience and QoS",
+		Header: []string{"channel", "viewers_now", "sessions", "ready", "mean_ci"},
+	}
+	for k, sink := range sys.Sinks {
+		a := metrics.Analyze(sink.Records())
+		ready := 0
+		for _, s := range a.Sessions {
+			if s.Ready() {
+				ready++
+			}
+		}
+		ci := "-"
+		if v := a.MeanContinuity(); v > 0 {
+			ci = fmt.Sprintf("%.4f", v)
+		}
+		t.AddRowf("%d\t%d\t%d\t%d\t%s",
+			k, sys.Worlds[k].ActivePeerCount(), len(a.Sessions), ready, ci)
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\nZipf popularity: channel 0 dominates; zapping keeps churn high in every overlay.")
+}

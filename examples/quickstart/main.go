@@ -1,0 +1,32 @@
+// Quickstart: run a small steady-state Coolstreaming overlay and print
+// the headline measurements — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"coolstream"
+)
+
+func main() {
+	// A steady trickle of joins (0.3/s) over 8 virtual minutes, on a
+	// 6-server tier streaming 768 kbps in 4 sub-streams (Table I).
+	cfg := coolstream.SteadyConfig(0.3, 8*coolstream.Minute, 42)
+	cfg.Params.ReportPeriod = 30 * coolstream.Second // fast reports for a short run
+
+	res, err := coolstream.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %v of virtual time: %d sessions, peak %d concurrent viewers\n\n",
+		res.Horizon().Duration(), res.JoinedSessions, res.PeakConcurrent)
+
+	res.Summary().Render(os.Stdout)
+	fmt.Println()
+	res.Fig6().Render(os.Stdout) // startup delays: the Fig. 6 measurement
+	fmt.Println()
+	res.Fig8(30 * coolstream.Second).Render(os.Stdout) // continuity by user type
+}

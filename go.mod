@@ -1,0 +1,3 @@
+module coolstream
+
+go 1.22

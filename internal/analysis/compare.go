@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"fmt"
+
+	"coolstream/internal/buffer"
+)
+
+// FluidTransfer simulates the two-node fluid transfer underlying
+// Eqs. (3)-(4) directly (no overlay machinery): a child starts
+// lBlocks behind a parent pinned to the live edge, transfers at
+// rateBps, and the function returns the time in seconds until the gap
+// first shrinks to within eps blocks (catch-up) or grows beyond
+// lagLimit blocks (loss), whichever happens first. The boolean reports
+// whether it was a catch-up.
+//
+// This is the measurement side of experiment E10: the full simulator's
+// behaviour reduces to exactly this trajectory for an isolated pair,
+// so comparing it against Model.CatchUpTime/AbandonTime validates both
+// the closed forms and the fluid engine's units.
+func FluidTransfer(l buffer.Layout, lBlocks, rateBps, eps, lagLimit, dtSeconds, horizonSeconds float64) (float64, bool, error) {
+	if err := l.Validate(); err != nil {
+		return 0, false, err
+	}
+	if dtSeconds <= 0 || horizonSeconds <= 0 {
+		return 0, false, fmt.Errorf("analysis: non-positive step or horizon")
+	}
+	beta := l.SubBlocksPerSecond()
+	seqRate := rateBps / (8 * float64(l.BlockBytes))
+	parent := 0.0
+	child := -lBlocks
+	for t := 0.0; t <= horizonSeconds; t += dtSeconds {
+		gap := parent - child
+		if gap <= eps {
+			return t, true, nil
+		}
+		if gap >= lagLimit {
+			return t, false, nil
+		}
+		parent += beta * dtSeconds
+		next := child + seqRate*dtSeconds
+		if next > parent {
+			next = parent
+		}
+		child = next
+	}
+	return horizonSeconds, parent-child <= eps, nil
+}

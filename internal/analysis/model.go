@@ -1,0 +1,135 @@
+// Package analysis implements the paper's closed-form dynamics model
+// (§IV-C, Eqs. 3-6) and utilities to compare its predictions with
+// fluid-simulation measurements — experiment E10.
+//
+// All quantities are expressed in the paper's units: block counts are
+// per-sub-stream sequence numbers, rates are bits/second, and R/K is
+// the nominal sub-stream rate.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"coolstream/internal/buffer"
+)
+
+// Model binds the stream layout so block/bit conversions are explicit.
+type Model struct {
+	Layout buffer.Layout
+}
+
+// NewModel validates and wraps a layout.
+func NewModel(l buffer.Layout) (Model, error) {
+	if err := l.Validate(); err != nil {
+		return Model{}, err
+	}
+	return Model{Layout: l}, nil
+}
+
+// blockBits returns the size of one block in bits.
+func (m Model) blockBits() float64 { return 8 * float64(m.Layout.BlockBytes) }
+
+// CatchUpTime implements Eq. (3): the time for a child to recover l
+// missing blocks from a parent uploading at rUp > R/K:
+//
+//	t↑ = l / (r↑ - R/K)
+//
+// expressed here in seconds with l in per-sub-stream blocks. It
+// returns an error when rUp does not exceed the sub-stream rate (the
+// catch-up never completes).
+func (m Model) CatchUpTime(lBlocks, rUpBps float64) (float64, error) {
+	sub := m.Layout.SubRateBps()
+	if rUpBps <= sub {
+		return 0, fmt.Errorf("analysis: upload %v <= sub-stream rate %v; no catch-up", rUpBps, sub)
+	}
+	if lBlocks < 0 {
+		return 0, fmt.Errorf("analysis: negative deficit %v", lBlocks)
+	}
+	return lBlocks * m.blockBits() / (rUpBps - sub), nil
+}
+
+// AbandonTime implements Eq. (4): with a deficient transfer rate
+// rDown < R/K, the time until the sub-stream lags l further blocks
+// behind (at which point the child abandons the parent):
+//
+//	t↓ = l / (R/K - r↓)
+func (m Model) AbandonTime(lBlocks, rDownBps float64) (float64, error) {
+	sub := m.Layout.SubRateBps()
+	if rDownBps >= sub {
+		return 0, fmt.Errorf("analysis: rate %v >= sub-stream rate %v; no lag grows", rDownBps, sub)
+	}
+	if lBlocks < 0 {
+		return 0, fmt.Errorf("analysis: negative lag target %v", lBlocks)
+	}
+	return lBlocks * m.blockBits() / (sub - rDownBps), nil
+}
+
+// DegradedRate implements Eq. (5): when a parent serving D sub-stream
+// transmissions at full rate accepts one more child, each transmission
+// drops to
+//
+//	r↓ = D/(D+1) · R/K
+func (m Model) DegradedRate(d int) (float64, error) {
+	if d < 1 {
+		return 0, fmt.Errorf("analysis: degree %d < 1", d)
+	}
+	return float64(d) / float64(d+1) * m.Layout.SubRateBps(), nil
+}
+
+// LoseTime implements the t_lose expression of §IV-C: the time for a
+// child of an overloaded degree-D parent to fall from an initial
+// deviation tDelta to the threshold Ts (both in blocks):
+//
+//	t_lose = (D+1)(Ts - tDelta) / (R/K)
+//
+// with R/K converted to blocks/second.
+func (m Model) LoseTime(d int, ts, tDelta float64) (float64, error) {
+	if d < 1 {
+		return 0, fmt.Errorf("analysis: degree %d < 1", d)
+	}
+	if ts < tDelta {
+		return 0, fmt.Errorf("analysis: Ts %v below initial deviation %v", ts, tDelta)
+	}
+	subBlocks := m.Layout.SubBlocksPerSecond()
+	return float64(d+1) * (ts - tDelta) / subBlocks, nil
+}
+
+// LoseProbability implements Eq. (6) under a given distribution of the
+// initial deviation tDelta: the probability that a child loses the
+// competition within the cool-down period Ta,
+//
+//	P(t_lose <= Ta) = P(tDelta >= Ts - Ta·(R/K)/(D+1)).
+//
+// ccdf must return P(tDelta >= x) for the deviation distribution.
+func (m Model) LoseProbability(d int, ts, taSeconds float64, ccdf func(x float64) float64) (float64, error) {
+	if d < 1 {
+		return 0, fmt.Errorf("analysis: degree %d < 1", d)
+	}
+	if ccdf == nil {
+		return 0, fmt.Errorf("analysis: nil deviation distribution")
+	}
+	subBlocks := m.Layout.SubBlocksPerSecond()
+	threshold := ts - taSeconds*subBlocks/float64(d+1)
+	p := ccdf(threshold)
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("analysis: ccdf returned invalid probability %v", p)
+	}
+	return p, nil
+}
+
+// UniformDeviationCCDF returns the CCDF of a deviation uniform on
+// [0, max] — a reasonable null model for the initial buffer offsets of
+// competing children.
+func UniformDeviationCCDF(max float64) func(float64) float64 {
+	return func(x float64) float64 {
+		switch {
+		case x <= 0:
+			return 1
+		case x >= max:
+			return 0
+		default:
+			return 1 - x/max
+		}
+	}
+}

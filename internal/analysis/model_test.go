@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/buffer"
+	"coolstream/internal/xrand"
+)
+
+var layout = buffer.Layout{K: 4, RateBps: 768e3, BlockBytes: 12000}
+
+func mustModel(t *testing.T) Model {
+	t.Helper()
+	m, err := NewModel(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelRejectsInvalidLayout(t *testing.T) {
+	if _, err := NewModel(buffer.Layout{}); err == nil {
+		t.Fatal("invalid layout accepted")
+	}
+}
+
+func TestCatchUpTimeEq3(t *testing.T) {
+	m := mustModel(t)
+	// Sub-stream rate R/K = 192 kbps. Upload 384 kbps, deficit 40
+	// blocks = 40*96000 bits: t = 3.84e6 / 192e3 = 20 s.
+	got, err := m.CatchUpTime(40, 384e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20) > 1e-9 {
+		t.Fatalf("t_up = %v, want 20", got)
+	}
+	if _, err := m.CatchUpTime(40, 192e3); err == nil {
+		t.Fatal("rUp == R/K accepted")
+	}
+	if _, err := m.CatchUpTime(-1, 384e3); err == nil {
+		t.Fatal("negative deficit accepted")
+	}
+}
+
+func TestAbandonTimeEq4(t *testing.T) {
+	m := mustModel(t)
+	// r↓ = 96 kbps (half the sub-stream rate): lagging 20 blocks takes
+	// 20*96000 / 96e3 = 20 s.
+	got, err := m.AbandonTime(20, 96e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20) > 1e-9 {
+		t.Fatalf("t_down = %v, want 20", got)
+	}
+	if _, err := m.AbandonTime(20, 192e3); err == nil {
+		t.Fatal("rDown == R/K accepted")
+	}
+}
+
+func TestDegradedRateEq5(t *testing.T) {
+	m := mustModel(t)
+	got, err := m.DegradedRate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.75 * 192e3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("r_down = %v, want %v", got, want)
+	}
+	if _, err := m.DegradedRate(0); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+}
+
+func TestLoseTime(t *testing.T) {
+	m := mustModel(t)
+	// (D+1)(Ts - tDelta)/(R/K blocks-per-sec): D=3, Ts=20, tDelta=4,
+	// sub-block rate 2/s → 4*16/2 = 32 s.
+	got, err := m.LoseTime(3, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-32) > 1e-9 {
+		t.Fatalf("t_lose = %v, want 32", got)
+	}
+	if _, err := m.LoseTime(3, 4, 20); err == nil {
+		t.Fatal("Ts < tDelta accepted")
+	}
+}
+
+func TestLoseProbabilityEq6(t *testing.T) {
+	m := mustModel(t)
+	// Threshold = Ts - Ta*(R/K)/(D+1) = 20 - 20*2/4 = 10 blocks.
+	// With tDelta ~ U[0,20]: P(tDelta >= 10) = 0.5.
+	got, err := m.LoseProbability(3, 20, 20, UniformDeviationCCDF(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("P(lose) = %v, want 0.5", got)
+	}
+	// Larger degree shrinks the subtracted term, raising the
+	// threshold... i.e. lowering P? Check monotonicity in D: with D→∞
+	// threshold → Ts → P→CCDF(Ts)=0; with small D threshold lower → P
+	// higher. This is the paper's §V-B observation: children of
+	// high-degree parents are less likely to lose.
+	pSmall, _ := m.LoseProbability(1, 20, 20, UniformDeviationCCDF(20))
+	pLarge, _ := m.LoseProbability(10, 20, 20, UniformDeviationCCDF(20))
+	if !(pSmall > got && got > pLarge) {
+		t.Fatalf("P(lose) not decreasing in degree: %v %v %v", pSmall, got, pLarge)
+	}
+	if _, err := m.LoseProbability(0, 20, 20, UniformDeviationCCDF(20)); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	if _, err := m.LoseProbability(3, 20, 20, nil); err == nil {
+		t.Fatal("nil ccdf accepted")
+	}
+	if _, err := m.LoseProbability(3, 20, 20, func(float64) float64 { return 2 }); err == nil {
+		t.Fatal("invalid ccdf accepted")
+	}
+}
+
+func TestUniformDeviationCCDF(t *testing.T) {
+	f := UniformDeviationCCDF(10)
+	if f(-1) != 1 || f(0) != 1 || f(10) != 0 || f(11) != 0 {
+		t.Fatal("CCDF boundaries wrong")
+	}
+	if math.Abs(f(2.5)-0.75) > 1e-12 {
+		t.Fatalf("CCDF(2.5) = %v", f(2.5))
+	}
+}
+
+func TestFluidTransferMatchesCatchUp(t *testing.T) {
+	m := mustModel(t)
+	want, _ := m.CatchUpTime(40, 384e3)
+	got, caught, err := FluidTransfer(layout, 40, 384e3, 0.5, 1e9, 0.01, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !caught {
+		t.Fatal("fluid transfer did not catch up")
+	}
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("fluid catch-up %v vs Eq. (3) %v", got, want)
+	}
+}
+
+func TestFluidTransferMatchesAbandon(t *testing.T) {
+	m := mustModel(t)
+	// Start together, rate below R/K, watch the lag reach 20 blocks.
+	want, _ := m.AbandonTime(20, 96e3)
+	got, caught, err := FluidTransfer(layout, 0.6, 96e3, 0.5, 20, 0.01, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caught {
+		t.Fatal("deficient transfer reported catch-up")
+	}
+	if math.Abs(got-want) > 1.5 {
+		t.Fatalf("fluid abandon %v vs Eq. (4) %v", got, want)
+	}
+}
+
+func TestFluidTransferErrors(t *testing.T) {
+	if _, _, err := FluidTransfer(buffer.Layout{}, 1, 1, 1, 1, 0.1, 1); err == nil {
+		t.Fatal("invalid layout accepted")
+	}
+	if _, _, err := FluidTransfer(layout, 1, 1, 1, 1, 0, 1); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestEq3Eq4PropertyAgreement(t *testing.T) {
+	// Property: for random parameters, the fluid micro-simulation and
+	// the closed forms agree within discretisation error.
+	m := mustModel(t)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		l := 5 + r.Float64()*60
+		if r.Bool(0.5) {
+			rate := m.Layout.SubRateBps() * (1.2 + r.Float64()*3)
+			want, err := m.CatchUpTime(l, rate)
+			if err != nil {
+				return false
+			}
+			got, caught, err := FluidTransfer(layout, l, rate, 0.5, 1e12, 0.01, want*3+60)
+			return err == nil && caught && math.Abs(got-want) < 0.05*want+1
+		}
+		rate := m.Layout.SubRateBps() * (0.1 + r.Float64()*0.7)
+		lag := l + 10
+		want, err := m.AbandonTime(lag-l, rate)
+		if err != nil {
+			return false
+		}
+		got, caught, err := FluidTransfer(layout, l, rate, 0.01, lag, 0.01, want*3+60)
+		return err == nil && !caught && math.Abs(got-want) < 0.05*want+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package buffer
+
+import "testing"
+
+func BenchmarkSyncBufferReceiveInOrder(b *testing.B) {
+	l := Layout{K: 4, RateBps: 768e3, BlockBytes: 12000}
+	sb, err := NewSyncBuffer(l, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := int64(i)
+		if _, err := sb.Receive(l.SubStream(g), l.Seq(g)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBufferMapMarshal(b *testing.B) {
+	bm := NewBufferMap(4)
+	for i := range bm.Latest {
+		bm.Latest[i] = int64(1000 + i)
+		bm.Subscribed[i] = i%2 == 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := bm.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out BufferMap
+		if err := out.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

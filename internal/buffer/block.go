@@ -1,0 +1,93 @@
+// Package buffer implements Coolstreaming's data-plane structures:
+// the block numbering scheme across sub-streams, the synchronization
+// buffer with its combination process (Fig. 2 of the paper), the cache
+// buffer feeding the media player, and the buffer map (BM) exchanged
+// between partners.
+package buffer
+
+import (
+	"fmt"
+
+	"coolstream/internal/sim"
+)
+
+// Layout fixes the block numbering for a stream: the video stream of
+// rate RateBps is cut into equal Blocks of BlockBytes; global block g
+// belongs to sub-stream g mod K and carries per-sub-stream sequence
+// number g / K (the paper's H values are these per-sub-stream
+// sequences).
+type Layout struct {
+	// K is the number of sub-streams.
+	K int
+	// RateBps is the full stream bit rate R.
+	RateBps float64
+	// BlockBytes is the size of one block.
+	BlockBytes int
+}
+
+// Validate returns an error unless the layout is usable.
+func (l Layout) Validate() error {
+	if l.K <= 0 {
+		return fmt.Errorf("buffer: layout K = %d, want > 0", l.K)
+	}
+	if l.RateBps <= 0 {
+		return fmt.Errorf("buffer: layout rate = %v, want > 0", l.RateBps)
+	}
+	if l.BlockBytes <= 0 {
+		return fmt.Errorf("buffer: layout block size = %d, want > 0", l.BlockBytes)
+	}
+	return nil
+}
+
+// BlocksPerSecond returns the global block rate R / (8 * BlockBytes).
+func (l Layout) BlocksPerSecond() float64 {
+	return l.RateBps / (8 * float64(l.BlockBytes))
+}
+
+// SubBlocksPerSecond returns the per-sub-stream block rate.
+func (l Layout) SubBlocksPerSecond() float64 {
+	return l.BlocksPerSecond() / float64(l.K)
+}
+
+// SubRateBps returns the bit rate of one sub-stream, R/K.
+func (l Layout) SubRateBps() float64 { return l.RateBps / float64(l.K) }
+
+// SubStream returns the sub-stream index of global block g.
+func (l Layout) SubStream(g int64) int { return int(((g % int64(l.K)) + int64(l.K)) % int64(l.K)) }
+
+// Seq returns the per-sub-stream sequence number of global block g.
+func (l Layout) Seq(g int64) int64 {
+	if g >= 0 {
+		return g / int64(l.K)
+	}
+	return (g - int64(l.K) + 1) / int64(l.K)
+}
+
+// Global returns the global block index of (subStream, seq).
+func (l Layout) Global(subStream int, seq int64) int64 {
+	return seq*int64(l.K) + int64(subStream)
+}
+
+// GlobalAt returns the (fractional) global block position of the live
+// edge at virtual time t, for a source that started emitting block 0
+// at time 0.
+func (l Layout) GlobalAt(t sim.Time) float64 {
+	return l.BlocksPerSecond() * t.Seconds()
+}
+
+// TimeOfGlobal returns the virtual time at which global block g is
+// emitted by the source (inverse of GlobalAt).
+func (l Layout) TimeOfGlobal(g float64) sim.Time {
+	return sim.FromSeconds(g / l.BlocksPerSecond())
+}
+
+// SeqToSeconds converts a count of per-sub-stream blocks to seconds of
+// stream time.
+func (l Layout) SeqToSeconds(seq float64) float64 {
+	return seq / l.SubBlocksPerSecond()
+}
+
+// SecondsToSeq converts seconds of stream time to per-sub-stream blocks.
+func (l Layout) SecondsToSeq(s float64) float64 {
+	return s * l.SubBlocksPerSecond()
+}

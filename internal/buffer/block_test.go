@@ -1,0 +1,87 @@
+package buffer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/sim"
+)
+
+var testLayout = Layout{K: 4, RateBps: 768e3, BlockBytes: 12000}
+
+func TestLayoutValidate(t *testing.T) {
+	if err := testLayout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Layout{
+		{K: 0, RateBps: 1, BlockBytes: 1},
+		{K: 1, RateBps: 0, BlockBytes: 1},
+		{K: 1, RateBps: 1, BlockBytes: 0},
+	}
+	for i, l := range bad {
+		if l.Validate() == nil {
+			t.Errorf("bad layout %d validated", i)
+		}
+	}
+}
+
+func TestLayoutRates(t *testing.T) {
+	// 768 kbps / (8 * 12000 B) = 8 blocks/s globally, 2 per sub-stream.
+	if got := testLayout.BlocksPerSecond(); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("BlocksPerSecond = %v", got)
+	}
+	if got := testLayout.SubBlocksPerSecond(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("SubBlocksPerSecond = %v", got)
+	}
+	if got := testLayout.SubRateBps(); math.Abs(got-192e3) > 1e-9 {
+		t.Fatalf("SubRateBps = %v", got)
+	}
+}
+
+func TestGlobalSeqRoundTrip(t *testing.T) {
+	f := func(seqRaw int32, subRaw uint8) bool {
+		seq := int64(seqRaw % 1e6)
+		if seq < 0 {
+			seq = -seq
+		}
+		sub := int(subRaw) % testLayout.K
+		g := testLayout.Global(sub, seq)
+		return testLayout.SubStream(g) == sub && testLayout.Seq(g) == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubStreamInterleaving(t *testing.T) {
+	// Consecutive global blocks cycle through sub-streams.
+	for g := int64(0); g < 12; g++ {
+		if got := testLayout.SubStream(g); got != int(g%4) {
+			t.Fatalf("SubStream(%d) = %d", g, got)
+		}
+	}
+	if testLayout.Seq(0) != 0 || testLayout.Seq(3) != 0 || testLayout.Seq(4) != 1 {
+		t.Fatal("Seq boundaries wrong")
+	}
+}
+
+func TestGlobalAtAndInverse(t *testing.T) {
+	at := testLayout.GlobalAt(10 * sim.Second)
+	if math.Abs(at-80) > 1e-9 {
+		t.Fatalf("GlobalAt(10s) = %v, want 80", at)
+	}
+	if got := testLayout.TimeOfGlobal(80); got != 10*sim.Second {
+		t.Fatalf("TimeOfGlobal(80) = %v", got)
+	}
+}
+
+func TestSeqSecondsRoundTrip(t *testing.T) {
+	s := testLayout.SeqToSeconds(10) // 10 sub-blocks at 2/s = 5s
+	if math.Abs(s-5) > 1e-12 {
+		t.Fatalf("SeqToSeconds(10) = %v", s)
+	}
+	if got := testLayout.SecondsToSeq(s); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("SecondsToSeq(%v) = %v", s, got)
+	}
+}

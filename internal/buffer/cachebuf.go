@@ -1,0 +1,51 @@
+package buffer
+
+import "fmt"
+
+// CacheBuffer is the cache part of Fig. 2a: the window of combined
+// blocks retained for playout and for serving partners. Blocks enter
+// in order from the SyncBuffer and are evicted once they fall more
+// than Capacity blocks behind the head.
+type CacheBuffer struct {
+	// Capacity is the retention window in global blocks (the paper's
+	// buffer length B expressed in blocks).
+	Capacity int64
+	head     int64 // one past the newest block held
+	tail     int64 // oldest block held
+}
+
+// NewCacheBuffer creates a cache buffer starting empty at global
+// position start.
+func NewCacheBuffer(capacity, start int64) (*CacheBuffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("buffer: cache capacity %d, want > 0", capacity)
+	}
+	if start < 0 {
+		start = 0
+	}
+	return &CacheBuffer{Capacity: capacity, head: start, tail: start}, nil
+}
+
+// Append adds n combined blocks at the head and evicts from the tail
+// if the window overflows (the playout push-out of §IV-A).
+func (c *CacheBuffer) Append(n int64) {
+	if n < 0 {
+		panic("buffer: negative append")
+	}
+	c.head += n
+	if c.head-c.tail > c.Capacity {
+		c.tail = c.head - c.Capacity
+	}
+}
+
+// Contains reports whether global block g is currently held.
+func (c *CacheBuffer) Contains(g int64) bool { return g >= c.tail && g < c.head }
+
+// Head returns one past the newest block held.
+func (c *CacheBuffer) Head() int64 { return c.head }
+
+// Tail returns the oldest block held.
+func (c *CacheBuffer) Tail() int64 { return c.tail }
+
+// Len returns the number of blocks held.
+func (c *CacheBuffer) Len() int64 { return c.head - c.tail }

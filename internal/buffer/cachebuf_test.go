@@ -1,0 +1,51 @@
+package buffer
+
+import "testing"
+
+func TestCacheBufferAppendAndEvict(t *testing.T) {
+	c, err := NewCacheBuffer(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Append(5)
+	if c.Len() != 5 || c.Tail() != 0 || c.Head() != 5 {
+		t.Fatalf("after append 5: len=%d tail=%d head=%d", c.Len(), c.Tail(), c.Head())
+	}
+	c.Append(8) // total 13 > capacity 10 → evict 3
+	if c.Len() != 10 || c.Tail() != 3 || c.Head() != 13 {
+		t.Fatalf("after overflow: len=%d tail=%d head=%d", c.Len(), c.Tail(), c.Head())
+	}
+}
+
+func TestCacheBufferContains(t *testing.T) {
+	c, _ := NewCacheBuffer(4, 100)
+	c.Append(4)
+	for g := int64(100); g < 104; g++ {
+		if !c.Contains(g) {
+			t.Fatalf("missing block %d", g)
+		}
+	}
+	if c.Contains(99) || c.Contains(104) {
+		t.Fatal("contains out-of-window block")
+	}
+	c.Append(1)
+	if c.Contains(100) {
+		t.Fatal("evicted block still contained")
+	}
+}
+
+func TestCacheBufferErrors(t *testing.T) {
+	if _, err := NewCacheBuffer(0, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	c, _ := NewCacheBuffer(5, -10)
+	if c.Head() != 0 {
+		t.Fatal("negative start not clamped")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative append did not panic")
+		}
+	}()
+	c.Append(-1)
+}

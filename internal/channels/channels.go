@@ -1,0 +1,204 @@
+// Package channels models the multi-program dimension of the
+// deployment: the 2006-09-27 system broadcast several programs at
+// once ("The users contact a web server to select the program that
+// they intend to watch", §V-A), each program running its own
+// data-driven overlay over a shared server tier. Users pick channels
+// with a Zipf-like popularity bias and *zap*: after a dwell period
+// they either switch to another channel (a leave in one overlay and a
+// fresh join in another) or leave the system.
+//
+// Each channel is an independent peer.World sharing one simulation
+// engine, so a multi-channel run is exactly as deterministic as a
+// single-channel one.
+package channels
+
+import (
+	"fmt"
+	"math"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/peer"
+	"coolstream/internal/sim"
+	"coolstream/internal/stats"
+	"coolstream/internal/xrand"
+)
+
+// Config describes a multi-channel system.
+type Config struct {
+	// Channels is the number of programs.
+	Channels int
+	// Params apply to every channel's overlay.
+	Params peer.Params
+	// ServersPerChannel and ServerUploadBps provision each channel's
+	// slice of the server tier.
+	ServersPerChannel int
+	ServerUploadBps   float64
+	// ZipfS is the popularity skew (P(channel k) ∝ 1/(k+1)^ZipfS).
+	ZipfS float64
+	// ZapProb is the probability that a user switches channels at the
+	// end of a dwell instead of leaving.
+	ZapProb float64
+	// ZapDelay is the pause between leaving one channel and joining
+	// the next.
+	ZapDelay sim.Time
+	// Latency is shared across channels.
+	Latency netmodel.LatencyModel
+	// Seed drives all channel worlds and the zap behaviour.
+	Seed uint64
+}
+
+// DefaultConfig returns a 4-channel system with Zipf(1.2) popularity.
+func DefaultConfig(seed uint64) Config {
+	p := peer.DefaultParams()
+	p.ReportPeriod = 30 * sim.Second
+	return Config{
+		Channels:          4,
+		Params:            p,
+		ServersPerChannel: 2,
+		ServerUploadBps:   20 * p.Layout.RateBps,
+		ZipfS:             1.2,
+		ZapProb:           0.4,
+		ZapDelay:          2 * sim.Second,
+		Latency:           netmodel.UniformLatency{Min: 20 * sim.Millisecond, Max: 250 * sim.Millisecond, Seed: seed},
+		Seed:              seed,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Channels < 1 {
+		return fmt.Errorf("channels: %d channels", c.Channels)
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.ServersPerChannel < 1 || c.ServerUploadBps <= c.Params.Layout.RateBps {
+		return fmt.Errorf("channels: server tier underprovisioned")
+	}
+	if c.ZipfS < 0 {
+		return fmt.Errorf("channels: negative Zipf skew")
+	}
+	if c.ZapProb < 0 || c.ZapProb > 1 {
+		return fmt.Errorf("channels: ZapProb %v", c.ZapProb)
+	}
+	if c.ZapDelay < 0 {
+		return fmt.Errorf("channels: negative zap delay")
+	}
+	if c.Latency == nil {
+		return fmt.Errorf("channels: nil latency model")
+	}
+	return nil
+}
+
+// System is a running multi-channel deployment.
+type System struct {
+	Cfg    Config
+	Engine *sim.Engine
+	// Worlds holds one overlay per channel.
+	Worlds []*peer.World
+	// Sinks holds each channel's log sink (indexed like Worlds).
+	Sinks []*logsys.MemorySink
+
+	pop *stats.Categorical
+	rng *xrand.RNG
+	// Zaps counts completed channel switches.
+	Zaps int
+	// watchersSpawned counts SpawnUser calls.
+	watchersSpawned int
+}
+
+// New builds the system on the engine.
+func New(cfg Config, engine *sim.Engine) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil {
+		return nil, fmt.Errorf("channels: nil engine")
+	}
+	weights := make([]float64, cfg.Channels)
+	for k := range weights {
+		weights[k] = 1 / math.Pow(float64(k+1), cfg.ZipfS)
+	}
+	root := xrand.New(cfg.Seed)
+	s := &System{
+		Cfg:    cfg,
+		Engine: engine,
+		pop:    stats.NewCategorical(weights),
+		rng:    root.SplitLabeled("channels"),
+	}
+	for k := 0; k < cfg.Channels; k++ {
+		sink := &logsys.MemorySink{}
+		w, err := peer.NewWorld(cfg.Params, engine, sink, cfg.Latency,
+			gossip.RandomReplace{}, cfg.Seed+uint64(k)*0x9e3779b9)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < cfg.ServersPerChannel; i++ {
+			w.AddServer(cfg.ServerUploadBps)
+		}
+		s.Worlds = append(s.Worlds, w)
+		s.Sinks = append(s.Sinks, sink)
+	}
+	return s, nil
+}
+
+// SpawnUser starts a viewing career at the current virtual time: the
+// user joins a popularity-drawn channel, dwells, then zaps or leaves.
+// dwell samples each channel visit's duration; patience is the
+// per-join retry budget.
+func (s *System) SpawnUser(userID int, ep netmodel.Endpoint, dwell stats.Sampler, patience int) {
+	s.watchersSpawned++
+	s.visit(userID, ep, dwell, patience)
+}
+
+func (s *System) visit(userID int, ep netmodel.Endpoint, dwell stats.Sampler, patience int) {
+	ch := s.pop.Draw(s.rng)
+	d := sim.FromSeconds(dwell.Sample(s.rng))
+	if d < sim.Second {
+		d = sim.Second
+	}
+	s.Worlds[ch].Join(userID, ep, d, patience, 0)
+	// Decide the user's next move now (deterministic given the seed).
+	zap := s.rng.Bool(s.Cfg.ZapProb)
+	if !zap {
+		return
+	}
+	s.Engine.After(d+s.Cfg.ZapDelay, func() {
+		s.Zaps++
+		s.visit(userID, ep, dwell, patience)
+	})
+}
+
+// EndProgram schedules channel ch's program boundary: at `at`, every
+// viewer of that channel departs at once (the per-channel form of the
+// paper's 22:00 cliff). Users whose zap chain continues re-enter the
+// system on another channel afterwards.
+func (s *System) EndProgram(ch int, at sim.Time) error {
+	if ch < 0 || ch >= len(s.Worlds) {
+		return fmt.Errorf("channels: no channel %d", ch)
+	}
+	s.Engine.Schedule(at, func() {
+		s.Worlds[ch].DepartAllPeers("program-end")
+	})
+	return nil
+}
+
+// ChannelViewers returns the current viewer count per channel.
+func (s *System) ChannelViewers() []int {
+	out := make([]int, len(s.Worlds))
+	for k, w := range s.Worlds {
+		out[k] = w.ActivePeerCount()
+	}
+	return out
+}
+
+// TotalViewers sums viewers across channels.
+func (s *System) TotalViewers() int {
+	n := 0
+	for _, v := range s.ChannelViewers() {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,214 @@
+// Package core wires the full Coolstreaming reproduction together: it
+// builds a World from a Config, drives a workload scenario through it,
+// collects logs and topology snapshots, and exposes figure-builder
+// methods that regenerate each of the paper's tables and figures from
+// the collected measurements. This is the package the examples, CLI
+// tools and benchmarks consume.
+package core
+
+import (
+	"fmt"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/peer"
+	"coolstream/internal/sim"
+	"coolstream/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// Params are the protocol parameters (Table I).
+	Params peer.Params
+	// Tick is the control-tick period of the hybrid simulator.
+	Tick sim.Time
+	// Servers is the dedicated-server count (the deployment used 24).
+	Servers int
+	// ServerUploadBps is each server's upload capacity.
+	ServerUploadBps float64
+	// LatencyMin/LatencyMax bound pairwise one-way delays.
+	LatencyMin, LatencyMax sim.Time
+	// MCachePolicy selects the membership replacement policy:
+	// "random" (deployed) or "stability" (the paper's improvement).
+	MCachePolicy string
+	// Warmup runs the server tier alone before the first join so the
+	// live edge is ahead of the Tp join shift.
+	Warmup sim.Time
+	// Drain keeps simulating after the last scheduled arrival so
+	// sessions wind down.
+	Drain sim.Time
+	// Workload generates the user arrivals.
+	Workload workload.Options
+	// PresetScenario, when non-nil, is used verbatim instead of
+	// generating arrivals from Workload (e.g. a scenario loaded from a
+	// file via workload.ReadScenario). Its horizon replaces
+	// Workload.Horizon.
+	PresetScenario *workload.Scenario
+	// SnapshotPeriod samples overlay topology (0 disables).
+	SnapshotPeriod sim.Time
+	// StallContinuity / StallAbandonProb configure frustrated-user
+	// churn (see peer.World).
+	StallContinuity  float64
+	StallAbandonProb float64
+	// SessionTimeScale records how much the workload compresses real
+	// session durations (1 = real time). Analyses with real-time
+	// cutoffs (e.g. the Fig. 10a "< 1 minute" spike) scale by it.
+	SessionTimeScale float64
+	// CrashProb is the fraction of user departures that are ungraceful
+	// (no teardown; partners detect via failed BM exchanges).
+	CrashProb float64
+}
+
+// ScaledCutoff converts a real-time duration to the workload's
+// compressed time base.
+func (c Config) ScaledCutoff(d sim.Time) sim.Time {
+	if c.SessionTimeScale <= 0 || c.SessionTimeScale >= 1 {
+		return d
+	}
+	return sim.Time(float64(d) * c.SessionTimeScale)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Tick <= 0 {
+		return fmt.Errorf("core: tick %v", c.Tick)
+	}
+	if c.Servers < 1 {
+		return fmt.Errorf("core: %d servers; the tier seeds the overlay", c.Servers)
+	}
+	if c.ServerUploadBps <= c.Params.Layout.RateBps {
+		return fmt.Errorf("core: server upload %v must exceed the stream rate", c.ServerUploadBps)
+	}
+	if c.LatencyMax < c.LatencyMin || c.LatencyMin < 0 {
+		return fmt.Errorf("core: latency bounds [%v,%v]", c.LatencyMin, c.LatencyMax)
+	}
+	if _, err := c.policy(); err != nil {
+		return err
+	}
+	if c.Warmup < 0 || c.Drain < 0 {
+		return fmt.Errorf("core: negative warmup/drain")
+	}
+	if c.PresetScenario != nil {
+		if c.PresetScenario.Horizon <= 0 {
+			return fmt.Errorf("core: preset scenario horizon %v", c.PresetScenario.Horizon)
+		}
+		return nil
+	}
+	return c.Workload.Validate()
+}
+
+func (c Config) policy() (gossip.Policy, error) {
+	switch c.MCachePolicy {
+	case "", "random":
+		return gossip.RandomReplace{}, nil
+	case "stability":
+		return gossip.StabilityAware{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown mCache policy %q", c.MCachePolicy)
+}
+
+// Horizon returns the total simulated duration.
+func (c Config) Horizon() sim.Time {
+	h := c.Workload.Horizon
+	if c.PresetScenario != nil {
+		h = c.PresetScenario.Horizon
+	}
+	return c.Warmup + h + c.Drain
+}
+
+// DefaultConfig returns a mid-sized steady-state configuration: a few
+// hundred concurrent peers at a constant arrival rate — the starting
+// point the presets below specialise.
+func DefaultConfig() Config {
+	p := peer.DefaultParams()
+	horizon := 20 * sim.Minute
+	return Config{
+		Seed:             1,
+		Params:           p,
+		Tick:             sim.Second,
+		Servers:          6,
+		ServerUploadBps:  25 * p.Layout.RateBps, // ≈ 100 Mbps-class at 768 kbps... scaled tier
+		LatencyMin:       20 * sim.Millisecond,
+		LatencyMax:       250 * sim.Millisecond,
+		MCachePolicy:     "random",
+		Warmup:           30 * sim.Second,
+		Drain:            2 * sim.Minute,
+		SnapshotPeriod:   time30s,
+		StallContinuity:  0.85,
+		StallAbandonProb: 0.7,
+		SessionTimeScale: 0.1,
+		CrashProb:        0.3,
+		Workload: workload.Options{
+			Profile:  workload.Constant(0.5),
+			Horizon:  horizon,
+			Mix:      netmodel.DefaultClassMix(),
+			Capacity: netmodel.DefaultCapacityProfile(p.Layout.RateBps),
+			Sessions: workload.DefaultSessionModel(0.1),
+		},
+	}
+}
+
+const time30s = 30 * sim.Second
+
+// DayConfig returns the compressed broadcast-day scenario standing in
+// for the 2006-09-27 traces: a 24 h day compressed into `dayLength`
+// with the Fig. 5 diurnal shape, evening flash crowd and 22:00
+// program-end cliff. baseRate tunes population size.
+func DayConfig(dayLength sim.Time, baseRate float64, seed uint64) Config {
+	c := DefaultConfig()
+	c.Seed = seed
+	timeScale := float64(dayLength) / float64(24*sim.Hour)
+	// Protocol timing (handshakes, buffering, Table I thresholds) does
+	// not compress with the day, so session durations must not shrink
+	// below the startup scale either: floor the session time scale at
+	// 1/60 (durations as if the day were at most 60× compressed).
+	sessionScale := timeScale
+	if sessionScale < 1.0/60 {
+		sessionScale = 1.0 / 60
+	}
+	c.Workload = workload.Options{
+		Profile:    workload.DiurnalProfile(dayLength, baseRate, 6),
+		Horizon:    dayLength,
+		Mix:        netmodel.DefaultClassMix(),
+		Capacity:   netmodel.DefaultCapacityProfile(c.Params.Layout.RateBps),
+		Sessions:   workload.DefaultSessionModel(sessionScale),
+		ProgramEnd: workload.ProgramEnd(dayLength),
+		// (sessionScale is also recorded on the Config below.)
+		EndJitter: sim.Time(float64(2*sim.Minute) * timeScale * 24),
+	}
+	c.Drain = dayLength / 24
+	c.SessionTimeScale = sessionScale
+	// Keep the 5-minute-of-real-day reporting cadence in compressed
+	// time, with a floor so reports stay meaningful.
+	c.Params.ReportPeriod = dayLength / 288
+	if c.Params.ReportPeriod < 10*sim.Second {
+		c.Params.ReportPeriod = 10 * sim.Second
+	}
+	return c
+}
+
+// FlashCrowdConfig returns a warm steady system hit by an arrival
+// burst — the Fig. 7 / Fig. 9b regime. burstRate is in joins/second.
+func FlashCrowdConfig(warm, burst sim.Time, quietRate, burstRate float64, seed uint64) Config {
+	c := DefaultConfig()
+	c.Seed = seed
+	c.Workload.Profile = workload.FlashCrowd(warm, burst, quietRate, burstRate)
+	c.Workload.Horizon = warm + burst + warm
+	return c
+}
+
+// SteadyConfig returns a constant-arrival configuration whose
+// stationary population scales with rate (Little's law: rate × mean
+// session duration).
+func SteadyConfig(rate float64, horizon sim.Time, seed uint64) Config {
+	c := DefaultConfig()
+	c.Seed = seed
+	c.Workload.Profile = workload.Constant(rate)
+	c.Workload.Horizon = horizon
+	return c
+}

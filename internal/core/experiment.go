@@ -1,0 +1,110 @@
+package core
+
+import (
+	"coolstream/internal/logsys"
+	"coolstream/internal/metrics"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/peer"
+	"coolstream/internal/sim"
+	"coolstream/internal/workload"
+	"coolstream/internal/xrand"
+)
+
+// Result carries everything a run produced.
+type Result struct {
+	Config   Config
+	Records  []logsys.Record
+	Analysis *metrics.Analysis
+	// Snapshots are periodic topology measurements (direct, not
+	// log-derived — the simulator's privileged view for Fig. 4).
+	Snapshots []peer.TopologySnapshot
+	// Scenario is the workload that was applied.
+	Scenario workload.Scenario
+
+	// Counters copied from the world.
+	JoinedSessions  int
+	FailedSessions  int
+	ReadySessions   int
+	AbandonSessions int
+	Adaptations     int
+	// PeakConcurrent is the largest observed active peer count.
+	PeakConcurrent int
+}
+
+// Horizon returns the run's total virtual duration.
+func (r *Result) Horizon() sim.Time { return r.Config.Horizon() }
+
+// Run executes one full experiment: build the world, apply the
+// workload, simulate to the horizon, and analyse the logs.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	policy, err := cfg.policy()
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(cfg.Tick)
+	sink := &logsys.MemorySink{}
+	latency := netmodel.UniformLatency{Min: cfg.LatencyMin, Max: cfg.LatencyMax, Seed: cfg.Seed ^ 0x1a7e9c3}
+	world, err := peer.NewWorld(cfg.Params, engine, sink, latency, policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.StallContinuity > 0 {
+		world.StallContinuity = cfg.StallContinuity
+		world.StallAbandonProb = cfg.StallAbandonProb
+	}
+	world.CrashProb = cfg.CrashProb
+	for i := 0; i < cfg.Servers; i++ {
+		world.AddServer(cfg.ServerUploadBps)
+	}
+
+	// Materialise the workload (or take the preset verbatim).
+	var scenario workload.Scenario
+	if cfg.PresetScenario != nil {
+		scenario = *cfg.PresetScenario
+	} else {
+		scenRNG := xrand.New(cfg.Seed).SplitLabeled("scenario")
+		scenario, err = workload.Generate(cfg.Workload, scenRNG)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range scenario.Specs {
+		spec := spec
+		engine.Schedule(cfg.Warmup+spec.At, func() {
+			world.Join(spec.UserID, spec.Endpoint, spec.Watch, spec.Patience, 0)
+		})
+	}
+
+	res := &Result{Config: cfg, Scenario: scenario}
+
+	// Periodic topology snapshots and peak tracking.
+	if cfg.SnapshotPeriod > 0 {
+		var snapshotLoop func()
+		snapshotLoop = func() {
+			res.Snapshots = append(res.Snapshots, world.Snapshot())
+			if engine.Now()+cfg.SnapshotPeriod <= cfg.Horizon() {
+				engine.After(cfg.SnapshotPeriod, snapshotLoop)
+			}
+		}
+		engine.After(cfg.SnapshotPeriod, snapshotLoop)
+	}
+	engine.OnTick(func(_, _ sim.Time) {
+		if n := world.ActivePeerCount(); n > res.PeakConcurrent {
+			res.PeakConcurrent = n
+		}
+	})
+
+	engine.Run(cfg.Horizon())
+
+	res.Records = sink.Records()
+	res.Analysis = metrics.Analyze(res.Records)
+	res.JoinedSessions = world.JoinedSessions
+	res.FailedSessions = world.FailedSessions
+	res.ReadySessions = world.ReadySessions
+	res.AbandonSessions = world.AbandonSessions
+	res.Adaptations = world.Adaptations
+	return res, nil
+}

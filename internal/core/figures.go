@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"coolstream/internal/metrics"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/stats"
+)
+
+// classNames lists user classes in presentation order.
+var classNames = []netmodel.UserClass{
+	netmodel.Direct, netmodel.UPnP, netmodel.NAT, netmodel.Firewall,
+}
+
+// Fig3a builds the user-type distribution table: inferred fractions
+// (the paper's methodology) against ground truth, plus classifier
+// accuracy.
+func (r *Result) Fig3a() *metrics.Table {
+	t := &metrics.Table{
+		Title:  "Fig. 3a — user type distribution",
+		Header: []string{"class", "inferred_frac", "true_frac"},
+	}
+	inferred := r.Analysis.ClassDistribution()
+	var truth [netmodel.NumClasses]float64
+	total := 0
+	for _, s := range r.Analysis.Sessions {
+		if s.HasTruth {
+			truth[s.TrueClass]++
+			total++
+		}
+	}
+	if total > 0 {
+		for c := range truth {
+			truth[c] /= float64(total)
+		}
+	}
+	for _, c := range classNames {
+		t.AddRowf("%s\t%.3f\t%.3f", c.String(), inferred[c], truth[c])
+	}
+	t.AddRowf("classifier_accuracy\t%.3f\t", r.Analysis.ClassifierAccuracy())
+	return t
+}
+
+// Fig3b builds the upload-contribution table: byte share by class, the
+// reachable (direct+UPnP) population vs byte share, the top-30% share
+// and the Gini coefficient.
+func (r *Result) Fig3b() *metrics.Table {
+	rep := r.Analysis.Contribution()
+	t := &metrics.Table{
+		Title:  "Fig. 3b — upload contribution",
+		Header: []string{"metric", "value"},
+	}
+	for _, c := range classNames {
+		t.AddRowf("share[%s]\t%.3f", c.String(), rep.ShareByClass[c])
+	}
+	t.AddRowf("reachable_population_frac\t%.3f", rep.ReachablePopulation)
+	t.AddRowf("reachable_upload_share\t%.3f", rep.ReachableShare)
+	t.AddRowf("top30pct_upload_share\t%.3f", rep.Top30Share)
+	t.AddRowf("gini\t%.3f", rep.Gini)
+	return t
+}
+
+// Fig4 builds the overlay-structure evolution from topology snapshots:
+// the convergence towards direct/UPnP parents and the rarity of
+// NAT↔NAT random links.
+func (r *Result) Fig4() *metrics.Table {
+	t := &metrics.Table{
+		Title: "Fig. 4 — overlay structure over time",
+		Header: []string{"t", "peers", "ready", "frac_links_to_reachable",
+			"frac_random_links", "frac_peers_all_reachable_parents", "mean_depth", "max_depth"},
+	}
+	for _, s := range r.Snapshots {
+		t.AddRowf("%s\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.2f\t%d",
+			s.At.String(), s.ActivePeers, s.ReadyPeers,
+			s.FractionReachableLinks(), s.FractionRandomLinks(), s.FractionClogged(),
+			s.MeanDepth, s.MaxDepth)
+	}
+	return t
+}
+
+// Fig5 builds the concurrent-sessions evolution (whole run and the
+// evening window when the run is a day scenario).
+func (r *Result) Fig5(bucket sim.Time) *metrics.Table {
+	t := &metrics.Table{
+		Title:  "Fig. 5 — concurrent sessions over time",
+		Header: []string{"t", "sessions", "join_rate_per_s"},
+	}
+	horizon := r.Horizon()
+	conc := r.Analysis.Concurrency(bucket, horizon)
+	rate := r.Analysis.JoinRate(bucket, horizon)
+	for i, p := range conc {
+		jr := 0.0
+		if i < len(rate) {
+			jr = rate[i].Value
+		}
+		t.AddRowf("%s\t%.0f\t%.3f", p.At.String(), p.Value, jr)
+	}
+	return t
+}
+
+// Fig6 builds the startup-delay CDF table: deciles of the
+// start-subscription time, the media-ready time and their difference.
+func (r *Result) Fig6() *metrics.Table {
+	sub, ready, diff := r.Analysis.StartupDelays()
+	t := &metrics.Table{
+		Title:  "Fig. 6 — startup delay CDFs (seconds)",
+		Header: []string{"quantile", "start_subscription", "media_ready", "difference"},
+	}
+	if sub.N() == 0 || ready.N() == 0 {
+		return t
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		t.AddRowf("p%02.0f\t%.2f\t%.2f\t%.2f", q*100, sub.Quantile(q), ready.Quantile(q), diff.Quantile(q))
+	}
+	t.AddRowf("mean\t%.2f\t%.2f\t%.2f", sub.Mean(), ready.Mean(), diff.Mean())
+	t.AddRowf("n\t%d\t%d\t%d", sub.N(), ready.N(), diff.N())
+	return t
+}
+
+// Fig7Windows partitions the run into the paper's four day periods,
+// scaled to the configured horizon.
+func (r *Result) Fig7Windows() [][2]sim.Time {
+	h := float64(r.Horizon())
+	frac := func(f float64) sim.Time { return sim.Time(h * f) }
+	// Paper periods (i) 01:00-13:29 (ii) 13:30-17:29 (iii) 17:30-20:29
+	// (iv) 20:30-23:59, mapped proportionally onto the horizon.
+	return [][2]sim.Time{
+		{frac(1.0 / 24), frac(13.5 / 24)},
+		{frac(13.5 / 24), frac(17.5 / 24)},
+		{frac(17.5 / 24), frac(20.5 / 24)},
+		{frac(20.5 / 24), frac(1)},
+	}
+}
+
+// Fig7 builds the media-ready-time distribution per day period.
+func (r *Result) Fig7() *metrics.Table {
+	windows := r.Fig7Windows()
+	samples := r.Analysis.ReadyDelaysInWindows(windows)
+	t := &metrics.Table{
+		Title:  "Fig. 7 — media ready time by day period (seconds)",
+		Header: []string{"period", "n", "median", "p90", "mean"},
+	}
+	names := []string{"(i) night-morning", "(ii) afternoon", "(iii) evening ramp", "(iv) prime time"}
+	for i, s := range samples {
+		if s.N() == 0 {
+			t.AddRowf("%s\t0\t-\t-\t-", names[i])
+			continue
+		}
+		t.AddRowf("%s\t%d\t%.2f\t%.2f\t%.2f", names[i], s.N(), s.Median(), s.Quantile(0.9), s.Mean())
+	}
+	return t
+}
+
+// Fig8 builds continuity-by-class: the scalar means plus the bucketed
+// time series.
+func (r *Result) Fig8(bucket sim.Time) *metrics.Table {
+	means := r.Analysis.MeanContinuityByClass()
+	t := &metrics.Table{
+		Title:  "Fig. 8 — continuity index by user type",
+		Header: []string{"class", "mean_continuity"},
+	}
+	for _, c := range classNames {
+		t.AddRowf("%s\t%.4f", c.String(), means[c])
+	}
+	t.AddRowf("overall\t%.4f", r.Analysis.MeanContinuity())
+	return t
+}
+
+// Fig8Series returns the per-class CI time series for plotting.
+func (r *Result) Fig8Series(bucket sim.Time) [netmodel.NumClasses][]metrics.SeriesPoint {
+	return r.Analysis.ContinuityByClass(bucket, r.Horizon())
+}
+
+// Fig9a builds continuity vs system size.
+func (r *Result) Fig9a(bucket sim.Time, bins int) *metrics.Table {
+	load := r.Analysis.Concurrency(bucket, r.Horizon())
+	pts := r.Analysis.ContinuityVsLoad(load, bucket, r.Horizon(), bins)
+	t := &metrics.Table{
+		Title:  "Fig. 9a — continuity vs system size",
+		Header: []string{"system_size", "mean_continuity", "buckets"},
+	}
+	for _, p := range pts {
+		t.AddRowf("%.0f\t%.4f\t%d", p.X, p.Y, p.N)
+	}
+	return t
+}
+
+// Fig9b builds continuity vs join rate.
+func (r *Result) Fig9b(bucket sim.Time, bins int) *metrics.Table {
+	load := r.Analysis.JoinRate(bucket, r.Horizon())
+	pts := r.Analysis.ContinuityVsLoad(load, bucket, r.Horizon(), bins)
+	t := &metrics.Table{
+		Title:  "Fig. 9b — continuity vs join rate",
+		Header: []string{"join_rate_per_s", "mean_continuity", "buckets"},
+	}
+	for _, p := range pts {
+		t.AddRowf("%.3f\t%.4f\t%d", p.X, p.Y, p.N)
+	}
+	return t
+}
+
+// Fig10a builds the session-duration distribution on log-spaced bins.
+func (r *Result) Fig10a() *metrics.Table {
+	durations := r.Analysis.Durations()
+	t := &metrics.Table{
+		Title:  "Fig. 10a — session duration distribution",
+		Header: []string{"range_s", "fraction"},
+	}
+	if durations.N() == 0 {
+		return t
+	}
+	h := stats.NewLogHistogram(1, 100000, 10)
+	for _, d := range durations.Values() {
+		h.Add(d)
+	}
+	for i := 0; i < h.Bins(); i++ {
+		lo, hi := h.BinBounds(i)
+		t.AddRowf("%.0f-%.0f\t%.4f", lo, hi, h.Fraction(i))
+	}
+	cutoff := r.Config.ScaledCutoff(sim.Minute)
+	t.AddRowf("short(<1min)_frac\t%.4f", r.Analysis.ShortSessionFraction(cutoff))
+	t.AddRowf("n\t%d", durations.N())
+	return t
+}
+
+// Fig10b builds the retry distribution.
+func (r *Result) Fig10b() *metrics.Table {
+	dist := r.Analysis.RetryDistribution(5)
+	t := &metrics.Table{
+		Title:  "Fig. 10b — join re-try distribution",
+		Header: []string{"failed_attempts_before_success", "fraction_of_users"},
+	}
+	for k, frac := range dist {
+		label := fmt.Sprintf("%d", k)
+		if k == len(dist)-1 {
+			label = fmt.Sprintf(">=%d", k)
+		}
+		t.AddRowf("%s\t%.4f", label, frac)
+	}
+	return t
+}
+
+// Summary builds the run-level counter table.
+func (r *Result) Summary() *metrics.Table {
+	t := &metrics.Table{
+		Title:  "run summary",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRowf("sessions_joined\t%d", r.JoinedSessions)
+	t.AddRowf("sessions_ready\t%d", r.ReadySessions)
+	t.AddRowf("sessions_failed\t%d", r.FailedSessions)
+	t.AddRowf("sessions_stall_abandoned\t%d", r.AbandonSessions)
+	t.AddRowf("parent_adaptations\t%d", r.Adaptations)
+	t.AddRowf("peak_concurrent_peers\t%d", r.PeakConcurrent)
+	t.AddRowf("mean_continuity\t%.4f", r.Analysis.MeanContinuity())
+	t.AddRowf("log_records\t%d", len(r.Records))
+	return t
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/workload"
+)
+
+func presetScenario() *workload.Scenario {
+	sc := &workload.Scenario{Horizon: 4 * sim.Minute}
+	ep := netmodel.Endpoint{Class: netmodel.Direct, UploadBps: 2 * 768e3, DownloadBps: 3 * 768e3}
+	for i := 0; i < 20; i++ {
+		sc.Specs = append(sc.Specs, workload.UserSpec{
+			UserID:   i + 1,
+			At:       sim.Time(i) * 5 * sim.Second,
+			Endpoint: ep,
+			Watch:    2 * sim.Minute,
+			Patience: 1,
+		})
+	}
+	return sc
+}
+
+func TestRunWithPresetScenario(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.PresetScenario = presetScenario()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JoinedSessions != 20 {
+		t.Fatalf("joined %d, want exactly the preset's 20", res.JoinedSessions)
+	}
+	if res.Horizon() != cfg.Warmup+4*sim.Minute+cfg.Drain {
+		t.Fatalf("horizon %v", res.Horizon())
+	}
+	if res.ReadySessions == 0 {
+		t.Fatal("no preset session became ready")
+	}
+}
+
+func TestPresetScenarioThroughFileRoundTrip(t *testing.T) {
+	sc := presetScenario()
+	var buf strings.Builder
+	if err := workload.WriteScenario(&buf, *sc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := workload.ReadScenario(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(4)
+	cfg.PresetScenario = &loaded
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JoinedSessions != 20 {
+		t.Fatalf("joined %d after file round trip", res.JoinedSessions)
+	}
+}
+
+func TestPresetScenarioValidation(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.PresetScenario = &workload.Scenario{}
+	if cfg.Validate() == nil {
+		t.Fatal("zero-horizon preset accepted")
+	}
+	// A preset makes the Workload options irrelevant.
+	cfg.PresetScenario = presetScenario()
+	cfg.Workload = workload.Options{}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("preset with empty workload rejected: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"coolstream/internal/metrics"
+	"coolstream/internal/stats"
+)
+
+// Metric is one scalar extracted from a run for replication studies.
+type Metric struct {
+	Name    string
+	Extract func(*Result) float64
+}
+
+// StandardMetrics are the headline quantities reported with error bars
+// by the replicated experiments.
+func StandardMetrics() []Metric {
+	return []Metric{
+		{"mean_continuity", func(r *Result) float64 { return r.Analysis.MeanContinuity() }},
+		{"ready_median_s", func(r *Result) float64 {
+			_, ready, _ := r.Analysis.StartupDelays()
+			if ready.N() == 0 {
+				return math.NaN()
+			}
+			return ready.Median()
+		}},
+		{"peak_concurrent", func(r *Result) float64 { return float64(r.PeakConcurrent) }},
+		{"failed_frac", func(r *Result) float64 {
+			if r.JoinedSessions == 0 {
+				return math.NaN()
+			}
+			return float64(r.FailedSessions) / float64(r.JoinedSessions)
+		}},
+	}
+}
+
+// Replication summarises one metric across seeds.
+type Replication struct {
+	Name string
+	Mean float64
+	// HalfWidth is the 95% confidence half-interval (t≈2 for small n).
+	HalfWidth float64
+	N         int
+}
+
+// String renders "name = mean ± halfwidth (n=N)".
+func (r Replication) String() string {
+	return fmt.Sprintf("%s = %.4f ± %.4f (n=%d)", r.Name, r.Mean, r.HalfWidth, r.N)
+}
+
+// Replicate runs the configuration under `seeds` different seeds and
+// returns each metric's mean and 95% confidence half-width. Runs whose
+// metric is NaN (e.g. no ready sessions) are excluded from that
+// metric's summary.
+func Replicate(cfg Config, seeds int, ms []Metric) ([]Replication, error) {
+	if seeds < 2 {
+		return nil, fmt.Errorf("core: replication needs >= 2 seeds")
+	}
+	if len(ms) == 0 {
+		ms = StandardMetrics()
+	}
+	accs := make([]stats.Welford, len(ms))
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(s)*0x9e3779b97f4a7c15
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: replicate seed %d: %w", s, err)
+		}
+		for i, m := range ms {
+			if v := m.Extract(res); !math.IsNaN(v) {
+				accs[i].Add(v)
+			}
+		}
+	}
+	out := make([]Replication, len(ms))
+	for i, m := range ms {
+		n := int(accs[i].N())
+		rep := Replication{Name: m.Name, N: n}
+		if n > 0 {
+			rep.Mean = accs[i].Mean()
+		}
+		if n > 1 {
+			// Two-sided 95% with the small-sample t ≈ 2.0-2.8 for the
+			// n we use; 2.26 (n=10) is a reasonable fixed factor for
+			// the 5-10 seed range.
+			rep.HalfWidth = 2.26 * accs[i].StdDev() / math.Sqrt(float64(n))
+		}
+		out[i] = rep
+	}
+	return out, nil
+}
+
+// ReplicationTable renders replications as a metrics table.
+func ReplicationTable(title string, reps []Replication) *metrics.Table {
+	t := &metrics.Table{
+		Title:  title,
+		Header: []string{"metric", "mean", "ci95_halfwidth", "n"},
+	}
+	for _, r := range reps {
+		t.AddRowf("%s\t%.4f\t%.4f\t%d", r.Name, r.Mean, r.HalfWidth, r.N)
+	}
+	return t
+}

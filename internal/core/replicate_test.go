@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReplicateSummarises(t *testing.T) {
+	cfg := smallConfig(100)
+	cfg.Workload.Horizon = 4 * minute
+	reps, err := Replicate(cfg, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(StandardMetrics()) {
+		t.Fatalf("metrics %d", len(reps))
+	}
+	byName := map[string]Replication{}
+	for _, r := range reps {
+		byName[r.Name] = r
+	}
+	ci := byName["mean_continuity"]
+	if ci.N != 3 || ci.Mean < 0.8 || ci.Mean > 1.0001 {
+		t.Fatalf("continuity replication %+v", ci)
+	}
+	if ci.HalfWidth < 0 || math.IsNaN(ci.HalfWidth) {
+		t.Fatalf("half width %v", ci.HalfWidth)
+	}
+	ready := byName["ready_median_s"]
+	if ready.N == 0 || ready.Mean <= 0 {
+		t.Fatalf("ready replication %+v", ready)
+	}
+	// Seeds must actually differ: peak concurrency should have spread
+	// unless the workload is degenerate.
+	peak := byName["peak_concurrent"]
+	if peak.Mean <= 0 {
+		t.Fatalf("peak replication %+v", peak)
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	if _, err := Replicate(smallConfig(1), 1, nil); err == nil {
+		t.Fatal("single-seed replication accepted")
+	}
+	bad := smallConfig(1)
+	bad.Servers = 0
+	if _, err := Replicate(bad, 2, nil); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestReplicationTableAndString(t *testing.T) {
+	reps := []Replication{{Name: "x", Mean: 1.5, HalfWidth: 0.25, N: 5}}
+	if s := reps[0].String(); !strings.Contains(s, "1.5000 ± 0.2500") {
+		t.Fatalf("string %q", s)
+	}
+	tab := ReplicationTable("demo", reps)
+	if !strings.Contains(tab.String(), "ci95_halfwidth") {
+		t.Fatalf("table %q", tab.String())
+	}
+}
+
+func TestReplicateCustomMetric(t *testing.T) {
+	cfg := smallConfig(7)
+	cfg.Workload.Horizon = 3 * minute
+	reps, err := Replicate(cfg, 2, []Metric{
+		{"sessions", func(r *Result) float64 { return float64(r.JoinedSessions) }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0].Mean <= 0 {
+		t.Fatalf("custom metric %+v", reps)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"coolstream/internal/netmodel"
+	"coolstream/internal/stats"
+)
+
+// ResourceSweepConfig builds a configuration whose system-wide
+// resource index (aggregate upload supply / streaming demand, the
+// critical quantity of Kumar/Ross cited in §V-E) is pushed towards the
+// given target by scaling peer upload capacities and pinning a small
+// server tier. Sweeping the target across 1.0 exposes the critical
+// value: continuity collapses once supply falls below demand.
+func ResourceSweepConfig(capacityScale float64, seed uint64) Config {
+	c := DefaultConfig()
+	c.Seed = seed
+	c.Workload.Profile = c.Workload.Profile.Scale(1.2)
+	// A deliberately small server tier so the peers' own capacity
+	// dominates the balance.
+	c.Servers = 2
+	c.ServerUploadBps = 10 * c.Params.Layout.RateBps
+	// Loosen the partnership bound so bandwidth, not partner slots, is
+	// the binding constraint being swept.
+	c.Params.MaxPartners = 16
+	c.Params.DesiredPartners = 8
+	prof := netmodel.DefaultCapacityProfile(c.Params.Layout.RateBps)
+	var scaled netmodel.CapacityProfile
+	for class := 0; class < netmodel.NumClasses; class++ {
+		scaled.Upload[class] = stats.Scaled{S: prof.Upload[class], Factor: capacityScale}
+		scaled.Download[class] = prof.Download[class]
+	}
+	c.Workload.Capacity = scaled
+	return c
+}
+
+// MeanResourceIndex averages the resource index over a run's topology
+// snapshots, ignoring warm-up and drain phases (snapshots with fewer
+// than minPeers active peers).
+func (r *Result) MeanResourceIndex(minPeers int) float64 {
+	sum, n := 0.0, 0
+	for _, s := range r.Snapshots {
+		if s.ActivePeers < minPeers {
+			continue
+		}
+		sum += s.ResourceIndex()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

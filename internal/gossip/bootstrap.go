@@ -1,0 +1,113 @@
+package gossip
+
+import (
+	"sort"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
+)
+
+// Bootstrap is the boot-strap node of §III-B: it tracks currently
+// active peers (from join/leave notifications) and hands newcomers a
+// random partial list. Like the deployed system it has global
+// membership knowledge but gives out only small random samples, so the
+// overlay is still built by gossip.
+type Bootstrap struct {
+	rng    *xrand.RNG
+	active map[int]Entry
+	// ServerIDs are the dedicated-server peers, always included in
+	// replies so every newcomer can reach the server tier even when the
+	// random sample is unlucky. The paper's deployment seeds clients
+	// with server addresses the same way.
+	serverIDs []int
+}
+
+// NewBootstrap creates an empty bootstrap node.
+func NewBootstrap(rng *xrand.RNG) *Bootstrap {
+	if rng == nil {
+		panic("gossip: nil rng")
+	}
+	return &Bootstrap{rng: rng, active: make(map[int]Entry)}
+}
+
+// RegisterServer marks a peer ID as a dedicated server.
+func (b *Bootstrap) RegisterServer(id int) {
+	b.serverIDs = append(b.serverIDs, id)
+	sort.Ints(b.serverIDs)
+}
+
+// Join records a newly active peer.
+func (b *Bootstrap) Join(e Entry, now sim.Time) {
+	e.LastSeen = now
+	b.active[e.ID] = e
+}
+
+// Leave removes a departed peer.
+func (b *Bootstrap) Leave(id int) { delete(b.active, id) }
+
+// ActiveCount returns the number of known-active peers.
+func (b *Bootstrap) ActiveCount() int { return len(b.active) }
+
+// Candidates returns up to n entries for a joining peer: every
+// dedicated server first, then a uniform random sample of other active
+// peers (excluding the requester).
+func (b *Bootstrap) Candidates(requester, n int) []Entry {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Entry, 0, n)
+	for _, id := range b.serverIDs {
+		if id == requester {
+			continue
+		}
+		if e, ok := b.active[id]; ok && len(out) < n {
+			out = append(out, e)
+		}
+	}
+	// Uniform sample of non-server peers. Iterate in sorted ID order so
+	// the reservoir is deterministic for a given RNG state.
+	ids := make([]int, 0, len(b.active))
+	isServer := make(map[int]bool, len(b.serverIDs))
+	for _, id := range b.serverIDs {
+		isServer[id] = true
+	}
+	for id := range b.active {
+		if id != requester && !isServer[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	b.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, b.active[id])
+	}
+	return out
+}
+
+// UpdatePartnerCount refreshes the advertised partner count of a peer,
+// used by stability-aware sampling.
+func (b *Bootstrap) UpdatePartnerCount(id, count int) {
+	if e, ok := b.active[id]; ok {
+		e.PartnerCount = count
+		b.active[id] = e
+	}
+}
+
+// EntryOf returns the bootstrap's record of the peer, if active.
+func (b *Bootstrap) EntryOf(id int) (Entry, bool) {
+	e, ok := b.active[id]
+	return e, ok
+}
+
+// ClassCounts tallies active peers by class; used in experiments.
+func (b *Bootstrap) ClassCounts() [netmodel.NumClasses]int {
+	var counts [netmodel.NumClasses]int
+	for _, e := range b.active {
+		counts[e.Class]++
+	}
+	return counts
+}

@@ -1,0 +1,179 @@
+// Package gossip implements Coolstreaming's membership layer: the
+// per-node membership cache (mCache) holding a partial view of the
+// overlay, the bootstrap node that seeds new joiners, and the cache
+// replacement policies.
+//
+// The paper attributes the long media-ready times under flash crowds
+// (Fig. 7) to the *random-replacement* mCache policy: during bursts the
+// cache fills with newly joined peers that cannot yet provide stable
+// streams, and suggests a replacement algorithm that converges to
+// stable peers instead (§V-C). Both policies are implemented here; the
+// ablation experiment E12 compares them.
+package gossip
+
+import (
+	"sort"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
+)
+
+// Entry is one mCache record: a partial, possibly stale view of
+// another peer.
+type Entry struct {
+	ID           int
+	Class        netmodel.UserClass
+	JoinedAt     sim.Time
+	LastSeen     sim.Time
+	PartnerCount int
+}
+
+// Policy selects which entry a full cache evicts.
+type Policy interface {
+	// Evict returns the index in entries to replace when inserting
+	// incoming at time now. entries is non-empty.
+	Evict(entries []Entry, incoming Entry, now sim.Time, r *xrand.RNG) int
+	// Name identifies the policy in logs and experiment tables.
+	Name() string
+}
+
+// RandomReplace is the paper's deployed policy: replace a uniformly
+// random entry.
+type RandomReplace struct{}
+
+// Evict implements Policy.
+func (RandomReplace) Evict(entries []Entry, _ Entry, _ sim.Time, r *xrand.RNG) int {
+	return r.Intn(len(entries))
+}
+
+// Name implements Policy.
+func (RandomReplace) Name() string { return "random" }
+
+// StabilityAware is the paper's suggested improvement: prefer to evict
+// the youngest (least proven) entry so the cache converges towards
+// long-lived, stable peers.
+type StabilityAware struct{}
+
+// Evict implements Policy.
+func (StabilityAware) Evict(entries []Entry, _ Entry, _ sim.Time, _ *xrand.RNG) int {
+	youngest := 0
+	for i, e := range entries {
+		if e.JoinedAt > entries[youngest].JoinedAt {
+			youngest = i
+		}
+	}
+	return youngest
+}
+
+// Name implements Policy.
+func (StabilityAware) Name() string { return "stability" }
+
+// MCache is a bounded partial view of the overlay.
+type MCache struct {
+	capacity int
+	policy   Policy
+	rng      *xrand.RNG
+	entries  []Entry
+	index    map[int]int // peer ID → position in entries
+}
+
+// NewMCache creates a cache with the given capacity and replacement
+// policy. It panics on non-positive capacity or nil inputs, which are
+// programming errors.
+func NewMCache(capacity int, policy Policy, rng *xrand.RNG) *MCache {
+	if capacity <= 0 {
+		panic("gossip: non-positive mCache capacity")
+	}
+	if policy == nil || rng == nil {
+		panic("gossip: nil policy or rng")
+	}
+	return &MCache{
+		capacity: capacity,
+		policy:   policy,
+		rng:      rng,
+		index:    make(map[int]int),
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *MCache) Len() int { return len(c.entries) }
+
+// Capacity returns the maximum number of entries.
+func (c *MCache) Capacity() int { return c.capacity }
+
+// Insert adds or refreshes an entry. A known peer's record is updated
+// in place; a new peer either fills spare capacity or displaces the
+// policy's eviction choice.
+func (c *MCache) Insert(e Entry, now sim.Time) {
+	e.LastSeen = now
+	if pos, ok := c.index[e.ID]; ok {
+		c.entries[pos] = e
+		return
+	}
+	if len(c.entries) < c.capacity {
+		c.index[e.ID] = len(c.entries)
+		c.entries = append(c.entries, e)
+		return
+	}
+	victim := c.policy.Evict(c.entries, e, now, c.rng)
+	delete(c.index, c.entries[victim].ID)
+	c.entries[victim] = e
+	c.index[e.ID] = victim
+}
+
+// Remove drops a peer from the cache if present (e.g. after a failed
+// connection attempt or an observed departure).
+func (c *MCache) Remove(id int) {
+	pos, ok := c.index[id]
+	if !ok {
+		return
+	}
+	last := len(c.entries) - 1
+	delete(c.index, id)
+	if pos != last {
+		c.entries[pos] = c.entries[last]
+		c.index[c.entries[pos].ID] = pos
+	}
+	c.entries = c.entries[:last]
+}
+
+// Contains reports whether the peer is cached.
+func (c *MCache) Contains(id int) bool {
+	_, ok := c.index[id]
+	return ok
+}
+
+// Sample returns up to n distinct entries chosen uniformly at random,
+// excluding the IDs in exclude.
+func (c *MCache) Sample(n int, exclude map[int]bool) []Entry {
+	if n <= 0 {
+		return nil
+	}
+	candidates := make([]int, 0, len(c.entries))
+	for i := range c.entries {
+		if exclude != nil && exclude[c.entries[i].ID] {
+			continue
+		}
+		candidates = append(candidates, i)
+	}
+	c.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	out := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.entries[candidates[i]]
+	}
+	return out
+}
+
+// Snapshot returns a copy of all entries sorted by peer ID (for
+// deterministic iteration in metrics and tests).
+func (c *MCache) Snapshot() []Entry {
+	out := append([]Entry(nil), c.entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

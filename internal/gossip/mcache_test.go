@@ -1,0 +1,223 @@
+package gossip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
+)
+
+func newTestCache(capacity int) *MCache {
+	return NewMCache(capacity, RandomReplace{}, xrand.New(1))
+}
+
+func entry(id int) Entry {
+	return Entry{ID: id, Class: netmodel.NAT, JoinedAt: sim.Time(id) * sim.Second}
+}
+
+func TestMCacheInsertAndLookup(t *testing.T) {
+	c := newTestCache(4)
+	for i := 0; i < 4; i++ {
+		c.Insert(entry(i), 0)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if !c.Contains(i) {
+			t.Fatalf("missing id %d", i)
+		}
+	}
+}
+
+func TestMCacheRefreshInPlace(t *testing.T) {
+	c := newTestCache(2)
+	c.Insert(entry(1), 0)
+	c.Insert(entry(2), 0)
+	e := entry(1)
+	e.PartnerCount = 9
+	c.Insert(e, 10*sim.Second)
+	if c.Len() != 2 {
+		t.Fatalf("refresh grew cache: %d", c.Len())
+	}
+	snap := c.Snapshot()
+	if snap[0].ID != 1 || snap[0].PartnerCount != 9 || snap[0].LastSeen != 10*sim.Second {
+		t.Fatalf("refresh lost updates: %+v", snap[0])
+	}
+}
+
+func TestMCacheEvictionKeepsCapacity(t *testing.T) {
+	c := newTestCache(8)
+	for i := 0; i < 100; i++ {
+		c.Insert(entry(i), 0)
+		if c.Len() > 8 {
+			t.Fatalf("cache exceeded capacity: %d", c.Len())
+		}
+	}
+	if c.Len() != 8 {
+		t.Fatalf("cache not full: %d", c.Len())
+	}
+}
+
+func TestMCacheIndexConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		c := NewMCache(1+r.Intn(10), RandomReplace{}, xrand.New(seed^1))
+		live := map[int]bool{}
+		for op := 0; op < 300; op++ {
+			id := r.Intn(30)
+			if r.Bool(0.7) {
+				c.Insert(entry(id), sim.Time(op))
+				live[id] = true
+			} else {
+				c.Remove(id)
+				delete(live, id)
+			}
+		}
+		// Every snapshot entry must be findable via Contains and unique.
+		snap := c.Snapshot()
+		seen := map[int]bool{}
+		for _, e := range snap {
+			if seen[e.ID] || !c.Contains(e.ID) {
+				return false
+			}
+			seen[e.ID] = true
+		}
+		return len(snap) == c.Len() && c.Len() <= c.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCacheRemove(t *testing.T) {
+	c := newTestCache(4)
+	for i := 0; i < 4; i++ {
+		c.Insert(entry(i), 0)
+	}
+	c.Remove(1)
+	if c.Contains(1) || c.Len() != 3 {
+		t.Fatal("remove failed")
+	}
+	c.Remove(1) // idempotent
+	if c.Len() != 3 {
+		t.Fatal("double remove changed cache")
+	}
+	// Remaining entries intact.
+	for _, id := range []int{0, 2, 3} {
+		if !c.Contains(id) {
+			t.Fatalf("remove corrupted entry %d", id)
+		}
+	}
+}
+
+func TestMCacheSample(t *testing.T) {
+	c := newTestCache(10)
+	for i := 0; i < 10; i++ {
+		c.Insert(entry(i), 0)
+	}
+	s := c.Sample(5, nil)
+	if len(s) != 5 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, e := range s {
+		if seen[e.ID] {
+			t.Fatal("sample contains duplicates")
+		}
+		seen[e.ID] = true
+	}
+	// Exclusion respected.
+	excl := map[int]bool{0: true, 1: true, 2: true}
+	s = c.Sample(10, excl)
+	if len(s) != 7 {
+		t.Fatalf("excluded sample size %d, want 7", len(s))
+	}
+	for _, e := range s {
+		if excl[e.ID] {
+			t.Fatal("sample included excluded peer")
+		}
+	}
+	if c.Sample(0, nil) != nil {
+		t.Fatal("zero sample not nil")
+	}
+}
+
+func TestStabilityAwareEvictsYoungest(t *testing.T) {
+	entries := []Entry{
+		{ID: 1, JoinedAt: 100 * sim.Second},
+		{ID: 2, JoinedAt: 500 * sim.Second}, // youngest
+		{ID: 3, JoinedAt: 50 * sim.Second},
+	}
+	idx := (StabilityAware{}).Evict(entries, Entry{ID: 9}, 1000*sim.Second, nil)
+	if idx != 1 {
+		t.Fatalf("evicted index %d, want 1 (youngest)", idx)
+	}
+}
+
+func TestStabilityAwareCacheConvergesToOldPeers(t *testing.T) {
+	c := NewMCache(5, StabilityAware{}, xrand.New(3))
+	// Five old, stable peers fill the cache.
+	for i := 0; i < 5; i++ {
+		c.Insert(Entry{ID: i, JoinedAt: sim.Time(i) * sim.Second}, 0)
+	}
+	// A flash crowd of young peers must not displace them.
+	for i := 100; i < 200; i++ {
+		c.Insert(Entry{ID: i, JoinedAt: sim.Hour}, sim.Hour)
+	}
+	old := 0
+	for _, e := range c.Snapshot() {
+		if e.ID < 5 {
+			old++
+		}
+	}
+	if old != 4 {
+		// One slot churns (each young insert displaces the previous
+		// young tenant), but the four seasoned entries must survive.
+		t.Fatalf("stability cache kept %d old peers, want 4", old)
+	}
+}
+
+func TestRandomReplaceCacheTurnsOverUnderFlashCrowd(t *testing.T) {
+	c := NewMCache(5, RandomReplace{}, xrand.New(4))
+	for i := 0; i < 5; i++ {
+		c.Insert(Entry{ID: i, JoinedAt: 0}, 0)
+	}
+	for i := 100; i < 300; i++ {
+		c.Insert(Entry{ID: i, JoinedAt: sim.Hour}, sim.Hour)
+	}
+	old := 0
+	for _, e := range c.Snapshot() {
+		if e.ID < 5 {
+			old++
+		}
+	}
+	if old > 1 {
+		t.Fatalf("random cache kept %d old peers after 200 inserts; expected near-total turnover", old)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (RandomReplace{}).Name() != "random" || (StabilityAware{}).Name() != "stability" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestNewMCachePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewMCache(0, RandomReplace{}, xrand.New(1)) },
+		func() { NewMCache(5, nil, xrand.New(1)) },
+		func() { NewMCache(5, RandomReplace{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

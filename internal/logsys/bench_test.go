@@ -1,0 +1,33 @@
+package logsys
+
+import (
+	"testing"
+
+	"coolstream/internal/sim"
+)
+
+func BenchmarkLogStringEncode(b *testing.B) {
+	rec := Record{
+		Kind: KindPartner, At: 300 * sim.Second, Peer: 12345, Session: 67890,
+		User: 12345, PrivateAddr: true, InPartners: 3, OutPartners: 5,
+		ParentReachable: 3, ParentTotal: 4, NATParentLinks: 1, PartnerChanges: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rec.LogString()
+	}
+}
+
+func BenchmarkLogStringParse(b *testing.B) {
+	s := Record{
+		Kind: KindQoS, At: 300 * sim.Second, Peer: 12345, Session: 67890,
+		User: 12345, Continuity: 0.987654,
+	}.LogString()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseLogString(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package logsys reproduces the paper's internal logging system
+// (§V-A): peers report activities and periodic status to a log server
+// as HTTP request URL strings whose query is a sequence of
+// "name=value" pairs joined by "&". Reports divide into activity
+// reports (join, start-subscription, media-ready, leave — sent
+// immediately) and status reports (QoS, traffic, partner — sent every
+// ReportPeriod, 5 minutes in the deployment).
+//
+// The measurement pipeline in internal/metrics consumes *only* these
+// log strings, exactly as the paper's analysis consumed its log files.
+// That choice deliberately reproduces the measurement artifacts the
+// paper discusses, e.g. NAT peers' inflated continuity indices caused
+// by the 5-minute report granularity and by departures before the next
+// report (§V-D).
+package logsys
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// EventKind enumerates log record kinds.
+type EventKind string
+
+// Activity report kinds (sent immediately on the event).
+const (
+	KindJoin       EventKind = "join"
+	KindStartSub   EventKind = "startsub"
+	KindMediaReady EventKind = "ready"
+	KindLeave      EventKind = "leave"
+)
+
+// Status report kinds (sent every report period).
+const (
+	KindQoS     EventKind = "qos"
+	KindTraffic EventKind = "traffic"
+	KindPartner EventKind = "partner"
+)
+
+// Record is one parsed log entry. Fields not applicable to a kind stay
+// at their zero values.
+type Record struct {
+	Kind EventKind
+	// At is the virtual time the report was generated.
+	At sim.Time
+	// Peer is the reporting peer's ID.
+	Peer int
+	// Session is the per-join session identifier, so retries by the
+	// same user are distinguishable (the paper matches these through
+	// user identity; we carry both).
+	Session int
+	// User is the stable user identity across retries.
+	User int
+	// PrivateAddr reports whether the peer sees a private local address.
+	PrivateAddr bool
+
+	// Leave: session duration is derived by the analyzer; leave carries
+	// the reason for diagnostics.
+	Reason string
+
+	// QoS: continuity index over the last report period, in [0,1].
+	Continuity float64
+
+	// Traffic: bytes moved in the last report period.
+	UploadBytes   int64
+	DownloadBytes int64
+
+	// Partner: counts of current partner links by direction, and the
+	// current parent classes (compact partner-activity report).
+	InPartners  int
+	OutPartners int
+	// ParentReachable counts current parents that are direct/UPnP.
+	ParentReachable int
+	// ParentTotal counts current parents.
+	ParentTotal int
+	// NATParentLinks counts parents that are NAT/firewall while the
+	// reporter itself is NAT/firewall — the paper's rare "random links".
+	NATParentLinks int
+	// PartnerChanges is the number of partnership establishments and
+	// losses during the report interval (the paper's compact
+	// partner-activity series).
+	PartnerChanges int
+
+	// TrueClass is ground truth carried for classifier validation; a
+	// real deployment would not have it, so the analyzer treats it as
+	// optional and the log-based classifier never reads it.
+	TrueClass netmodel.UserClass
+	HasTruth  bool
+}
+
+// LogString renders the record as the paper's wire format: an HTTP
+// request path with a URL-encoded query string.
+func (rec Record) LogString() string {
+	v := url.Values{}
+	v.Set("ev", string(rec.Kind))
+	v.Set("t", strconv.FormatInt(int64(rec.At), 10))
+	v.Set("peer", strconv.Itoa(rec.Peer))
+	v.Set("sess", strconv.Itoa(rec.Session))
+	v.Set("user", strconv.Itoa(rec.User))
+	v.Set("priv", boolStr(rec.PrivateAddr))
+	switch rec.Kind {
+	case KindLeave:
+		if rec.Reason != "" {
+			v.Set("reason", rec.Reason)
+		}
+	case KindQoS:
+		v.Set("ci", strconv.FormatFloat(rec.Continuity, 'f', 6, 64))
+	case KindTraffic:
+		v.Set("up", strconv.FormatInt(rec.UploadBytes, 10))
+		v.Set("down", strconv.FormatInt(rec.DownloadBytes, 10))
+	case KindPartner:
+		v.Set("in", strconv.Itoa(rec.InPartners))
+		v.Set("out", strconv.Itoa(rec.OutPartners))
+		v.Set("preach", strconv.Itoa(rec.ParentReachable))
+		v.Set("ptotal", strconv.Itoa(rec.ParentTotal))
+		v.Set("natlinks", strconv.Itoa(rec.NATParentLinks))
+		v.Set("pchg", strconv.Itoa(rec.PartnerChanges))
+	}
+	if rec.HasTruth {
+		v.Set("xclass", rec.TrueClass.String())
+	}
+	return "/log?" + v.Encode()
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// ParseLogString parses a log string produced by LogString (or by the
+// HTTP log server's request handler).
+func ParseLogString(s string) (Record, error) {
+	var rec Record
+	u, err := url.Parse(s)
+	if err != nil {
+		return rec, fmt.Errorf("logsys: bad log string: %w", err)
+	}
+	v := u.Query()
+	kind := EventKind(v.Get("ev"))
+	switch kind {
+	case KindJoin, KindStartSub, KindMediaReady, KindLeave, KindQoS, KindTraffic, KindPartner:
+	default:
+		return rec, fmt.Errorf("logsys: unknown event kind %q", v.Get("ev"))
+	}
+	rec.Kind = kind
+	at, err := strconv.ParseInt(v.Get("t"), 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("logsys: bad timestamp: %w", err)
+	}
+	rec.At = sim.Time(at)
+	if rec.Peer, err = strconv.Atoi(v.Get("peer")); err != nil {
+		return rec, fmt.Errorf("logsys: bad peer id: %w", err)
+	}
+	if rec.Session, err = strconv.Atoi(v.Get("sess")); err != nil {
+		return rec, fmt.Errorf("logsys: bad session id: %w", err)
+	}
+	if rec.User, err = strconv.Atoi(v.Get("user")); err != nil {
+		return rec, fmt.Errorf("logsys: bad user id: %w", err)
+	}
+	rec.PrivateAddr = v.Get("priv") == "1"
+	switch kind {
+	case KindLeave:
+		rec.Reason = v.Get("reason")
+	case KindQoS:
+		if rec.Continuity, err = strconv.ParseFloat(v.Get("ci"), 64); err != nil {
+			return rec, fmt.Errorf("logsys: bad continuity: %w", err)
+		}
+	case KindTraffic:
+		if rec.UploadBytes, err = strconv.ParseInt(v.Get("up"), 10, 64); err != nil {
+			return rec, fmt.Errorf("logsys: bad upload bytes: %w", err)
+		}
+		if rec.DownloadBytes, err = strconv.ParseInt(v.Get("down"), 10, 64); err != nil {
+			return rec, fmt.Errorf("logsys: bad download bytes: %w", err)
+		}
+	case KindPartner:
+		ints := map[string]*int{
+			"in": &rec.InPartners, "out": &rec.OutPartners,
+			"preach": &rec.ParentReachable, "ptotal": &rec.ParentTotal,
+			"natlinks": &rec.NATParentLinks, "pchg": &rec.PartnerChanges,
+		}
+		for key, dst := range ints {
+			if *dst, err = strconv.Atoi(v.Get(key)); err != nil {
+				return rec, fmt.Errorf("logsys: bad partner field %s: %w", key, err)
+			}
+		}
+	}
+	if x := v.Get("xclass"); x != "" {
+		c, err := netmodel.ParseUserClass(x)
+		if err != nil {
+			return rec, err
+		}
+		rec.TrueClass = c
+		rec.HasTruth = true
+	}
+	return rec, nil
+}

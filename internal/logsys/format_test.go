@@ -1,0 +1,114 @@
+package logsys
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
+)
+
+func TestLogStringRoundTripAllKinds(t *testing.T) {
+	recs := []Record{
+		{Kind: KindJoin, At: 5 * sim.Second, Peer: 3, Session: 10, User: 3, PrivateAddr: true},
+		{Kind: KindStartSub, At: 6 * sim.Second, Peer: 3, Session: 10, User: 3},
+		{Kind: KindMediaReady, At: 20 * sim.Second, Peer: 3, Session: 10, User: 3},
+		{Kind: KindLeave, At: sim.Hour, Peer: 3, Session: 10, User: 3, Reason: "program-end"},
+		{Kind: KindQoS, At: 300 * sim.Second, Peer: 4, Session: 11, User: 4, Continuity: 0.987654},
+		{Kind: KindTraffic, At: 300 * sim.Second, Peer: 4, Session: 11, User: 4, UploadBytes: 123456789, DownloadBytes: 987654},
+		{Kind: KindPartner, At: 300 * sim.Second, Peer: 4, Session: 11, User: 4,
+			InPartners: 3, OutPartners: 5, ParentReachable: 2, ParentTotal: 4, NATParentLinks: 1,
+			PartnerChanges: 6},
+	}
+	for _, rec := range recs {
+		s := rec.LogString()
+		if !strings.HasPrefix(s, "/log?") {
+			t.Fatalf("log string shape: %q", s)
+		}
+		got, err := ParseLogString(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if got != rec {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", rec, got)
+		}
+	}
+}
+
+func TestLogStringCarriesGroundTruthOptionally(t *testing.T) {
+	rec := Record{Kind: KindJoin, Peer: 1, TrueClass: netmodel.Firewall, HasTruth: true}
+	got, err := ParseLogString(rec.LogString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasTruth || got.TrueClass != netmodel.Firewall {
+		t.Fatalf("ground truth lost: %+v", got)
+	}
+	// Without truth, the field is absent.
+	rec2 := Record{Kind: KindJoin, Peer: 1}
+	if strings.Contains(rec2.LogString(), "xclass") {
+		t.Fatal("xclass emitted without HasTruth")
+	}
+}
+
+func TestParseLogStringErrors(t *testing.T) {
+	bad := []string{
+		"/log?ev=bogus&t=0&peer=1&sess=1&user=1",
+		"/log?ev=join&t=abc&peer=1&sess=1&user=1",
+		"/log?ev=join&t=0&peer=x&sess=1&user=1",
+		"/log?ev=join&t=0&peer=1&sess=x&user=1",
+		"/log?ev=join&t=0&peer=1&sess=1&user=x",
+		"/log?ev=qos&t=0&peer=1&sess=1&user=1&ci=notafloat",
+		"/log?ev=traffic&t=0&peer=1&sess=1&user=1&up=x&down=0",
+		"/log?ev=partner&t=0&peer=1&sess=1&user=1&in=1&out=1&preach=0&ptotal=x&natlinks=0",
+		"/log?ev=join&t=0&peer=1&sess=1&user=1&xclass=alien",
+		"://notaurl",
+	}
+	for _, s := range bad {
+		if _, err := ParseLogString(s); err == nil {
+			t.Errorf("parsed malformed log string %q", s)
+		}
+	}
+}
+
+func TestLogStringPropertyRoundTrip(t *testing.T) {
+	kinds := []EventKind{KindJoin, KindStartSub, KindMediaReady, KindLeave, KindQoS, KindTraffic, KindPartner}
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		rec := Record{
+			Kind:        kinds[r.Intn(len(kinds))],
+			At:          sim.Time(r.Int63n(1 << 40)),
+			Peer:        r.Intn(1 << 20),
+			Session:     r.Intn(1 << 20),
+			User:        r.Intn(1 << 20),
+			PrivateAddr: r.Bool(0.5),
+		}
+		switch rec.Kind {
+		case KindLeave:
+			rec.Reason = []string{"", "user", "program-end", "join-timeout"}[r.Intn(4)]
+		case KindQoS:
+			rec.Continuity = float64(r.Intn(1000001)) / 1000000
+		case KindTraffic:
+			rec.UploadBytes = r.Int63n(1 << 45)
+			rec.DownloadBytes = r.Int63n(1 << 45)
+		case KindPartner:
+			rec.InPartners = r.Intn(50)
+			rec.OutPartners = r.Intn(50)
+			rec.ParentTotal = r.Intn(10)
+			rec.ParentReachable = r.Intn(rec.ParentTotal + 1)
+			rec.NATParentLinks = r.Intn(5)
+			rec.PartnerChanges = r.Intn(20)
+		}
+		if r.Bool(0.3) {
+			rec.TrueClass = netmodel.UserClass(r.Intn(netmodel.NumClasses))
+			rec.HasTruth = true
+		}
+		got, err := ParseLogString(rec.LogString())
+		return err == nil && got == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

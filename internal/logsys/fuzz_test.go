@@ -1,0 +1,39 @@
+package logsys
+
+import (
+	"testing"
+
+	"coolstream/internal/sim"
+)
+
+// FuzzParseLogString asserts the parser never panics and that every
+// accepted record re-encodes to a string the parser accepts again with
+// an identical result (idempotent round trip).
+func FuzzParseLogString(f *testing.F) {
+	seeds := []Record{
+		{Kind: KindJoin, At: 5 * sim.Second, Peer: 1, Session: 2, User: 1, PrivateAddr: true},
+		{Kind: KindQoS, At: 300 * sim.Second, Peer: 9, Session: 3, User: 9, Continuity: 0.97},
+		{Kind: KindTraffic, Peer: 4, Session: 5, User: 4, UploadBytes: 1 << 30},
+		{Kind: KindPartner, Peer: 7, Session: 8, User: 7, InPartners: 2, OutPartners: 3,
+			ParentReachable: 1, ParentTotal: 2, NATParentLinks: 1, PartnerChanges: 4},
+	}
+	for _, rec := range seeds {
+		f.Add(rec.LogString())
+	}
+	f.Add("/log?ev=join")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		rec, err := ParseLogString(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseLogString(rec.LogString())
+		if err != nil {
+			t.Fatalf("re-encoded record rejected: %v", err)
+		}
+		if again != rec {
+			t.Fatalf("round trip not idempotent:\n%+v\n%+v", rec, again)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package logsys
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Server is the paper's dedicated log server: an HTTP endpoint that
+// accepts log-string requests from peers and appends them to a sink.
+// The deployed system used exactly this shape — client-side reporters
+// issuing GET requests whose URL encodes the report.
+type Server struct {
+	sink Sink
+}
+
+// NewServer creates a log server appending to sink.
+func NewServer(sink Sink) *Server {
+	if sink == nil {
+		panic("logsys: nil sink")
+	}
+	return &Server{sink: sink}
+}
+
+// ServeHTTP implements http.Handler: GET /log?ev=...&t=...&...
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/log" {
+		http.NotFound(w, r)
+		return
+	}
+	rec, err := ParseLogString(r.URL.String())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.sink.Log(rec)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Client reports records to a log server over HTTP, mirroring the
+// ActiveX/JavaScript reporter of the deployment. It is used by the
+// integration tests and the examples; in-simulator peers log directly
+// through a Sink to keep runs hermetic.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a reporter for the server at base (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// Report sends one record. It returns an error for transport failures
+// or non-2xx responses.
+func (c *Client) Report(rec Record) error {
+	resp, err := c.hc.Get(c.base + rec.LogString())
+	if err != nil {
+		return fmt.Errorf("logsys: report failed: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("logsys: report rejected: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package logsys
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"coolstream/internal/sim"
+)
+
+func TestServerAcceptsReports(t *testing.T) {
+	var sink MemorySink
+	ts := httptest.NewServer(NewServer(&sink))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	rec := Record{Kind: KindQoS, At: 300 * sim.Second, Peer: 9, Session: 2, User: 9, Continuity: 0.99}
+	if err := c.Report(rec); err != nil {
+		t.Fatal(err)
+	}
+	recs := sink.Records()
+	if len(recs) != 1 || recs[0] != rec {
+		t.Fatalf("server stored %+v", recs)
+	}
+}
+
+func TestServerRejectsMalformed(t *testing.T) {
+	var sink MemorySink
+	ts := httptest.NewServer(NewServer(&sink))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/log?ev=bogus&t=0&peer=1&sess=1&user=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if sink.Len() != 0 {
+		t.Fatal("malformed report stored")
+	}
+}
+
+func TestServerNotFoundOffPath(t *testing.T) {
+	ts := httptest.NewServer(NewServer(&MemorySink{}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestClientReportsTransportError(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil) // nothing listens
+	if err := c.Report(Record{Kind: KindJoin}); err == nil {
+		t.Fatal("transport failure not reported")
+	}
+}
+
+func TestClientReportsServerRejection(t *testing.T) {
+	ts := httptest.NewServer(NewServer(&MemorySink{}))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	// Force a malformed record through the client by hand-crafting an
+	// impossible kind.
+	err := c.Report(Record{Kind: EventKind("nonsense")})
+	if err == nil {
+		t.Fatal("rejection not surfaced")
+	}
+}
+
+func TestNewServerPanicsOnNilSink(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil sink accepted")
+		}
+	}()
+	NewServer(nil)
+}
+
+func TestEndToEndManyReports(t *testing.T) {
+	var sink MemorySink
+	ts := httptest.NewServer(NewServer(&sink))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	const n = 50
+	for i := 0; i < n; i++ {
+		rec := Record{Kind: KindTraffic, At: sim.Time(i), Peer: i, Session: i, User: i,
+			UploadBytes: int64(i) * 1000, DownloadBytes: int64(i) * 2000}
+		if err := c.Report(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.Len() != n {
+		t.Fatalf("stored %d of %d", sink.Len(), n)
+	}
+}

@@ -1,0 +1,149 @@
+package logsys
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sink receives log records. Implementations must be safe for
+// concurrent use: the simulator may report from parallel shards.
+type Sink interface {
+	Log(rec Record)
+}
+
+// MemorySink retains all records in memory, the standard sink for
+// simulation runs whose logs are analysed in-process.
+type MemorySink struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Log implements Sink.
+func (s *MemorySink) Log(rec Record) {
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+}
+
+// Records returns all records sorted by (time, peer, kind) for
+// deterministic analysis.
+func (s *MemorySink) Records() []Record {
+	s.mu.Lock()
+	out := append([]Record(nil), s.recs...)
+	s.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Peer != out[j].Peer {
+			return out[i].Peer < out[j].Peer
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Len returns the number of records logged so far.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// WriterSink streams each record as one log string per line, the
+// on-disk format of the deployed log server.
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink wraps w.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Log implements Sink.
+func (s *WriterSink) Log(rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	io.WriteString(s.w, rec.LogString())
+	io.WriteString(s.w, "\n")
+}
+
+// MultiSink fans records out to several sinks.
+type MultiSink []Sink
+
+// Log implements Sink.
+func (m MultiSink) Log(rec Record) {
+	for _, s := range m {
+		s.Log(rec)
+	}
+}
+
+// NopSink discards everything; used in benchmarks isolating protocol
+// cost from logging cost.
+type NopSink struct{}
+
+// Log implements Sink.
+func (NopSink) Log(Record) {}
+
+// ReadLog parses a stream of newline-separated log strings, the
+// inverse of WriterSink. Malformed lines abort with an error carrying
+// the line number.
+func ReadLog(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		rec, err := ParseLogString(text)
+		if err != nil {
+			return nil, &ParseError{Line: line, Err: err}
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseError reports a malformed log line.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return "logsys: line " + itoa(e.Line) + ": " + e.Err.Error() }
+
+// Unwrap supports errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

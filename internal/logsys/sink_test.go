@@ -1,0 +1,110 @@
+package logsys
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"coolstream/internal/sim"
+)
+
+func TestMemorySinkSortsRecords(t *testing.T) {
+	var s MemorySink
+	s.Log(Record{Kind: KindLeave, At: 30, Peer: 2})
+	s.Log(Record{Kind: KindJoin, At: 10, Peer: 1})
+	s.Log(Record{Kind: KindJoin, At: 30, Peer: 1})
+	recs := s.Records()
+	if len(recs) != 3 || s.Len() != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].At != 10 || recs[1].Peer != 1 || recs[2].Peer != 2 {
+		t.Fatalf("order wrong: %+v", recs)
+	}
+}
+
+func TestMemorySinkConcurrent(t *testing.T) {
+	var s MemorySink
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Log(Record{Kind: KindQoS, At: sim.Time(i), Peer: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("lost records: %d", s.Len())
+	}
+}
+
+func TestWriterSinkAndReadLog(t *testing.T) {
+	var buf strings.Builder
+	s := NewWriterSink(&buf)
+	want := []Record{
+		{Kind: KindJoin, At: 1, Peer: 1, Session: 5, User: 1},
+		{Kind: KindQoS, At: 300000, Peer: 1, Session: 5, User: 1, Continuity: 0.5},
+	}
+	for _, rec := range want {
+		s.Log(rec)
+	}
+	got, err := ReadLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadLogSkipsBlankLines(t *testing.T) {
+	text := "\n" + Record{Kind: KindJoin, Peer: 1}.LogString() + "\n\n"
+	recs, err := ReadLog(strings.NewReader(text))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestReadLogReportsLineNumber(t *testing.T) {
+	text := Record{Kind: KindJoin, Peer: 1}.LogString() + "\ngarbage&&&=\n"
+	_, err := ReadLog(strings.NewReader(text))
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Line != 2 {
+		t.Fatalf("error %v lacks line info", err)
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	var a, b MemorySink
+	m := MultiSink{&a, &b}
+	m.Log(Record{Kind: KindJoin, Peer: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("fan-out failed")
+	}
+}
+
+func TestNopSink(t *testing.T) {
+	NopSink{}.Log(Record{Kind: KindJoin}) // must not panic
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want string
+	}{{0, "0"}, {7, "7"}, {123, "123"}, {-45, "-45"}} {
+		if got := itoa(c.n); got != c.want {
+			t.Errorf("itoa(%d) = %q", c.n, got)
+		}
+	}
+}

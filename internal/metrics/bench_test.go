@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"testing"
+
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+func syntheticLog(sessions int) []logsys.Record {
+	var recs []logsys.Record
+	for i := 1; i <= sessions; i++ {
+		join := sim.Time(i) * sim.Second
+		s := mkSession(i, i, netmodel.UserClass(i%4), join, join+sim.Second,
+			join+10*sim.Second, join+20*sim.Minute)
+		base := s[0]
+		for r := 1; r <= 3; r++ {
+			q := base
+			q.Kind = logsys.KindQoS
+			q.At = join + sim.Time(r)*5*sim.Minute
+			q.Continuity = 0.99
+			tr := base
+			tr.Kind = logsys.KindTraffic
+			tr.At = q.At
+			tr.UploadBytes = 1 << 20
+			s = append(s, q, tr)
+		}
+		recs = append(recs, s...)
+	}
+	return recs
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	recs := syntheticLog(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(recs)
+	}
+}
+
+func BenchmarkContinuityByClass(b *testing.B) {
+	a := Analyze(syntheticLog(500))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ContinuityByClass(5*sim.Minute, sim.Hour)
+	}
+}

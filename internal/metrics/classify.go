@@ -1,0 +1,81 @@
+package metrics
+
+import "coolstream/internal/netmodel"
+
+// Classify infers a session's user class from its log-visible
+// observables only, exactly as §V-B describes: the reported address
+// visibility splits private from public, and the presence of incoming
+// partnerships splits reachable from unreachable.
+//
+//	private + incoming  → UPnP
+//	private + none      → NAT
+//	public  + incoming  → direct-connect
+//	public  + none      → firewall
+//
+// The paper notes this classification is error-prone ("errors can
+// occur"): a reachable peer that simply never attracted an incoming
+// partner is misread as NAT/firewall. ClassifierAccuracy quantifies
+// that error against ground truth when the trace carries it.
+func Classify(s *Session) netmodel.UserClass {
+	if s.PrivateAddr {
+		if s.MaxIn > 0 {
+			return netmodel.UPnP
+		}
+		return netmodel.NAT
+	}
+	if s.MaxIn > 0 {
+		return netmodel.Direct
+	}
+	return netmodel.Firewall
+}
+
+// ClassDistribution returns the fraction of sessions inferred in each
+// class — Fig. 3a.
+func (a *Analysis) ClassDistribution() [netmodel.NumClasses]float64 {
+	var counts [netmodel.NumClasses]int
+	total := 0
+	for _, s := range a.Sessions {
+		counts[Classify(s)]++
+		total++
+	}
+	var out [netmodel.NumClasses]float64
+	if total == 0 {
+		return out
+	}
+	for c, n := range counts {
+		out[c] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// ConfusionMatrix cross-tabulates inferred class (rows) against ground
+// truth (columns) over sessions that carry truth.
+func (a *Analysis) ConfusionMatrix() [netmodel.NumClasses][netmodel.NumClasses]int {
+	var m [netmodel.NumClasses][netmodel.NumClasses]int
+	for _, s := range a.Sessions {
+		if !s.HasTruth {
+			continue
+		}
+		m[Classify(s)][s.TrueClass]++
+	}
+	return m
+}
+
+// ClassifierAccuracy returns the fraction of truth-carrying sessions
+// whose inferred class matches the truth.
+func (a *Analysis) ClassifierAccuracy() float64 {
+	m := a.ConfusionMatrix()
+	correct, total := 0, 0
+	for i := 0; i < netmodel.NumClasses; i++ {
+		for j := 0; j < netmodel.NumClasses; j++ {
+			total += m[i][j]
+			if i == j {
+				correct += m[i][j]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+func sessionWith(private bool, in int) *Session {
+	return &Session{PrivateAddr: private, MaxIn: in}
+}
+
+func TestClassifyQuadrants(t *testing.T) {
+	cases := []struct {
+		private bool
+		in      int
+		want    netmodel.UserClass
+	}{
+		{true, 2, netmodel.UPnP},
+		{true, 0, netmodel.NAT},
+		{false, 1, netmodel.Direct},
+		{false, 0, netmodel.Firewall},
+	}
+	for _, c := range cases {
+		if got := Classify(sessionWith(c.private, c.in)); got != c.want {
+			t.Errorf("Classify(private=%v,in=%d) = %v, want %v", c.private, c.in, got, c.want)
+		}
+	}
+}
+
+func TestClassDistributionAndConfusion(t *testing.T) {
+	var recs = mkSession(1, 1, netmodel.Direct, 0, None, None, None)
+	// Give session 1 an incoming partner so it classifies as direct.
+	p := recs[0]
+	p.Kind = "partner"
+	p.At = sim.Minute
+	p.InPartners = 1
+	p.OutPartners = 1
+	recs = append(recs, p)
+	// Session 2: truly Direct but never got incoming partners →
+	// misclassified as firewall (the paper's known error mode).
+	recs = append(recs, mkSession(2, 2, netmodel.Direct, 0, None, None, None)...)
+	// Session 3: NAT.
+	recs = append(recs, mkSession(3, 3, netmodel.NAT, 0, None, None, None)...)
+
+	a := Analyze(recs)
+	dist := a.ClassDistribution()
+	if math.Abs(dist[netmodel.Direct]-1.0/3) > 1e-9 ||
+		math.Abs(dist[netmodel.Firewall]-1.0/3) > 1e-9 ||
+		math.Abs(dist[netmodel.NAT]-1.0/3) > 1e-9 {
+		t.Fatalf("distribution %v", dist)
+	}
+	m := a.ConfusionMatrix()
+	if m[netmodel.Direct][netmodel.Direct] != 1 {
+		t.Fatalf("confusion %v", m)
+	}
+	if m[netmodel.Firewall][netmodel.Direct] != 1 {
+		t.Fatalf("misclassification not recorded: %v", m)
+	}
+	acc := a.ClassifierAccuracy()
+	if math.Abs(acc-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestClassifierAccuracyEmpty(t *testing.T) {
+	if Analyze(nil).ClassifierAccuracy() != 0 {
+		t.Fatal("empty accuracy not 0")
+	}
+}

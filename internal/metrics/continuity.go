@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"sort"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/stats"
+)
+
+// ContinuityByClass returns, per inferred user class, the time series
+// of mean continuity index per bucket — Fig. 8.
+func (a *Analysis) ContinuityByClass(bucket, horizon sim.Time) [netmodel.NumClasses][]SeriesPoint {
+	var out [netmodel.NumClasses][]SeriesPoint
+	if bucket <= 0 || horizon <= 0 {
+		return out
+	}
+	nBuckets := int(horizon/bucket) + 1
+	type acc struct {
+		sum float64
+		n   int
+	}
+	accs := make([][netmodel.NumClasses]acc, nBuckets)
+	for _, s := range a.Sessions {
+		c := Classify(s)
+		for _, q := range s.QoS {
+			i := int(q.At / bucket)
+			if i >= 0 && i < nBuckets {
+				accs[i][c].sum += q.CI
+				accs[i][c].n++
+			}
+		}
+	}
+	for c := 0; c < netmodel.NumClasses; c++ {
+		for i := 0; i < nBuckets; i++ {
+			if accs[i][c].n == 0 {
+				continue
+			}
+			out[c] = append(out[c], SeriesPoint{
+				At:    sim.Time(i) * bucket,
+				Value: accs[i][c].sum / float64(accs[i][c].n),
+			})
+		}
+	}
+	return out
+}
+
+// MeanContinuity returns the overall mean continuity index across all
+// QoS reports.
+func (a *Analysis) MeanContinuity() float64 {
+	var w stats.Welford
+	for _, s := range a.Sessions {
+		for _, q := range s.QoS {
+			w.Add(q.CI)
+		}
+	}
+	return w.Mean()
+}
+
+// MeanContinuityByClass returns the session-report mean CI per
+// inferred class, the scalar comparison behind Fig. 8's observation
+// that NAT/firewall users report marginally *higher* CI than
+// direct-connect users (a reporting artifact, §V-D).
+func (a *Analysis) MeanContinuityByClass() [netmodel.NumClasses]float64 {
+	var sums [netmodel.NumClasses]float64
+	var ns [netmodel.NumClasses]int
+	for _, s := range a.Sessions {
+		c := Classify(s)
+		for _, q := range s.QoS {
+			sums[c] += q.CI
+			ns[c]++
+		}
+	}
+	var out [netmodel.NumClasses]float64
+	for c := range out {
+		if ns[c] > 0 {
+			out[c] = sums[c] / float64(ns[c])
+		}
+	}
+	return out
+}
+
+// XYPoint pairs an independent variable with a mean response.
+type XYPoint struct {
+	X float64
+	Y float64
+	N int // sample support
+}
+
+// ContinuityVsLoad buckets time, pairs each bucket's mean continuity
+// with a load measure (system size for Fig. 9a, join rate for
+// Fig. 9b), and merges buckets into load bins.
+func (a *Analysis) ContinuityVsLoad(load []SeriesPoint, bucket, horizon sim.Time, bins int) []XYPoint {
+	if bins <= 0 || bucket <= 0 || horizon <= 0 || len(load) == 0 {
+		return nil
+	}
+	nBuckets := int(horizon/bucket) + 1
+	ciSum := make([]float64, nBuckets)
+	ciN := make([]int, nBuckets)
+	for _, s := range a.Sessions {
+		for _, q := range s.QoS {
+			i := int(q.At / bucket)
+			if i >= 0 && i < nBuckets {
+				ciSum[i] += q.CI
+				ciN[i]++
+			}
+		}
+	}
+	// Align the load series to buckets by index.
+	type pair struct{ x, y float64 }
+	var pairs []pair
+	for i := 0; i < nBuckets && i < len(load); i++ {
+		if ciN[i] == 0 {
+			continue
+		}
+		pairs = append(pairs, pair{x: load[i].Value, y: ciSum[i] / float64(ciN[i])})
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+	lo, hi := pairs[0].x, pairs[len(pairs)-1].x
+	if hi <= lo {
+		// Single load level: one point.
+		var sum float64
+		for _, p := range pairs {
+			sum += p.y
+		}
+		return []XYPoint{{X: lo, Y: sum / float64(len(pairs)), N: len(pairs)}}
+	}
+	sums := make([]float64, bins)
+	xs := make([]float64, bins)
+	ns := make([]int, bins)
+	for _, p := range pairs {
+		b := int(float64(bins) * (p.x - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		sums[b] += p.y
+		xs[b] += p.x
+		ns[b]++
+	}
+	var out []XYPoint
+	for b := 0; b < bins; b++ {
+		if ns[b] == 0 {
+			continue
+		}
+		out = append(out, XYPoint{
+			X: xs[b] / float64(ns[b]),
+			Y: sums[b] / float64(ns[b]),
+			N: ns[b],
+		})
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"coolstream/internal/netmodel"
+	"coolstream/internal/stats"
+)
+
+// ContributionReport summarises the upload-byte skew of Fig. 3b.
+type ContributionReport struct {
+	// ShareByClass[c] is the fraction of all uploaded bytes contributed
+	// by sessions inferred as class c.
+	ShareByClass [netmodel.NumClasses]float64
+	// ReachableShare is the direct+UPnP share — the paper's headline
+	// "~30% of peers contribute >80%".
+	ReachableShare float64
+	// ReachablePopulation is the population fraction inferred
+	// direct+UPnP.
+	ReachablePopulation float64
+	// Top30Share is the byte share of the top 30% of uploaders
+	// regardless of class.
+	Top30Share float64
+	// Gini is the upload-byte Gini coefficient.
+	Gini float64
+	// Lorenz is the full Lorenz curve of per-session upload bytes.
+	Lorenz []stats.LorenzPoint
+}
+
+// Contribution computes the Fig. 3b analysis over all sessions.
+func (a *Analysis) Contribution() ContributionReport {
+	var rep ContributionReport
+	var bytesByClass [netmodel.NumClasses]float64
+	var popByClass [netmodel.NumClasses]int
+	var uploads []float64
+	total := 0.0
+	for _, s := range a.Sessions {
+		c := Classify(s)
+		b := float64(s.UploadBytes)
+		bytesByClass[c] += b
+		popByClass[c]++
+		uploads = append(uploads, b)
+		total += b
+	}
+	if len(uploads) == 0 {
+		return rep
+	}
+	pop := float64(len(uploads))
+	for c := 0; c < netmodel.NumClasses; c++ {
+		if total > 0 {
+			rep.ShareByClass[c] = bytesByClass[c] / total
+		}
+	}
+	rep.ReachableShare = rep.ShareByClass[netmodel.Direct] + rep.ShareByClass[netmodel.UPnP]
+	rep.ReachablePopulation = float64(popByClass[netmodel.Direct]+popByClass[netmodel.UPnP]) / pop
+	rep.Top30Share = stats.TopShare(uploads, 0.3)
+	rep.Gini = stats.Gini(uploads)
+	rep.Lorenz = stats.Lorenz(uploads)
+	return rep
+}

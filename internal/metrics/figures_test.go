@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+func withQoS(recs []logsys.Record, at sim.Time, ci float64) []logsys.Record {
+	q := recs[0]
+	q.Kind = logsys.KindQoS
+	q.At = at
+	q.Continuity = ci
+	return append(recs, q)
+}
+
+func withTraffic(recs []logsys.Record, at sim.Time, up int64) []logsys.Record {
+	tr := recs[0]
+	tr.Kind = logsys.KindTraffic
+	tr.At = at
+	tr.UploadBytes = up
+	return append(recs, tr)
+}
+
+func withPartner(recs []logsys.Record, at sim.Time, in int) []logsys.Record {
+	p := recs[0]
+	p.Kind = logsys.KindPartner
+	p.At = at
+	p.InPartners = in
+	p.ParentReachable = 2
+	p.ParentTotal = 2
+	return append(recs, p)
+}
+
+func TestContribution(t *testing.T) {
+	// One direct uploader with nearly all bytes, three NAT freeloaders.
+	recs := mkSession(1, 1, netmodel.Direct, 0, None, None, sim.Hour)
+	recs = withPartner(recs, sim.Minute, 3)
+	recs = withTraffic(recs, sim.Minute, 9000)
+	for i := 2; i <= 4; i++ {
+		s := mkSession(i, i, netmodel.NAT, 0, None, None, sim.Hour)
+		s = withTraffic(s, sim.Minute, 500)
+		recs = append(recs, s...)
+	}
+	a := Analyze(recs)
+	rep := a.Contribution()
+	wantShare := 9000.0 / 10500.0
+	if math.Abs(rep.ShareByClass[netmodel.Direct]-wantShare) > 1e-9 {
+		t.Fatalf("direct share %v, want %v", rep.ShareByClass[netmodel.Direct], wantShare)
+	}
+	if math.Abs(rep.ReachableShare-wantShare) > 1e-9 {
+		t.Fatalf("reachable share %v", rep.ReachableShare)
+	}
+	if math.Abs(rep.ReachablePopulation-0.25) > 1e-9 {
+		t.Fatalf("reachable population %v", rep.ReachablePopulation)
+	}
+	// Top 30% = top 1 of 4 sessions = the direct uploader.
+	if math.Abs(rep.Top30Share-wantShare) > 1e-9 {
+		t.Fatalf("top30 %v", rep.Top30Share)
+	}
+	if rep.Gini <= 0.3 {
+		t.Fatalf("Gini %v too equal", rep.Gini)
+	}
+	if len(rep.Lorenz) != 5 {
+		t.Fatalf("Lorenz points %d", len(rep.Lorenz))
+	}
+}
+
+func TestContributionEmpty(t *testing.T) {
+	rep := Analyze(nil).Contribution()
+	if rep.Top30Share != 0 || rep.Gini != 0 {
+		t.Fatal("empty contribution nonzero")
+	}
+}
+
+func TestContinuityByClassSeries(t *testing.T) {
+	recs := mkSession(1, 1, netmodel.Direct, 0, None, None, sim.Hour)
+	recs = withPartner(recs, sim.Minute, 1) // direct
+	recs = withQoS(recs, 5*sim.Minute, 0.9)
+	recs = withQoS(recs, 15*sim.Minute, 1.0)
+	nat := mkSession(2, 2, netmodel.NAT, 0, None, None, sim.Hour)
+	nat = withQoS(nat, 5*sim.Minute, 0.8)
+	recs = append(recs, nat...)
+
+	a := Analyze(recs)
+	series := a.ContinuityByClass(10*sim.Minute, sim.Hour)
+	d := series[netmodel.Direct]
+	if len(d) != 2 || d[0].Value != 0.9 || d[1].Value != 1.0 {
+		t.Fatalf("direct series %v", d)
+	}
+	n := series[netmodel.NAT]
+	if len(n) != 1 || n[0].Value != 0.8 {
+		t.Fatalf("nat series %v", n)
+	}
+	means := a.MeanContinuityByClass()
+	if math.Abs(means[netmodel.Direct]-0.95) > 1e-9 || math.Abs(means[netmodel.NAT]-0.8) > 1e-9 {
+		t.Fatalf("means %v", means)
+	}
+	if math.Abs(a.MeanContinuity()-(0.9+1.0+0.8)/3) > 1e-9 {
+		t.Fatalf("overall mean %v", a.MeanContinuity())
+	}
+}
+
+func TestContinuityVsLoad(t *testing.T) {
+	// Two load regimes: low load with high CI, high load with lower CI.
+	var recs []logsys.Record
+	// 1 session alive early with CI 1.0; 5 sessions alive late with CI 0.9.
+	early := mkSession(1, 1, netmodel.Direct, 0, None, None, 30*sim.Minute)
+	early = withQoS(early, 10*sim.Minute, 1.0)
+	recs = append(recs, early...)
+	for i := 2; i <= 6; i++ {
+		s := mkSession(i, i, netmodel.NAT, 40*sim.Minute, None, None, 2*sim.Hour)
+		s = withQoS(s, 60*sim.Minute, 0.9)
+		recs = append(recs, s...)
+	}
+	a := Analyze(recs)
+	load := a.Concurrency(10*sim.Minute, 2*sim.Hour)
+	pts := a.ContinuityVsLoad(load, 10*sim.Minute, 2*sim.Hour, 4)
+	if len(pts) < 2 {
+		t.Fatalf("points %v", pts)
+	}
+	if pts[0].X >= pts[len(pts)-1].X {
+		t.Fatalf("bins unsorted: %v", pts)
+	}
+	if pts[0].Y <= pts[len(pts)-1].Y {
+		t.Fatalf("expected CI to fall with load in this construction: %v", pts)
+	}
+}
+
+func TestContinuityVsLoadDegenerate(t *testing.T) {
+	a := Analyze(nil)
+	if a.ContinuityVsLoad(nil, sim.Minute, sim.Hour, 4) != nil {
+		t.Fatal("nil load accepted")
+	}
+}
+
+func TestStartupDelaysAndWindows(t *testing.T) {
+	var recs []logsys.Record
+	recs = append(recs, mkSession(1, 1, netmodel.Direct, 0, 2*sim.Second, 12*sim.Second, sim.Hour)...)
+	recs = append(recs, mkSession(2, 2, netmodel.NAT, 30*sim.Minute, 30*sim.Minute+5*sim.Second, 30*sim.Minute+25*sim.Second, sim.Hour)...)
+	recs = append(recs, mkSession(3, 3, netmodel.NAT, 0, None, None, 60*sim.Second)...) // failed
+	a := Analyze(recs)
+	sub, ready, diff := a.StartupDelays()
+	if sub.N() != 2 || ready.N() != 2 || diff.N() != 2 {
+		t.Fatalf("sample sizes %d/%d/%d", sub.N(), ready.N(), diff.N())
+	}
+	if diff.Mean() != 15 { // (10+20)/2
+		t.Fatalf("buffering mean %v", diff.Mean())
+	}
+	windows := [][2]sim.Time{{0, 10 * sim.Minute}, {10 * sim.Minute, sim.Hour}}
+	ws := a.ReadyDelaysInWindows(windows)
+	if ws[0].N() != 1 || ws[1].N() != 1 {
+		t.Fatalf("window sizes %d/%d", ws[0].N(), ws[1].N())
+	}
+	if ws[1].Mean() != 25 {
+		t.Fatalf("window mean %v", ws[1].Mean())
+	}
+}
+
+func TestDurationsAndShortFraction(t *testing.T) {
+	var recs []logsys.Record
+	recs = append(recs, mkSession(1, 1, netmodel.Direct, 0, None, None, 30*sim.Second)...)
+	recs = append(recs, mkSession(2, 2, netmodel.Direct, 0, None, None, 2*sim.Hour)...)
+	recs = append(recs, mkSession(3, 3, netmodel.Direct, 0, None, None, None)...) // open
+	a := Analyze(recs)
+	d := a.Durations()
+	if d.N() != 2 {
+		t.Fatalf("durations %d", d.N())
+	}
+	if got := a.ShortSessionFraction(sim.Minute); got != 0.5 {
+		t.Fatalf("short fraction %v", got)
+	}
+}
+
+func TestTopologySeries(t *testing.T) {
+	recs := mkSession(1, 1, netmodel.NAT, 0, None, None, 10*sim.Minute)
+	p := recs[0]
+	p.Kind = logsys.KindPartner
+	p.At = 5 * sim.Minute
+	p.ParentReachable = 3
+	p.ParentTotal = 4
+	p.NATParentLinks = 1
+	recs = append(recs, p)
+	a := Analyze(recs)
+	reach, random := a.TopologySeries(10*sim.Minute, sim.Hour)
+	if len(reach) != 1 || math.Abs(reach[0].Value-0.75) > 1e-9 {
+		t.Fatalf("reachable series %v", reach)
+	}
+	if len(random) != 1 || math.Abs(random[0].Value-0.25) > 1e-9 {
+		t.Fatalf("random series %v", random)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRowf("%d\t%.2f", 10, 0.5)
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "0.50") {
+		t.Fatalf("render: %q", out)
+	}
+	var csv strings.Builder
+	tab.RenderCSV(&csv)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 || lines[0] != "a,bb" || lines[1] != "1,2" {
+		t.Fatalf("csv: %q", csv.String())
+	}
+}

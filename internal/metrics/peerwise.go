@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"coolstream/internal/netmodel"
+	"coolstream/internal/stats"
+)
+
+// PeerwiseReport addresses the paper's first open issue (§VI): "the
+// data set does not allow us to derive the peer-wise performance".
+// With the reproduced logging system we can: per-session continuity
+// distributions, the bottleneck population (sessions whose own mean
+// continuity falls below a threshold), and its composition by class.
+type PeerwiseReport struct {
+	// SessionCI is the per-session mean continuity sample (sessions
+	// with at least one QoS report).
+	SessionCI stats.Sample
+	// BottleneckFrac is the fraction of reporting sessions below the
+	// threshold.
+	BottleneckFrac float64
+	// BottleneckByClass decomposes the bottleneck population by
+	// inferred class (fractions of the bottleneck set, summing to 1).
+	BottleneckByClass [netmodel.NumClasses]float64
+	// Threshold echoes the cutoff used.
+	Threshold float64
+}
+
+// Peerwise computes the per-peer performance report at the given
+// continuity threshold (e.g. 0.95).
+func (a *Analysis) Peerwise(threshold float64) PeerwiseReport {
+	rep := PeerwiseReport{Threshold: threshold}
+	var bottleneckCounts [netmodel.NumClasses]int
+	bottleneckTotal := 0
+	for _, s := range a.Sessions {
+		if len(s.QoS) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, q := range s.QoS {
+			sum += q.CI
+		}
+		ci := sum / float64(len(s.QoS))
+		rep.SessionCI.Add(ci)
+		if ci < threshold {
+			bottleneckCounts[Classify(s)]++
+			bottleneckTotal++
+		}
+	}
+	if n := rep.SessionCI.N(); n > 0 {
+		rep.BottleneckFrac = float64(bottleneckTotal) / float64(n)
+	}
+	if bottleneckTotal > 0 {
+		for c := range bottleneckCounts {
+			rep.BottleneckByClass[c] = float64(bottleneckCounts[c]) / float64(bottleneckTotal)
+		}
+	}
+	return rep
+}
+
+// StabilityReport quantifies the paper's third scalability factor
+// (§V-E): overlay stability, measured as partnership changes per
+// report interval.
+type StabilityReport struct {
+	// ChangesPerReport is the distribution of per-report partnership
+	// change counts across sessions.
+	ChangesPerReport stats.Sample
+	// MeanByClass is the mean changes-per-report per inferred class.
+	MeanByClass [netmodel.NumClasses]float64
+}
+
+// Stability computes the overlay-stability report.
+func (a *Analysis) Stability() StabilityReport {
+	var rep StabilityReport
+	var sums [netmodel.NumClasses]float64
+	var ns [netmodel.NumClasses]int
+	for _, s := range a.Sessions {
+		if s.PartnerReports == 0 {
+			continue
+		}
+		rate := float64(s.PartnerChangesSum) / float64(s.PartnerReports)
+		rep.ChangesPerReport.Add(rate)
+		c := Classify(s)
+		sums[c] += rate
+		ns[c]++
+	}
+	for c := range sums {
+		if ns[c] > 0 {
+			rep.MeanByClass[c] = sums[c] / float64(ns[c])
+		}
+	}
+	return rep
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+func TestPeerwiseReport(t *testing.T) {
+	var recs []logsys.Record
+	// Healthy direct session: CI 1.0 twice.
+	s1 := mkSession(1, 1, netmodel.Direct, 0, sim.Second, 5*sim.Second, sim.Hour)
+	s1 = withPartner(s1, sim.Minute, 2)
+	s1 = withQoS(s1, 5*sim.Minute, 1.0)
+	s1 = withQoS(s1, 10*sim.Minute, 1.0)
+	recs = append(recs, s1...)
+	// Struggling NAT session: CI 0.6.
+	s2 := mkSession(2, 2, netmodel.NAT, 0, sim.Second, 5*sim.Second, sim.Hour)
+	s2 = withQoS(s2, 5*sim.Minute, 0.6)
+	recs = append(recs, s2...)
+	// Session without QoS reports is excluded.
+	recs = append(recs, mkSession(3, 3, netmodel.NAT, 0, None, None, 30*sim.Second)...)
+
+	a := Analyze(recs)
+	rep := a.Peerwise(0.95)
+	if rep.SessionCI.N() != 2 {
+		t.Fatalf("session sample %d", rep.SessionCI.N())
+	}
+	if math.Abs(rep.BottleneckFrac-0.5) > 1e-9 {
+		t.Fatalf("bottleneck frac %v", rep.BottleneckFrac)
+	}
+	if rep.BottleneckByClass[netmodel.NAT] != 1 {
+		t.Fatalf("bottleneck composition %v", rep.BottleneckByClass)
+	}
+	if rep.Threshold != 0.95 {
+		t.Fatalf("threshold %v", rep.Threshold)
+	}
+}
+
+func TestPeerwiseEmpty(t *testing.T) {
+	rep := Analyze(nil).Peerwise(0.9)
+	if rep.SessionCI.N() != 0 || rep.BottleneckFrac != 0 {
+		t.Fatal("empty peerwise nonzero")
+	}
+}
+
+func TestStabilityReport(t *testing.T) {
+	var recs []logsys.Record
+	// Direct session: 2 partner reports, 4 changes total → rate 2.
+	s1 := mkSession(1, 1, netmodel.Direct, 0, None, None, sim.Hour)
+	p := s1[0]
+	p.Kind = logsys.KindPartner
+	p.At = 5 * sim.Minute
+	p.InPartners = 1
+	p.PartnerChanges = 3
+	p2 := p
+	p2.At = 10 * sim.Minute
+	p2.PartnerChanges = 1
+	recs = append(recs, s1...)
+	recs = append(recs, p, p2)
+	// NAT session: 1 report, 6 changes → rate 6 (unstable).
+	s2 := mkSession(2, 2, netmodel.NAT, 0, None, None, sim.Hour)
+	q := s2[0]
+	q.Kind = logsys.KindPartner
+	q.At = 5 * sim.Minute
+	q.PartnerChanges = 6
+	recs = append(recs, s2...)
+	recs = append(recs, q)
+
+	a := Analyze(recs)
+	rep := a.Stability()
+	if rep.ChangesPerReport.N() != 2 {
+		t.Fatalf("sample %d", rep.ChangesPerReport.N())
+	}
+	if math.Abs(rep.MeanByClass[netmodel.Direct]-2) > 1e-9 {
+		t.Fatalf("direct rate %v", rep.MeanByClass[netmodel.Direct])
+	}
+	if math.Abs(rep.MeanByClass[netmodel.NAT]-6) > 1e-9 {
+		t.Fatalf("nat rate %v", rep.MeanByClass[netmodel.NAT])
+	}
+}
+
+func TestStabilityEmpty(t *testing.T) {
+	rep := Analyze(nil).Stability()
+	if rep.ChangesPerReport.N() != 0 {
+		t.Fatal("empty stability nonzero")
+	}
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ASCIIPlot renders a time series as a fixed-size terminal chart, the
+// visual form of Figs. 5/8 for the CLI tools. Values are linearly
+// binned into `width` columns (averaging within a column) and scaled
+// to `height` rows.
+func ASCIIPlot(w io.Writer, title string, pts []SeriesPoint, width, height int) {
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+	if len(pts) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	// Bin points into columns.
+	cols := make([]float64, width)
+	counts := make([]int, width)
+	t0, t1 := pts[0].At, pts[len(pts)-1].At
+	span := t1 - t0
+	for _, p := range pts {
+		i := 0
+		if span > 0 {
+			i = int(float64(width-1) * float64(p.At-t0) / float64(span))
+		}
+		cols[i] += p.Value
+		counts[i]++
+	}
+	lo, hi := 0.0, 0.0
+	first := true
+	for i := range cols {
+		if counts[i] == 0 {
+			continue
+		}
+		cols[i] /= float64(counts[i])
+		if first {
+			lo, hi = cols[i], cols[i]
+			first = false
+			continue
+		}
+		if cols[i] < lo {
+			lo = cols[i]
+		}
+		if cols[i] > hi {
+			hi = cols[i]
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	fmt.Fprintf(w, "%s  [%.6g .. %.6g]\n", title, lo, hi)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		level := int(float64(height-1) * (cols[c] - lo) / (hi - lo))
+		for r := 0; r <= level; r++ {
+			grid[height-1-r][c] = '#'
+		}
+	}
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", row)
+	}
+	fmt.Fprintf(w, "+%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, " %-*s%s\n", width-8, t0.String(), t1.String())
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"coolstream/internal/sim"
+)
+
+func TestASCIIPlotShapes(t *testing.T) {
+	var pts []SeriesPoint
+	for i := 0; i < 100; i++ {
+		v := float64(i)
+		if i > 50 {
+			v = float64(100 - i)
+		}
+		pts = append(pts, SeriesPoint{At: sim.Time(i) * sim.Second, Value: v})
+	}
+	var b strings.Builder
+	ASCIIPlot(&b, "triangle", pts, 40, 8)
+	out := b.String()
+	if !strings.Contains(out, "triangle") || !strings.Contains(out, "#") {
+		t.Fatalf("plot missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + 8 rows + axis + labels
+	if len(lines) != 11 {
+		t.Fatalf("plot has %d lines:\n%s", len(lines), out)
+	}
+	// The middle column should be taller than the edges: count '#' per
+	// column.
+	colHeight := func(c int) int {
+		n := 0
+		for _, ln := range lines[1:9] {
+			if c+1 < len(ln) && ln[c+1] == '#' {
+				n++
+			}
+		}
+		return n
+	}
+	if colHeight(20) <= colHeight(1) || colHeight(20) <= colHeight(38) {
+		t.Fatalf("peak not in the middle:\n%s", out)
+	}
+}
+
+func TestASCIIPlotDegenerate(t *testing.T) {
+	var b strings.Builder
+	ASCIIPlot(&b, "empty", nil, 10, 4)
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty plot not flagged")
+	}
+	b.Reset()
+	// Constant series must not divide by zero.
+	pts := []SeriesPoint{{At: 0, Value: 5}, {At: sim.Second, Value: 5}}
+	ASCIIPlot(&b, "flat", pts, 2, 1) // also exercises min clamps
+	if !strings.Contains(b.String(), "flat") {
+		t.Fatal("flat plot failed")
+	}
+	b.Reset()
+	// Single point.
+	ASCIIPlot(&b, "point", pts[:1], 10, 3)
+	if !strings.Contains(b.String(), "point") {
+		t.Fatal("single-point plot failed")
+	}
+}

@@ -1,0 +1,294 @@
+// Package metrics reconstructs the paper's measurements from the log
+// records: session-level performance (Figs. 5-7, 10), QoS continuity
+// (Figs. 8-9), user classification and upload contribution (Fig. 3),
+// and overlay structure series (Fig. 4). It deliberately consumes only
+// what the log server saw, reproducing the paper's methodology
+// together with its measurement artifacts.
+package metrics
+
+import (
+	"sort"
+
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// None marks an absent timestamp.
+const None = sim.Time(-1)
+
+// Session is one reconstructed join→leave lifecycle.
+type Session struct {
+	SessionID int
+	UserID    int
+	PeerID    int
+
+	// TrueClass is ground truth when the trace carries it (simulation
+	// runs do); the classifier never reads it.
+	TrueClass netmodel.UserClass
+	HasTruth  bool
+	// PrivateAddr is the address visibility the peer reported.
+	PrivateAddr bool
+
+	JoinAt     sim.Time
+	StartSubAt sim.Time
+	ReadyAt    sim.Time
+	LeaveAt    sim.Time
+	Reason     string
+
+	// MaxIn/MaxOut are the largest partner counts seen in any partner
+	// report of the session; the classifier keys on MaxIn > 0.
+	MaxIn  int
+	MaxOut int
+
+	// ParentReachableSum/ParentTotalSum aggregate partner reports for
+	// topology statistics.
+	ParentReachableSum int
+	ParentTotalSum     int
+	NATLinkSum         int
+	// PartnerChangesSum totals partnership establishments/losses over
+	// the session, and PartnerReports counts partner reports, so
+	// changes-per-interval is recoverable.
+	PartnerChangesSum int
+	PartnerReports    int
+
+	UploadBytes   int64
+	DownloadBytes int64
+
+	// QoS carries the periodic continuity reports.
+	QoS []QoSPoint
+}
+
+// QoSPoint is one periodic continuity report.
+type QoSPoint struct {
+	At sim.Time
+	CI float64
+}
+
+// Ready reports whether the session reached media-ready.
+func (s *Session) Ready() bool { return s.ReadyAt != None }
+
+// Duration returns leave-join, or None when either end is missing.
+func (s *Session) Duration() sim.Time {
+	if s.JoinAt == None || s.LeaveAt == None {
+		return None
+	}
+	return s.LeaveAt - s.JoinAt
+}
+
+// StartSubDelay returns the start-subscription time of Fig. 6.
+func (s *Session) StartSubDelay() sim.Time {
+	if s.JoinAt == None || s.StartSubAt == None {
+		return None
+	}
+	return s.StartSubAt - s.JoinAt
+}
+
+// ReadyDelay returns the media-player-ready time of Fig. 6.
+func (s *Session) ReadyDelay() sim.Time {
+	if s.JoinAt == None || s.ReadyAt == None {
+		return None
+	}
+	return s.ReadyAt - s.JoinAt
+}
+
+// BufferingDelay returns ready minus start-subscription (the Fig. 6
+// difference curve: the wait for the buffer to fill).
+func (s *Session) BufferingDelay() sim.Time {
+	if s.StartSubAt == None || s.ReadyAt == None {
+		return None
+	}
+	return s.ReadyAt - s.StartSubAt
+}
+
+// Analysis indexes a full log.
+type Analysis struct {
+	Sessions []*Session
+	// ByUser groups sessions per user, ordered by join time; retry
+	// analysis walks these chains.
+	ByUser map[int][]*Session
+}
+
+// Analyze reconstructs sessions from log records (any order).
+func Analyze(records []logsys.Record) *Analysis {
+	byID := make(map[int]*Session)
+	var order []int
+	get := func(rec logsys.Record) *Session {
+		s, ok := byID[rec.Session]
+		if !ok {
+			s = &Session{
+				SessionID: rec.Session,
+				UserID:    rec.User,
+				PeerID:    rec.Peer,
+				JoinAt:    None, StartSubAt: None, ReadyAt: None, LeaveAt: None,
+			}
+			byID[rec.Session] = s
+			order = append(order, rec.Session)
+		}
+		return s
+	}
+	for _, rec := range records {
+		s := get(rec)
+		if rec.HasTruth {
+			s.TrueClass = rec.TrueClass
+			s.HasTruth = true
+		}
+		s.PrivateAddr = rec.PrivateAddr
+		switch rec.Kind {
+		case logsys.KindJoin:
+			s.JoinAt = rec.At
+		case logsys.KindStartSub:
+			s.StartSubAt = rec.At
+		case logsys.KindMediaReady:
+			s.ReadyAt = rec.At
+		case logsys.KindLeave:
+			s.LeaveAt = rec.At
+			s.Reason = rec.Reason
+		case logsys.KindQoS:
+			s.QoS = append(s.QoS, QoSPoint{At: rec.At, CI: rec.Continuity})
+		case logsys.KindTraffic:
+			s.UploadBytes += rec.UploadBytes
+			s.DownloadBytes += rec.DownloadBytes
+		case logsys.KindPartner:
+			if rec.InPartners > s.MaxIn {
+				s.MaxIn = rec.InPartners
+			}
+			if rec.OutPartners > s.MaxOut {
+				s.MaxOut = rec.OutPartners
+			}
+			s.ParentReachableSum += rec.ParentReachable
+			s.ParentTotalSum += rec.ParentTotal
+			s.NATLinkSum += rec.NATParentLinks
+			s.PartnerChangesSum += rec.PartnerChanges
+			s.PartnerReports++
+		}
+	}
+	a := &Analysis{ByUser: make(map[int][]*Session)}
+	a.Sessions = make([]*Session, 0, len(order))
+	for _, id := range order {
+		a.Sessions = append(a.Sessions, byID[id])
+	}
+	sort.Slice(a.Sessions, func(i, j int) bool {
+		ji, jj := a.Sessions[i].JoinAt, a.Sessions[j].JoinAt
+		if ji != jj {
+			return ji < jj
+		}
+		return a.Sessions[i].SessionID < a.Sessions[j].SessionID
+	})
+	for _, s := range a.Sessions {
+		a.ByUser[s.UserID] = append(a.ByUser[s.UserID], s)
+	}
+	return a
+}
+
+// SeriesPoint is one (time, value) sample of a time series.
+type SeriesPoint struct {
+	At    sim.Time
+	Value float64
+}
+
+// Concurrency returns the number of in-system sessions sampled every
+// bucket — Fig. 5's curve. Sessions without a leave record are treated
+// as lasting to the horizon.
+func (a *Analysis) Concurrency(bucket, horizon sim.Time) []SeriesPoint {
+	if bucket <= 0 || horizon <= 0 {
+		return nil
+	}
+	nBuckets := int(horizon/bucket) + 1
+	delta := make([]int, nBuckets+1)
+	for _, s := range a.Sessions {
+		if s.JoinAt == None {
+			continue
+		}
+		lo := int(s.JoinAt / bucket)
+		end := s.LeaveAt
+		if end == None {
+			end = horizon
+		}
+		hi := int(end / bucket)
+		if lo >= nBuckets {
+			continue
+		}
+		if hi >= nBuckets {
+			hi = nBuckets - 1
+		}
+		delta[lo]++
+		delta[hi+1]--
+	}
+	out := make([]SeriesPoint, nBuckets)
+	cur := 0
+	for i := 0; i < nBuckets; i++ {
+		cur += delta[i]
+		out[i] = SeriesPoint{At: sim.Time(i) * bucket, Value: float64(cur)}
+	}
+	return out
+}
+
+// JoinRate returns arrivals per second in each bucket.
+func (a *Analysis) JoinRate(bucket, horizon sim.Time) []SeriesPoint {
+	if bucket <= 0 || horizon <= 0 {
+		return nil
+	}
+	nBuckets := int(horizon/bucket) + 1
+	counts := make([]int, nBuckets)
+	for _, s := range a.Sessions {
+		if s.JoinAt == None {
+			continue
+		}
+		i := int(s.JoinAt / bucket)
+		if i < nBuckets {
+			counts[i]++
+		}
+	}
+	out := make([]SeriesPoint, nBuckets)
+	for i := range counts {
+		out[i] = SeriesPoint{
+			At:    sim.Time(i) * bucket,
+			Value: float64(counts[i]) / bucket.Seconds(),
+		}
+	}
+	return out
+}
+
+// Retries tallies, per user, how many failed sessions preceded the
+// first successful one (all failures when no success) — Fig. 10b.
+func (a *Analysis) Retries() map[int]int {
+	out := make(map[int]int)
+	for user, sessions := range a.ByUser {
+		fails := 0
+		for _, s := range sessions {
+			if s.Ready() {
+				break
+			}
+			fails++
+		}
+		out[user] = fails
+	}
+	return out
+}
+
+// RetryDistribution folds Retries into a histogram: index k holds the
+// fraction of users with exactly k failed attempts, with the last
+// bucket aggregating >= len-1.
+func (a *Analysis) RetryDistribution(buckets int) []float64 {
+	if buckets <= 0 {
+		return nil
+	}
+	counts := make([]int, buckets)
+	total := 0
+	for _, k := range a.Retries() {
+		if k >= buckets {
+			k = buckets - 1
+		}
+		counts[k]++
+		total++
+	}
+	out := make([]float64, buckets)
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"testing"
+
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// mkSession emits a full normal-session record sequence.
+func mkSession(sess, user int, class netmodel.UserClass, join, sub, ready, leave sim.Time) []logsys.Record {
+	base := logsys.Record{
+		Peer: sess, Session: sess, User: user,
+		PrivateAddr: class.HasPrivateAddress(),
+		TrueClass:   class, HasTruth: true,
+	}
+	var recs []logsys.Record
+	add := func(kind logsys.EventKind, at sim.Time) {
+		r := base
+		r.Kind = kind
+		r.At = at
+		recs = append(recs, r)
+	}
+	add(logsys.KindJoin, join)
+	if sub != None {
+		add(logsys.KindStartSub, sub)
+	}
+	if ready != None {
+		add(logsys.KindMediaReady, ready)
+	}
+	if leave != None {
+		add(logsys.KindLeave, leave)
+	}
+	return recs
+}
+
+func TestAnalyzeReconstructsSessions(t *testing.T) {
+	var recs []logsys.Record
+	recs = append(recs, mkSession(1, 10, netmodel.Direct, 5*sim.Second, 7*sim.Second, 20*sim.Second, 10*sim.Minute)...)
+	recs = append(recs, mkSession(2, 11, netmodel.NAT, 8*sim.Second, None, None, 68*sim.Second)...)
+	a := Analyze(recs)
+	if len(a.Sessions) != 2 {
+		t.Fatalf("sessions = %d", len(a.Sessions))
+	}
+	s1 := a.Sessions[0]
+	if s1.SessionID != 1 || !s1.Ready() {
+		t.Fatalf("session 1 wrong: %+v", s1)
+	}
+	if s1.StartSubDelay() != 2*sim.Second || s1.ReadyDelay() != 15*sim.Second || s1.BufferingDelay() != 13*sim.Second {
+		t.Fatalf("delays wrong: %v %v %v", s1.StartSubDelay(), s1.ReadyDelay(), s1.BufferingDelay())
+	}
+	if s1.Duration() != 10*sim.Minute-5*sim.Second {
+		t.Fatalf("duration %v", s1.Duration())
+	}
+	s2 := a.Sessions[1]
+	if s2.Ready() || s2.StartSubDelay() != None || s2.ReadyDelay() != None {
+		t.Fatalf("failed session misread: %+v", s2)
+	}
+}
+
+func TestAnalyzeAggregatesReports(t *testing.T) {
+	recs := mkSession(1, 10, netmodel.Direct, 0, sim.Second, 2*sim.Second, sim.Hour)
+	base := recs[0]
+	qos := base
+	qos.Kind = logsys.KindQoS
+	qos.At = 5 * sim.Minute
+	qos.Continuity = 0.97
+	traffic := base
+	traffic.Kind = logsys.KindTraffic
+	traffic.At = 5 * sim.Minute
+	traffic.UploadBytes = 1000
+	traffic.DownloadBytes = 2000
+	traffic2 := traffic
+	traffic2.At = 10 * sim.Minute
+	traffic2.UploadBytes = 500
+	traffic2.DownloadBytes = 0
+	partner := base
+	partner.Kind = logsys.KindPartner
+	partner.At = 5 * sim.Minute
+	partner.InPartners = 3
+	partner.OutPartners = 2
+	partner.ParentReachable = 3
+	partner.ParentTotal = 4
+	partner.NATParentLinks = 1
+	recs = append(recs, qos, traffic, traffic2, partner)
+
+	a := Analyze(recs)
+	s := a.Sessions[0]
+	if len(s.QoS) != 1 || s.QoS[0].CI != 0.97 {
+		t.Fatalf("QoS %v", s.QoS)
+	}
+	if s.UploadBytes != 1500 || s.DownloadBytes != 2000 {
+		t.Fatalf("traffic %d/%d", s.UploadBytes, s.DownloadBytes)
+	}
+	if s.MaxIn != 3 || s.MaxOut != 2 {
+		t.Fatalf("partners %d/%d", s.MaxIn, s.MaxOut)
+	}
+	if s.ParentReachableSum != 3 || s.ParentTotalSum != 4 || s.NATLinkSum != 1 {
+		t.Fatalf("parent sums %d/%d/%d", s.ParentReachableSum, s.ParentTotalSum, s.NATLinkSum)
+	}
+}
+
+func TestConcurrencySeries(t *testing.T) {
+	var recs []logsys.Record
+	recs = append(recs, mkSession(1, 1, netmodel.Direct, 0, None, None, 100*sim.Second)...)
+	recs = append(recs, mkSession(2, 2, netmodel.Direct, 30*sim.Second, None, None, 200*sim.Second)...)
+	a := Analyze(recs)
+	pts := a.Concurrency(10*sim.Second, 250*sim.Second)
+	at := func(t sim.Time) float64 {
+		for _, p := range pts {
+			if p.At == t {
+				return p.Value
+			}
+		}
+		return -1
+	}
+	if at(0) != 1 || at(50*sim.Second) != 2 || at(150*sim.Second) != 1 || at(240*sim.Second) != 0 {
+		t.Fatalf("concurrency wrong: %v", pts)
+	}
+}
+
+func TestConcurrencyOpenSessionLastsToHorizon(t *testing.T) {
+	recs := mkSession(1, 1, netmodel.Direct, 0, None, None, None)
+	a := Analyze(recs)
+	pts := a.Concurrency(10*sim.Second, 100*sim.Second)
+	if pts[len(pts)-1].Value != 1 {
+		t.Fatal("open session dropped before horizon")
+	}
+}
+
+func TestJoinRate(t *testing.T) {
+	var recs []logsys.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, mkSession(i+1, i+1, netmodel.NAT, sim.Time(i)*sim.Second, None, None, None)...)
+	}
+	a := Analyze(recs)
+	pts := a.JoinRate(5*sim.Second, 20*sim.Second)
+	if pts[0].Value != 1.0 { // 5 joins in 5 seconds
+		t.Fatalf("join rate %v", pts[0].Value)
+	}
+	if pts[1].Value != 0 {
+		t.Fatalf("empty bucket rate %v", pts[1].Value)
+	}
+}
+
+func TestRetries(t *testing.T) {
+	var recs []logsys.Record
+	// User 1: two failures then success.
+	recs = append(recs, mkSession(1, 1, netmodel.NAT, 0, None, None, 60*sim.Second)...)
+	recs = append(recs, mkSession(2, 1, netmodel.NAT, 63*sim.Second, None, None, 123*sim.Second)...)
+	recs = append(recs, mkSession(3, 1, netmodel.NAT, 126*sim.Second, 130*sim.Second, 140*sim.Second, sim.Hour)...)
+	// User 2: immediate success.
+	recs = append(recs, mkSession(4, 2, netmodel.Direct, 0, sim.Second, 10*sim.Second, sim.Hour)...)
+	// User 3: never succeeds.
+	recs = append(recs, mkSession(5, 3, netmodel.NAT, 0, None, None, 60*sim.Second)...)
+	a := Analyze(recs)
+	r := a.Retries()
+	if r[1] != 2 || r[2] != 0 || r[3] != 1 {
+		t.Fatalf("retries %v", r)
+	}
+	dist := a.RetryDistribution(3)
+	if dist[0] != 1.0/3 || dist[1] != 1.0/3 || dist[2] != 1.0/3 {
+		t.Fatalf("retry distribution %v", dist)
+	}
+}
+
+func TestRetryDistributionDegenerate(t *testing.T) {
+	a := Analyze(nil)
+	if a.RetryDistribution(0) != nil {
+		t.Fatal("zero buckets not nil")
+	}
+	dist := a.RetryDistribution(3)
+	for _, v := range dist {
+		if v != 0 {
+			t.Fatal("empty analysis nonzero distribution")
+		}
+	}
+}
+
+func TestSessionsSortedByJoin(t *testing.T) {
+	var recs []logsys.Record
+	recs = append(recs, mkSession(5, 1, netmodel.Direct, 50*sim.Second, None, None, None)...)
+	recs = append(recs, mkSession(3, 2, netmodel.Direct, 10*sim.Second, None, None, None)...)
+	a := Analyze(recs)
+	if a.Sessions[0].SessionID != 3 || a.Sessions[1].SessionID != 5 {
+		t.Fatal("sessions unsorted")
+	}
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"coolstream/internal/sim"
+	"coolstream/internal/stats"
+)
+
+// StartupDelays returns samples (in seconds) of the three Fig. 6
+// curves over sessions that reached the respective milestone: the
+// start-subscription time, the media-player-ready time, and their
+// difference (the buffer-filling wait).
+func (a *Analysis) StartupDelays() (startSub, ready, diff stats.Sample) {
+	for _, s := range a.Sessions {
+		if d := s.StartSubDelay(); d != None {
+			startSub.Add(d.Seconds())
+		}
+		if d := s.ReadyDelay(); d != None {
+			ready.Add(d.Seconds())
+		}
+		if d := s.BufferingDelay(); d != None {
+			diff.Add(d.Seconds())
+		}
+	}
+	return
+}
+
+// ReadyDelaysInWindows splits media-ready delays by the join-time
+// windows of Fig. 7 (the paper uses four day periods).
+func (a *Analysis) ReadyDelaysInWindows(windows [][2]sim.Time) []stats.Sample {
+	out := make([]stats.Sample, len(windows))
+	for _, s := range a.Sessions {
+		d := s.ReadyDelay()
+		if d == None || s.JoinAt == None {
+			continue
+		}
+		for i, w := range windows {
+			if s.JoinAt >= w[0] && s.JoinAt < w[1] {
+				out[i].Add(d.Seconds())
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Durations returns the session-duration sample in seconds (Fig. 10a),
+// over sessions with both join and leave records.
+func (a *Analysis) Durations() stats.Sample {
+	var out stats.Sample
+	for _, s := range a.Sessions {
+		if d := s.Duration(); d != None {
+			out.Add(d.Seconds())
+		}
+	}
+	return out
+}
+
+// ShortSessionFraction returns the fraction of completed sessions
+// shorter than the cutoff — the paper's "significant number of short
+// sessions (less than 1 minute)".
+func (a *Analysis) ShortSessionFraction(cutoff sim.Time) float64 {
+	short, total := 0, 0
+	for _, s := range a.Sessions {
+		d := s.Duration()
+		if d == None {
+			continue
+		}
+		total++
+		if d < cutoff {
+			short++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(short) / float64(total)
+}
+
+// TopologySeries derives the Fig. 4 structural indicators from the
+// periodic partner reports: per time bucket, the fraction of parent
+// links pointing at reachable (direct/UPnP/server) peers and the
+// fraction that are NAT↔NAT "random links".
+func (a *Analysis) TopologySeries(bucket, horizon sim.Time) (reachable, random []SeriesPoint) {
+	if bucket <= 0 || horizon <= 0 {
+		return nil, nil
+	}
+	// Partner reports were aggregated per session at Analyze time; for
+	// the series we need per-report granularity, so sessions keep sums
+	// only. Approximate the series from QoS-aligned sums would lose
+	// time structure, so TopologySeries instead reports one aggregate
+	// point per session bucketed at its midpoint. This matches how the
+	// paper reasons about the conceptual overlay (aggregate shares).
+	nBuckets := int(horizon/bucket) + 1
+	type acc struct{ reach, total, nat int }
+	accs := make([]acc, nBuckets)
+	for _, s := range a.Sessions {
+		if s.ParentTotalSum == 0 || s.JoinAt == None {
+			continue
+		}
+		mid := s.JoinAt
+		if s.LeaveAt != None {
+			mid = (s.JoinAt + s.LeaveAt) / 2
+		}
+		i := int(mid / bucket)
+		if i < 0 || i >= nBuckets {
+			continue
+		}
+		accs[i].reach += s.ParentReachableSum
+		accs[i].total += s.ParentTotalSum
+		accs[i].nat += s.NATLinkSum
+	}
+	for i, acc := range accs {
+		if acc.total == 0 {
+			continue
+		}
+		at := sim.Time(i) * bucket
+		reachable = append(reachable, SeriesPoint{At: at, Value: float64(acc.reach) / float64(acc.total)})
+		random = append(random, SeriesPoint{At: at, Value: float64(acc.nat) / float64(acc.total)})
+	}
+	return reachable, random
+}

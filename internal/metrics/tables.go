@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple row/column container rendered as aligned ASCII or
+// CSV — the output format of the benchmark harness and CLI tools.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row, formatting each value with the matching verb.
+func (t *Table) AddRowf(format string, values ...any) {
+	formatted := fmt.Sprintf(format, values...)
+	t.Rows = append(t.Rows, strings.Split(formatted, "\t"))
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				io.WriteString(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		io.WriteString(w, "\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// RenderCSV writes the table as CSV (no quoting needed for our cells;
+// commas in cells are replaced by semicolons defensively).
+func (t *Table) RenderCSV(w io.Writer) {
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = clean(h)
+	}
+	io.WriteString(w, strings.Join(cells, ","))
+	io.WriteString(w, "\n")
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, clean(c))
+		}
+		io.WriteString(w, strings.Join(cells, ","))
+		io.WriteString(w, "\n")
+	}
+}
+
+// String renders to a string (ASCII form).
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

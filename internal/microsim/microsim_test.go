@@ -1,0 +1,257 @@
+package microsim
+
+import (
+	"math"
+	"testing"
+
+	"coolstream/internal/analysis"
+	"coolstream/internal/buffer"
+	"coolstream/internal/sim"
+)
+
+var layout = buffer.Layout{K: 4, RateBps: 768e3, BlockBytes: 12000}
+
+func newSystem(t *testing.T) (*System, *sim.Engine) {
+	t.Helper()
+	e := sim.NewEngine(sim.Second)
+	s, err := NewSystem(layout, e, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, e
+}
+
+func sourceParents() []int { return []int{SourceID, SourceID, SourceID, SourceID} }
+
+func TestNewSystemValidation(t *testing.T) {
+	e := sim.NewEngine(sim.Second)
+	if _, err := NewSystem(buffer.Layout{}, e, 240); err == nil {
+		t.Fatal("invalid layout accepted")
+	}
+	if _, err := NewSystem(layout, nil, 240); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewSystem(layout, e, 0); err == nil {
+		t.Fatal("zero buffer accepted")
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	s, e := newSystem(t)
+	e.Run(10 * sim.Second)
+	if _, err := s.AddNode(SourceID, 1e6, sourceParents(), 0, 20); err == nil {
+		t.Fatal("source id accepted")
+	}
+	if _, err := s.AddNode(1, 1e6, []int{SourceID}, 0, 20); err == nil {
+		t.Fatal("wrong parent count accepted")
+	}
+	if _, err := s.AddNode(1, 1e6, []int{7, 7, 7, 7}, 0, 20); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if _, err := s.AddNode(1, 1e6, sourceParents(), 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddNode(1, 1e6, sourceParents(), 0, 20); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestSourceChildReceivesStream(t *testing.T) {
+	s, e := newSystem(t)
+	e.Run(30 * sim.Second) // live edge at seq 60 per sub-stream
+	n, err := s.AddNode(1, 10*layout.RateBps, sourceParents(), 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(60 * sim.Second)
+	// The backlog (seq 20..60) arrives instantly, so the node is ready
+	// immediately and stays perfectly continuous.
+	if n.ReadyAt() < 0 || n.ReadyAt() > 31*sim.Second {
+		t.Fatalf("ready at %v", n.ReadyAt())
+	}
+	if ci := n.Continuity(); ci != 1 {
+		t.Fatalf("continuity %v under the source", ci)
+	}
+	// Latest tracks the live edge: at t=60s, seq 120.
+	if got := n.Latest(0); got < 118 || got > 120 {
+		t.Fatalf("latest %d, want ~120", got)
+	}
+	// The combination process produced a contiguous prefix.
+	if n.Combined() < 118*4 {
+		t.Fatalf("combined prefix %d too short", n.Combined())
+	}
+	if n.BMExchanges() == 0 {
+		t.Fatal("no codec-verified BM exchanges")
+	}
+}
+
+func TestCatchUpMatchesEq3AtBlockGranularity(t *testing.T) {
+	// E15: the block-level catch-up through a rate-limited parent must
+	// match Eq. (3) and therefore the fluid engine.
+	s, e := newSystem(t)
+	e.Run(60 * sim.Second) // live seq 120
+	relay, err := s.AddNode(1, 2*layout.RateBps, sourceParents(), 60, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(90 * sim.Second) // relay caught up to live (seq 180)
+	if relay.Latest(0) < 178 {
+		t.Fatalf("relay not caught up: %d", relay.Latest(0))
+	}
+	// Child joins 40 blocks behind, served only by the relay whose
+	// 2R upload yields r_seq = 2R/(8·12000) = 16 blocks/s shared over
+	// whatever is in flight; with a single child all of it goes here.
+	start := relay.Latest(0) - 40
+	child, err := s.AddNode(2, layout.RateBps, []int{1, 1, 1, 1}, start, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinAt := e.Now()
+	// Eq. (3): per-sub-stream deficit 40 blocks across 4 lanes = 160
+	// global blocks; the relay transmits 16 blocks/s while 8/s are due:
+	// catch-up ≈ 160/(16-8) = 20 s.
+	model, err := analysis.NewModel(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In Eq. (3) terms: one sub-stream transmission gets 2R/4 = R/2,
+	// deficit 40 blocks → 40·96000/(384000-192000) = 20 s.
+	want, err := model.CatchUpTime(40, 2*layout.RateBps/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find when the child reaches the live edge.
+	caughtAt := sim.Time(-1)
+	for step := 0; step < 300; step++ {
+		e.Run(e.Now() + sim.Second)
+		live := int64(layout.GlobalAt(e.Now())) / int64(layout.K)
+		if live-child.Latest(0) <= 1 {
+			caughtAt = e.Now()
+			break
+		}
+	}
+	if caughtAt < 0 {
+		t.Fatal("child never caught up")
+	}
+	got := (caughtAt - joinAt).Seconds()
+	if math.Abs(got-want) > 3 {
+		t.Fatalf("block-level catch-up %.1fs vs Eq. (3) %.1fs", got, want)
+	}
+	if child.ReadyAt() < 0 {
+		t.Fatal("child never ready")
+	}
+}
+
+func TestOverloadedParentDegradesPerEq5(t *testing.T) {
+	// A parent with upload exactly R serving two full-stream children:
+	// each transmission gets R/2 overall — children fall behind at
+	// half the stream rate (Eq. (5) with D→2D transmissions).
+	s, e := newSystem(t)
+	e.Run(60 * sim.Second)
+	relay, err := s.AddNode(1, layout.RateBps, sourceParents(), 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(75 * sim.Second)
+	start := relay.Latest(0) - 2
+	a, err := s.AddNode(2, layout.RateBps/10, []int{1, 1, 1, 1}, start, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AddNode(3, layout.RateBps/10, []int{1, 1, 1, 1}, start, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := e.Now()
+	e.Run(t0 + 60*sim.Second)
+	// Per child: receives ~R/2 → 1 block/s per sub-stream vs 2 due →
+	// lag grows ~1 block/s per sub-stream over 60 s ⇒ ~55-60 blocks
+	// behind the relay; once the 10-block startup slack drains the
+	// deadline misses accumulate and continuity drops well below 1.
+	for _, n := range []*Node{a, b} {
+		lag := relay.Latest(0) - n.Latest(0)
+		if lag < 40 || lag > 70 {
+			t.Fatalf("node %d lag %d, want ~58 (Eq. 5 degradation)", n.ID, lag)
+		}
+		if ci := n.Continuity(); ci > 0.8 {
+			t.Fatalf("node %d continuity %v despite starvation", n.ID, ci)
+		}
+	}
+}
+
+func TestCombinationStallsOnSlowestLane(t *testing.T) {
+	// Lanes served by parents of different speed: the combined prefix
+	// follows the slowest lane (Fig. 2b at system scale).
+	s, e := newSystem(t)
+	e.Run(60 * sim.Second)
+	fast, err := s.AddNode(1, 8*layout.RateBps, sourceParents(), 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s.AddNode(2, layout.RateBps/8, sourceParents(), 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(80 * sim.Second)
+	start := fast.Latest(0) - 30
+	// Child: lane 0 from the slow relay, lanes 1-3 from the fast one.
+	child, err := s.AddNode(3, layout.RateBps, []int{2, 1, 1, 1}, start, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(100 * sim.Second)
+	minLatest := child.Latest(0)
+	for j := 1; j < layout.K; j++ {
+		if l := child.Latest(j); l < minLatest {
+			minLatest = l
+		}
+	}
+	if child.Latest(0) >= child.Latest(1) {
+		t.Fatalf("slow lane not behind: %d vs %d", child.Latest(0), child.Latest(1))
+	}
+	// Combined prefix cannot run ahead of the slowest lane.
+	maxCombined := (minLatest + 1) * int64(layout.K)
+	if child.Combined() > maxCombined {
+		t.Fatalf("combined %d beyond slowest lane bound %d", child.Combined(), maxCombined)
+	}
+	_ = slow
+}
+
+func TestMicroMatchesFluidTrajectory(t *testing.T) {
+	// E15 head-to-head: the same two-node catch-up through the
+	// block-level queue and through the pure fluid integrator.
+	s, e := newSystem(t)
+	e.Run(60 * sim.Second)
+	relay, err := s.AddNode(1, 3*layout.RateBps, sourceParents(), 60, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(90 * sim.Second)
+	deficit := int64(24)
+	start := relay.Latest(0) - deficit
+	child, err := s.AddNode(2, layout.RateBps, []int{1, 1, 1, 1}, start, 1e9 /* never "ready": observe raw transfer */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinAt := e.Now()
+	fluidT, caught, err := analysis.FluidTransfer(layout, float64(deficit), 3*layout.RateBps/4, 1, 1e12, 0.005, 300)
+	if err != nil || !caught {
+		t.Fatalf("fluid: %v", err)
+	}
+	caughtAt := sim.Time(-1)
+	for step := 0; step < 300; step++ {
+		e.Run(e.Now() + sim.Second)
+		live := int64(layout.GlobalAt(e.Now())) / int64(layout.K)
+		if live-child.Latest(0) <= 1 {
+			caughtAt = e.Now()
+			break
+		}
+	}
+	if caughtAt < 0 {
+		t.Fatal("micro never caught up")
+	}
+	microT := (caughtAt - joinAt).Seconds()
+	if math.Abs(microT-fluidT) > 3 {
+		t.Fatalf("micro %.1fs vs fluid %.1fs", microT, fluidT)
+	}
+}

@@ -1,0 +1,120 @@
+package microsim
+
+import (
+	"testing"
+
+	"coolstream/internal/sim"
+)
+
+func TestPullConfigValidate(t *testing.T) {
+	good := PullConfig{SchedPeriod: sim.Second, Window: 20, ReqDelay: 50 * sim.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PullConfig{
+		{SchedPeriod: 0, Window: 20},
+		{SchedPeriod: sim.Second, Window: 0},
+		{SchedPeriod: sim.Second, Window: 5, ReqDelay: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestPullNodeValidation(t *testing.T) {
+	s, e := newSystem(t)
+	e.Run(10 * sim.Second)
+	pc := PullConfig{SchedPeriod: sim.Second, Window: 20, ReqDelay: 50 * sim.Millisecond}
+	if _, err := s.AddPullNode(1, 1e6, []int{SourceID}, 0, 10, pc); err == nil {
+		t.Fatal("wrong parent count accepted")
+	}
+	if _, err := s.AddPullNode(1, 1e6, []int{9, 9, 9, 9}, 0, 10, pc); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if _, err := s.AddPullNode(1, 1e6, sourceParents(), 0, 10, PullConfig{}); err == nil {
+		t.Fatal("invalid pull config accepted")
+	}
+}
+
+func TestPullNodeStreamsFromSource(t *testing.T) {
+	s, e := newSystem(t)
+	e.Run(30 * sim.Second)
+	pc := PullConfig{SchedPeriod: sim.Second, Window: 30, ReqDelay: 50 * sim.Millisecond}
+	n, err := s.AddPullNode(1, 10*layout.RateBps, sourceParents(), 40, 10, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(80 * sim.Second)
+	if n.ReadyAt() < 0 {
+		t.Fatal("pull node never ready")
+	}
+	// It keeps pace with the live edge within roughly one scheduling
+	// window.
+	live := int64(layout.GlobalAt(e.Now())) / int64(layout.K)
+	if lag := live - n.Latest(0); lag > 2*2+pc.Window {
+		t.Fatalf("pull node lag %d blocks", lag)
+	}
+	// Combination progressed (pull delivers across all lanes).
+	if n.Combined() < (n.startSeq+20)*int64(layout.K) {
+		t.Fatalf("combined %d too short", n.Combined())
+	}
+}
+
+func TestPullSlowerThanPushSameTopology(t *testing.T) {
+	// E21's essence: same relay, same capacity — the push child reaches
+	// ready no later than the pull child (pull pays scheduling-round
+	// discretisation plus request latency).
+	s, e := newSystem(t)
+	e.Run(30 * sim.Second)
+	relay, err := s.AddNode(1, 4*layout.RateBps, sourceParents(), 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(60 * sim.Second)
+	start := relay.Latest(0) - 20
+
+	push, err := s.AddNode(2, layout.RateBps, []int{1, 1, 1, 1}, start, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := s.AddPullNode(3, layout.RateBps, []int{1, 1, 1, 1}, start, 15,
+		PullConfig{SchedPeriod: sim.Second, Window: 40, ReqDelay: 100 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinAt := e.Now()
+	e.Run(e.Now() + 2*sim.Minute)
+	if push.ReadyAt() < 0 || pull.ReadyAt() < 0 {
+		t.Fatalf("ready: push=%v pull=%v", push.ReadyAt(), pull.ReadyAt())
+	}
+	pushDelay := (push.ReadyAt() - joinAt).Seconds()
+	pullDelay := (pull.ReadyAt() - joinAt).Seconds()
+	if pullDelay < pushDelay {
+		t.Fatalf("pull (%.2fs) beat push (%.2fs)?", pullDelay, pushDelay)
+	}
+	// The gap should be visible: at least a fraction of the scheduling
+	// period.
+	if pullDelay-pushDelay < 0.2 {
+		t.Fatalf("no pull penalty visible: push %.2fs pull %.2fs", pushDelay, pullDelay)
+	}
+}
+
+func TestPullNodeNeverReceivesUnrequestedPushes(t *testing.T) {
+	s, e := newSystem(t)
+	e.Run(20 * sim.Second)
+	pc := PullConfig{SchedPeriod: 500 * sim.Millisecond, Window: 10, ReqDelay: 20 * sim.Millisecond}
+	n, err := s.AddPullNode(1, layout.RateBps, sourceParents(), 20, 5, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the first scheduling round fires, nothing has arrived.
+	if n.Latest(0) >= 20 {
+		t.Fatal("pull node received data before its first request round")
+	}
+	e.Run(e.Now() + 10*sim.Second)
+	if n.Latest(0) < 20 {
+		t.Fatal("pull node received nothing after rounds")
+	}
+}

@@ -1,0 +1,186 @@
+// Package netboot is the boot-strap service for networked peers
+// (§III-B over HTTP): nodes register their listen address on join,
+// deregister on leave, and newcomers fetch a random partial list of
+// candidates — exactly the role the deployment's boot-strap node and
+// web portal played.
+package netboot
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+
+	"coolstream/internal/xrand"
+)
+
+// Entry is one registered peer.
+type Entry struct {
+	ID   int32  `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Server is the HTTP bootstrap registry.
+type Server struct {
+	mu    sync.Mutex
+	peers map[int32]string
+	rng   *xrand.RNG
+}
+
+// NewServer creates an empty registry.
+func NewServer(seed uint64) *Server {
+	return &Server{peers: make(map[int32]string), rng: xrand.New(seed)}
+}
+
+// ServeHTTP implements http.Handler:
+//
+//	GET /register?id=N&addr=HOST:PORT → 204
+//	GET /leave?id=N                   → 204
+//	GET /candidates?n=K&exclude=N     → JSON [Entry...]
+//	GET /count                        → JSON {"count":N}
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	switch r.URL.Path {
+	case "/register":
+		id, err := parseID(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		addr := q.Get("addr")
+		if addr == "" {
+			http.Error(w, "netboot: missing addr", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.peers[id] = addr
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	case "/leave":
+		id, err := parseID(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		delete(s.peers, id)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	case "/candidates":
+		n, _ := strconv.Atoi(q.Get("n"))
+		if n <= 0 {
+			n = 10
+		}
+		exclude64, _ := strconv.ParseInt(q.Get("exclude"), 10, 32)
+		exclude := int32(exclude64)
+		out := s.Candidates(n, exclude)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	case "/count":
+		s.mu.Lock()
+		n := len(s.peers)
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"count":%d}`+"\n", n)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func parseID(q url.Values) (int32, error) {
+	id, err := strconv.ParseInt(q.Get("id"), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("netboot: bad id %q", q.Get("id"))
+	}
+	return int32(id), nil
+}
+
+// Candidates returns up to n random registered peers, excluding one ID.
+func (s *Server) Candidates(n int, exclude int32) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int32, 0, len(s.peers))
+	for id := range s.peers {
+		if id != exclude {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	s.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	if n > len(ids) {
+		n = len(ids)
+	}
+	out := make([]Entry, 0, n)
+	for _, id := range ids[:n] {
+		out = append(out, Entry{ID: id, Addr: s.peers[id]})
+	}
+	return out
+}
+
+// Count returns the number of registered peers.
+func (s *Server) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peers)
+}
+
+// Client talks to a bootstrap server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient wraps the server at base (e.g. "http://127.0.0.1:7000").
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+func (c *Client) get(path string) (*http.Response, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		resp.Body.Close()
+		return nil, fmt.Errorf("netboot: %s: %s", path, resp.Status)
+	}
+	return resp, nil
+}
+
+// Register announces a peer's listen address.
+func (c *Client) Register(id int32, addr string) error {
+	resp, err := c.get(fmt.Sprintf("/register?id=%d&addr=%s", id, url.QueryEscape(addr)))
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Leave removes a peer from the registry.
+func (c *Client) Leave(id int32) error {
+	resp, err := c.get(fmt.Sprintf("/leave?id=%d", id))
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Candidates fetches up to n candidates, excluding the caller's ID.
+func (c *Client) Candidates(n int, exclude int32) ([]Entry, error) {
+	resp, err := c.get(fmt.Sprintf("/candidates?n=%d&exclude=%d", n, exclude))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []Entry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("netboot: decode candidates: %w", err)
+	}
+	return out, nil
+}

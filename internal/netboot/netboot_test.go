@@ -1,0 +1,138 @@
+package netboot
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(1)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL, nil)
+}
+
+func TestRegisterCandidatesLeave(t *testing.T) {
+	srv, c := newPair(t)
+	for id := int32(1); id <= 5; id++ {
+		if err := c.Register(id, "127.0.0.1:900"+string(rune('0'+id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Count() != 5 {
+		t.Fatalf("count %d", srv.Count())
+	}
+	cands, err := c.Candidates(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("candidates %d", len(cands))
+	}
+	for _, e := range cands {
+		if e.ID == 1 {
+			t.Fatal("excluded id returned")
+		}
+		if e.Addr == "" {
+			t.Fatal("empty addr")
+		}
+	}
+	if err := c.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Count() != 4 {
+		t.Fatalf("count after leave %d", srv.Count())
+	}
+	// Requesting more than available returns all.
+	cands, _ = c.Candidates(100, -1)
+	if len(cands) != 4 {
+		t.Fatalf("all candidates %d", len(cands))
+	}
+}
+
+func TestReRegisterUpdatesAddr(t *testing.T) {
+	srv, c := newPair(t)
+	c.Register(7, "127.0.0.1:1111")
+	c.Register(7, "127.0.0.1:2222")
+	if srv.Count() != 1 {
+		t.Fatalf("count %d", srv.Count())
+	}
+	cands := srv.Candidates(1, -1)
+	if cands[0].Addr != "127.0.0.1:2222" {
+		t.Fatalf("addr %s", cands[0].Addr)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, c := newPair(t)
+	ts := httptest.NewServer(NewServer(2))
+	defer ts.Close()
+	for _, path := range []string{
+		"/register?id=abc&addr=x",
+		"/register?id=1",
+		"/leave?id=xyz",
+		"/nonsense",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 {
+			t.Errorf("%s returned %d", path, resp.StatusCode)
+		}
+	}
+	// Client surfaces server rejections.
+	if err := c.Register(1, ""); err == nil {
+		t.Error("empty addr accepted")
+	}
+	// Transport failure.
+	dead := NewClient("http://127.0.0.1:1", nil)
+	if err := dead.Register(1, "x"); err == nil {
+		t.Error("dead server register succeeded")
+	}
+	if _, err := dead.Candidates(3, 0); err == nil {
+		t.Error("dead server candidates succeeded")
+	}
+}
+
+func TestCountEndpoint(t *testing.T) {
+	srv := NewServer(3)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	c.Register(1, "a:1")
+	resp, err := http.Get(ts.URL + "/count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64)
+	n, _ := resp.Body.Read(buf)
+	if got := string(buf[:n]); got != "{\"count\":1}\n" {
+		t.Fatalf("count body %q", got)
+	}
+}
+
+func TestCandidatesVary(t *testing.T) {
+	srv, c := newPair(t)
+	for id := int32(1); id <= 30; id++ {
+		c.Register(id, "x:1")
+	}
+	a, _ := c.Candidates(5, -1)
+	varied := false
+	for i := 0; i < 10 && !varied; i++ {
+		b, _ := c.Candidates(5, -1)
+		for j := range b {
+			if b[j].ID != a[j].ID {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("candidate sampling is constant")
+	}
+	_ = srv
+}

@@ -1,0 +1,79 @@
+package netmodel
+
+import "sort"
+
+// Demand is one child sub-stream transmission competing for a parent's
+// upload capacity.
+//
+// Need is the rate (bps) at which the transmission can usefully
+// consume bandwidth right now: R/K for a caught-up child (it can only
+// absorb the live sub-stream rate), or a higher ceiling for a child in
+// catch-up (bounded by its download capacity and by how far behind it
+// is). Weight scales the fair share (all 1 in the base protocol).
+type Demand struct {
+	Need   float64
+	Weight float64
+}
+
+// WaterFill divides capacity among demands by progressive filling
+// (max-min fairness): every demand grows at rate proportional to its
+// weight until it hits its Need, and freed capacity is redistributed
+// among the still-unsatisfied demands. The returned slice has one rate
+// per demand, rates[i] <= demands[i].Need, sum(rates) <= capacity.
+//
+// This generalises the paper's Eq. (5): with D equal unweighted
+// demands all needing more than capacity/D, every child receives
+// exactly capacity/D.
+func WaterFill(capacity float64, demands []Demand) []float64 {
+	rates := make([]float64, len(demands))
+	if capacity <= 0 || len(demands) == 0 {
+		return rates
+	}
+	// Order demand indices by Need/Weight, the level at which each
+	// demand saturates.
+	type entry struct {
+		idx   int
+		level float64 // Need/Weight
+	}
+	entries := make([]entry, 0, len(demands))
+	totalWeight := 0.0
+	for i, d := range demands {
+		if d.Need <= 0 || d.Weight <= 0 {
+			continue
+		}
+		entries = append(entries, entry{idx: i, level: d.Need / d.Weight})
+		totalWeight += d.Weight
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].level < entries[j].level })
+
+	remaining := capacity
+	for k, e := range entries {
+		d := demands[e.idx]
+		// Fair level if all remaining demands shared `remaining`.
+		share := remaining * d.Weight / totalWeight
+		if share >= d.Need {
+			// Demand saturates; give it exactly Need and move on.
+			rates[e.idx] = d.Need
+			remaining -= d.Need
+			totalWeight -= d.Weight
+			continue
+		}
+		// No remaining demand saturates: split the rest by weight.
+		for _, e2 := range entries[k:] {
+			d2 := demands[e2.idx]
+			rates[e2.idx] = remaining * d2.Weight / totalWeight
+		}
+		return rates
+	}
+	return rates
+}
+
+// EqualSplit is the paper's literal Eq. (5) allocation: capacity/D per
+// transmission regardless of need. Kept as an ablation comparator for
+// WaterFill.
+func EqualSplit(capacity float64, n int) float64 {
+	if n <= 0 || capacity <= 0 {
+		return 0
+	}
+	return capacity / float64(n)
+}

@@ -1,0 +1,119 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/xrand"
+)
+
+func TestWaterFillEqualSplitWhenOverloaded(t *testing.T) {
+	// Paper Eq. (5): D equal demands, each needing more than C/D,
+	// each receives exactly C/D.
+	demands := []Demand{{Need: 100, Weight: 1}, {Need: 100, Weight: 1}, {Need: 100, Weight: 1}, {Need: 100, Weight: 1}}
+	rates := WaterFill(120, demands)
+	for i, r := range rates {
+		if math.Abs(r-30) > 1e-9 {
+			t.Fatalf("rate[%d] = %v, want 30", i, r)
+		}
+	}
+}
+
+func TestWaterFillSatisfiesSmallDemands(t *testing.T) {
+	demands := []Demand{{Need: 10, Weight: 1}, {Need: 200, Weight: 1}}
+	rates := WaterFill(100, demands)
+	if math.Abs(rates[0]-10) > 1e-9 {
+		t.Fatalf("small demand got %v, want 10", rates[0])
+	}
+	if math.Abs(rates[1]-90) > 1e-9 {
+		t.Fatalf("large demand got %v, want 90 (redistributed surplus)", rates[1])
+	}
+}
+
+func TestWaterFillAllSatisfiedUnderCapacity(t *testing.T) {
+	demands := []Demand{{Need: 10, Weight: 1}, {Need: 20, Weight: 1}}
+	rates := WaterFill(1000, demands)
+	if rates[0] != 10 || rates[1] != 20 {
+		t.Fatalf("rates %v, want demands met exactly", rates)
+	}
+}
+
+func TestWaterFillWeights(t *testing.T) {
+	demands := []Demand{{Need: 1000, Weight: 1}, {Need: 1000, Weight: 3}}
+	rates := WaterFill(100, demands)
+	if math.Abs(rates[0]-25) > 1e-9 || math.Abs(rates[1]-75) > 1e-9 {
+		t.Fatalf("weighted rates %v, want [25 75]", rates)
+	}
+}
+
+func TestWaterFillDegenerateInputs(t *testing.T) {
+	if rates := WaterFill(0, []Demand{{Need: 5, Weight: 1}}); rates[0] != 0 {
+		t.Fatal("zero capacity should allocate zero")
+	}
+	if rates := WaterFill(-5, []Demand{{Need: 5, Weight: 1}}); rates[0] != 0 {
+		t.Fatal("negative capacity should allocate zero")
+	}
+	if len(WaterFill(100, nil)) != 0 {
+		t.Fatal("empty demands should return empty slice")
+	}
+	rates := WaterFill(100, []Demand{{Need: 0, Weight: 1}, {Need: -3, Weight: 1}, {Need: 10, Weight: 0}})
+	for i, r := range rates {
+		if r != 0 {
+			t.Fatalf("invalid demand %d got %v", i, r)
+		}
+	}
+}
+
+func TestWaterFillInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(20)
+		demands := make([]Demand, n)
+		for i := range demands {
+			demands[i] = Demand{Need: r.Float64() * 100, Weight: 0.1 + r.Float64()}
+		}
+		capacity := r.Float64() * 300
+		rates := WaterFill(capacity, demands)
+		sum := 0.0
+		for i, rate := range rates {
+			if rate < -1e-9 || rate > demands[i].Need+1e-9 {
+				return false // rate within [0, Need]
+			}
+			sum += rate
+		}
+		if sum > capacity+1e-6 {
+			return false // capacity respected
+		}
+		// Work conservation: if some demand is unsatisfied, (almost)
+		// all capacity must be in use.
+		unsat := false
+		for i, rate := range rates {
+			if demands[i].Need > 0 && rate < demands[i].Need-1e-9 {
+				unsat = true
+			}
+		}
+		totalNeed := 0.0
+		for _, d := range demands {
+			if d.Need > 0 && d.Weight > 0 {
+				totalNeed += d.Need
+			}
+		}
+		if unsat && totalNeed > capacity && sum < capacity-1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualSplit(t *testing.T) {
+	if EqualSplit(100, 4) != 25 {
+		t.Fatal("EqualSplit(100,4) != 25")
+	}
+	if EqualSplit(100, 0) != 0 || EqualSplit(-1, 3) != 0 {
+		t.Fatal("EqualSplit degenerate cases not zero")
+	}
+}

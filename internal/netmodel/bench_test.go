@@ -1,0 +1,28 @@
+package netmodel
+
+import (
+	"testing"
+
+	"coolstream/internal/xrand"
+)
+
+func BenchmarkWaterFill(b *testing.B) {
+	r := xrand.New(1)
+	demands := make([]Demand, 32)
+	for i := range demands {
+		demands[i] = Demand{Need: 1e5 + r.Float64()*1e6, Weight: 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WaterFill(5e6, demands)
+	}
+}
+
+func BenchmarkUniformLatency(b *testing.B) {
+	l := UniformLatency{Min: 10, Max: 300, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Delay(i&1023, (i>>1)&1023)
+	}
+}

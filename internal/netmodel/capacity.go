@@ -1,0 +1,64 @@
+package netmodel
+
+import (
+	"coolstream/internal/stats"
+	"coolstream/internal/xrand"
+)
+
+// CapacityProfile draws upload/download capacities per user class.
+// The per-class samplers encode the paper's central empirical fact:
+// direct-connect/UPnP peers carry most of the upload capacity while
+// NAT/firewall peers contribute little (Fig. 3b).
+type CapacityProfile struct {
+	// Upload[class] samples upload capacity in bps.
+	Upload [NumClasses]stats.Sampler
+	// Download[class] samples download capacity in bps.
+	Download [NumClasses]stats.Sampler
+}
+
+// DefaultCapacityProfile returns a profile calibrated to a 2006-era
+// broadband mix for a streamRate-bps program:
+//
+//   - direct:  university/office links, 1–10× stream rate upload
+//   - upnp:    home broadband with working UPnP, 0.5–4× stream rate
+//   - nat:     ADSL uplinks, 0.1–1× stream rate
+//   - firewall: office links behind strict firewalls, 0.2–1.5×
+//
+// Downloads are provisioned at >= 1.5× stream rate for all classes so
+// that download capacity is rarely the binding constraint, matching
+// the paper's focus on upload scarcity.
+func DefaultCapacityProfile(streamRate float64) CapacityProfile {
+	var p CapacityProfile
+	p.Upload[Direct] = stats.BoundedPareto{Lo: 1.0 * streamRate, Hi: 10 * streamRate, Alpha: 1.2}
+	p.Upload[UPnP] = stats.BoundedPareto{Lo: 0.5 * streamRate, Hi: 4 * streamRate, Alpha: 1.5}
+	p.Upload[NAT] = stats.Uniform{Lo: 0.1 * streamRate, Hi: 1.0 * streamRate}
+	p.Upload[Firewall] = stats.Uniform{Lo: 0.2 * streamRate, Hi: 1.5 * streamRate}
+	for c := 0; c < NumClasses; c++ {
+		p.Download[c] = stats.Uniform{Lo: 1.5 * streamRate, Hi: 8 * streamRate}
+	}
+	return p
+}
+
+// Draw samples an Endpoint of the given class.
+func (p CapacityProfile) Draw(class UserClass, r *xrand.RNG) Endpoint {
+	return Endpoint{
+		Class:       class,
+		UploadBps:   p.Upload[class].Sample(r),
+		DownloadBps: p.Download[class].Sample(r),
+	}
+}
+
+// ClassMix is the population fraction of each user class. The paper's
+// Fig. 3a shows roughly 30% direct+UPnP and 70% NAT+firewall.
+type ClassMix [NumClasses]float64
+
+// DefaultClassMix matches Fig. 3a's reported shape: ~15% direct,
+// ~15% UPnP, ~55% NAT, ~15% firewall.
+func DefaultClassMix() ClassMix {
+	return ClassMix{Direct: 0.15, UPnP: 0.15, NAT: 0.55, Firewall: 0.15}
+}
+
+// Sampler returns a categorical sampler over the class mix.
+func (m ClassMix) Sampler() *stats.Categorical {
+	return stats.NewCategorical(m[:])
+}

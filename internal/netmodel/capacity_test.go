@@ -1,0 +1,112 @@
+package netmodel
+
+import (
+	"testing"
+
+	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
+)
+
+func TestDefaultCapacityProfileOrdering(t *testing.T) {
+	const rate = 768e3
+	p := DefaultCapacityProfile(rate)
+	r := xrand.New(1)
+	const n = 5000
+	var mean [NumClasses]float64
+	for c := UserClass(0); c < NumClasses; c++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			ep := p.Draw(c, r)
+			if ep.UploadBps <= 0 || ep.DownloadBps <= 0 {
+				t.Fatalf("non-positive capacity for %v", c)
+			}
+			if ep.Class != c {
+				t.Fatalf("Draw mislabelled class")
+			}
+			sum += ep.UploadBps
+		}
+		mean[c] = sum / n
+	}
+	// Direct-connect peers must dominate NAT peers in mean upload;
+	// this ordering is what produces Fig. 3b's skew.
+	if mean[Direct] <= mean[NAT] {
+		t.Fatalf("direct mean %v not above NAT mean %v", mean[Direct], mean[NAT])
+	}
+	if mean[UPnP] <= mean[NAT] {
+		t.Fatalf("UPnP mean %v not above NAT mean %v", mean[UPnP], mean[NAT])
+	}
+	// NAT mean must sit below the stream rate: NAT peers cannot on
+	// average sustain a full stream, the engine of peer competition.
+	if mean[NAT] >= rate {
+		t.Fatalf("NAT mean %v >= stream rate", mean[NAT])
+	}
+}
+
+func TestDefaultClassMixSumsToOne(t *testing.T) {
+	m := DefaultClassMix()
+	sum := 0.0
+	for _, f := range m {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("class mix sums to %v", sum)
+	}
+	if m[NAT]+m[Firewall] <= m[Direct]+m[UPnP] {
+		t.Fatal("mix must be NAT/firewall dominated per Fig. 3a")
+	}
+}
+
+func TestClassMixSamplerFrequencies(t *testing.T) {
+	m := DefaultClassMix()
+	s := m.Sampler()
+	r := xrand.New(2)
+	var counts [NumClasses]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Draw(r)]++
+	}
+	for c := 0; c < NumClasses; c++ {
+		got := float64(counts[c]) / n
+		if got < m[c]-0.01 || got > m[c]+0.01 {
+			t.Fatalf("class %v frequency %v, want ~%v", UserClass(c), got, m[c])
+		}
+	}
+}
+
+func TestUniformLatencyStableAndSymmetric(t *testing.T) {
+	l := UniformLatency{Min: 10 * sim.Millisecond, Max: 200 * sim.Millisecond, Seed: 7}
+	d1 := l.Delay(3, 9)
+	d2 := l.Delay(9, 3)
+	d3 := l.Delay(3, 9)
+	if d1 != d2 {
+		t.Fatal("latency not symmetric")
+	}
+	if d1 != d3 {
+		t.Fatal("latency not stable")
+	}
+	if d1 < l.Min || d1 >= l.Max {
+		t.Fatalf("latency %v outside [%v,%v)", d1, l.Min, l.Max)
+	}
+	// Degenerate range.
+	flat := UniformLatency{Min: 5, Max: 5}
+	if flat.Delay(1, 2) != 5 {
+		t.Fatal("degenerate latency range should return Min")
+	}
+}
+
+func TestUniformLatencyVariesAcrossPairs(t *testing.T) {
+	l := UniformLatency{Min: 0, Max: 1000, Seed: 11}
+	seen := map[sim.Time]bool{}
+	for i := 0; i < 50; i++ {
+		seen[l.Delay(0, i+1)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("latency nearly constant across pairs: %d distinct", len(seen))
+	}
+}
+
+func TestConstantLatency(t *testing.T) {
+	if (ConstantLatency{D: 42}).Delay(1, 2) != 42 {
+		t.Fatal("ConstantLatency wrong")
+	}
+}

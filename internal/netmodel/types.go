@@ -1,0 +1,117 @@
+// Package netmodel models the Internet substrate under the overlay:
+// user connection classes (direct-connect, UPnP, NAT, firewall),
+// upload-capacity distributions, reachability rules for partnership
+// establishment, a latency model, and the upload bandwidth allocator
+// that divides a parent's capacity among its sub-stream children.
+//
+// The paper classifies users by IP visibility and partner
+// directionality (§V-B) and shows the class mix drives both the upload
+// contribution skew (Fig. 3) and the overlay's convergence towards
+// direct-connect/UPnP parents (Fig. 4). This package is where those
+// structural constraints live.
+package netmodel
+
+import "fmt"
+
+// UserClass is the connection type of a peer, per §V-B of the paper.
+type UserClass uint8
+
+const (
+	// Direct peers have public addresses accepting both incoming and
+	// outgoing partnerships.
+	Direct UserClass = iota
+	// UPnP peers have private addresses but acquire a public mapping
+	// from a UPnP gateway, so they behave like Direct.
+	UPnP
+	// NAT peers have private addresses and only outgoing partnerships.
+	NAT
+	// Firewall peers have public addresses but inbound connections are
+	// blocked, so they too have only outgoing partnerships.
+	Firewall
+
+	// NumClasses is the number of user classes.
+	NumClasses = 4
+)
+
+// String implements fmt.Stringer.
+func (c UserClass) String() string {
+	switch c {
+	case Direct:
+		return "direct"
+	case UPnP:
+		return "upnp"
+	case NAT:
+		return "nat"
+	case Firewall:
+		return "firewall"
+	default:
+		return fmt.Sprintf("UserClass(%d)", uint8(c))
+	}
+}
+
+// ParseUserClass parses the String form back to a UserClass.
+func ParseUserClass(s string) (UserClass, error) {
+	switch s {
+	case "direct":
+		return Direct, nil
+	case "upnp":
+		return UPnP, nil
+	case "nat":
+		return NAT, nil
+	case "firewall":
+		return Firewall, nil
+	}
+	return 0, fmt.Errorf("netmodel: unknown user class %q", s)
+}
+
+// Reachable reports whether the class accepts incoming partnership
+// establishment (public visibility). Only Direct and UPnP peers do;
+// this is the structural asymmetry behind the paper's Fig. 4 overlay.
+func (c UserClass) Reachable() bool { return c == Direct || c == UPnP }
+
+// HasPrivateAddress reports whether peers of this class report a
+// private (RFC1918) address to the log server. Used by the log-based
+// classifier reproducing the paper's methodology.
+func (c UserClass) HasPrivateAddress() bool { return c == UPnP || c == NAT }
+
+// Endpoint is a node's network-level identity and capacity.
+type Endpoint struct {
+	Class UserClass
+	// UploadBps is the access-link upload capacity in bits/second.
+	UploadBps float64
+	// DownloadBps is the access-link download capacity in bits/second.
+	DownloadBps float64
+	// Server marks dedicated streaming servers deployed alongside the
+	// source (the paper's 24×100 Mbps tier). Servers are Direct-class
+	// and never depart.
+	Server bool
+}
+
+// CanEstablish reports whether an initiator can establish a TCP
+// partnership with an acceptor, given the NAT/firewall rules:
+// the acceptor must be publicly reachable. NAT hole punching between
+// two unreachable peers is modelled by the caller with a traversal
+// probability (see Reachability).
+func CanEstablish(initiator, acceptor UserClass) bool {
+	return acceptor.Reachable()
+}
+
+// Reachability augments CanEstablish with a NAT-traversal success
+// probability for the unreachable→unreachable case. The paper observes
+// such "random links" exist but are rare (§V-B.2).
+type Reachability struct {
+	// TraversalProb is the probability that a connection attempt
+	// between two non-reachable peers succeeds anyway (UDP hole
+	// punching, ALGs); typically small, e.g. 0.05.
+	TraversalProb float64
+}
+
+// Attempt reports whether a partnership attempt initiator→acceptor
+// succeeds, drawing on u (a uniform [0,1) variate supplied by the
+// caller's RNG) only when the traversal case applies.
+func (r Reachability) Attempt(initiator, acceptor UserClass, u float64) bool {
+	if CanEstablish(initiator, acceptor) {
+		return true
+	}
+	return u < r.TraversalProb
+}

@@ -1,0 +1,77 @@
+package netmodel
+
+import "testing"
+
+func TestUserClassString(t *testing.T) {
+	cases := map[UserClass]string{
+		Direct: "direct", UPnP: "upnp", NAT: "nat", Firewall: "firewall",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if UserClass(99).String() != "UserClass(99)" {
+		t.Errorf("unknown class string = %q", UserClass(99).String())
+	}
+}
+
+func TestParseUserClassRoundTrip(t *testing.T) {
+	for c := UserClass(0); c < NumClasses; c++ {
+		got, err := ParseUserClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseUserClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseUserClass("bogus"); err == nil {
+		t.Error("ParseUserClass accepted bogus input")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	if !Direct.Reachable() || !UPnP.Reachable() {
+		t.Error("public classes must be reachable")
+	}
+	if NAT.Reachable() || Firewall.Reachable() {
+		t.Error("NAT/firewall must not be reachable")
+	}
+}
+
+func TestHasPrivateAddress(t *testing.T) {
+	if !UPnP.HasPrivateAddress() || !NAT.HasPrivateAddress() {
+		t.Error("UPnP and NAT report private addresses")
+	}
+	if Direct.HasPrivateAddress() || Firewall.HasPrivateAddress() {
+		t.Error("direct and firewall report public addresses")
+	}
+}
+
+func TestCanEstablishMatrix(t *testing.T) {
+	for init := UserClass(0); init < NumClasses; init++ {
+		for acc := UserClass(0); acc < NumClasses; acc++ {
+			want := acc == Direct || acc == UPnP
+			if got := CanEstablish(init, acc); got != want {
+				t.Errorf("CanEstablish(%v,%v) = %v, want %v", init, acc, got, want)
+			}
+		}
+	}
+}
+
+func TestReachabilityTraversal(t *testing.T) {
+	r := Reachability{TraversalProb: 0.25}
+	// Reachable acceptor always succeeds regardless of u.
+	if !r.Attempt(NAT, Direct, 0.99) {
+		t.Error("attempt to reachable acceptor failed")
+	}
+	// Unreachable acceptor succeeds only under the traversal draw.
+	if !r.Attempt(NAT, NAT, 0.1) {
+		t.Error("traversal draw under prob should succeed")
+	}
+	if r.Attempt(NAT, Firewall, 0.9) {
+		t.Error("traversal draw over prob should fail")
+	}
+	// Zero traversal blocks all unreachable attempts.
+	if (Reachability{}).Attempt(Firewall, NAT, 0) {
+		t.Error("zero traversal prob let a NAT-NAT link through")
+	}
+}

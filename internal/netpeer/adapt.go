@@ -1,0 +1,184 @@
+package netpeer
+
+import (
+	"time"
+
+	"coolstream/internal/protocol"
+	"coolstream/internal/xrand"
+)
+
+// AdaptConfig parameterises the networked adaptation loop — the §IV-B
+// logic running over real sockets.
+type AdaptConfig struct {
+	// Ts is the own-deviation threshold (Inequality (1)), in blocks.
+	Ts int64
+	// Tp is the partner-lag threshold (Inequality (2)), in blocks.
+	Tp int64
+	// Ta is the adaptation cool-down.
+	Ta time.Duration
+	// Check is how often the monitor evaluates the inequalities.
+	Check time.Duration
+	// Seed drives the random choice among eligible parents.
+	Seed uint64
+}
+
+// EnableAdaptation starts the peer-adaptation monitor: every Check
+// interval it evaluates Inequalities (1) and (2) against the latest
+// partner buffer maps and, at most once per Ta, unsubscribes the worst
+// lagging sub-stream from its parent and re-subscribes it to a random
+// eligible partner. Call after the initial subscriptions are placed
+// with SubscribeTracked.
+func (n *Node) EnableAdaptation(cfg AdaptConfig) {
+	if cfg.Check <= 0 {
+		cfg.Check = 500 * time.Millisecond
+	}
+	rng := xrand.New(cfg.Seed ^ uint64(n.cfg.ID)<<32)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(cfg.Check)
+		defer ticker.Stop()
+		var lastSwitch time.Time
+		for range ticker.C {
+			n.mu.Lock()
+			if n.closed {
+				n.mu.Unlock()
+				return
+			}
+			if !n.started || time.Since(lastSwitch) < cfg.Ta {
+				n.mu.Unlock()
+				continue
+			}
+			plan, ok := n.planSwitchLocked(cfg, rng)
+			n.mu.Unlock()
+			if !ok {
+				continue
+			}
+			// Perform the switch outside the lock: network sends block.
+			if plan.oldParent >= 0 {
+				if cn := n.connOf(plan.oldParent); cn != nil {
+					cn.send(protocol.Message{
+						Type: protocol.TypeUnsubscribe, From: n.cfg.ID, To: plan.oldParent,
+						SubStream: int16(plan.lane),
+					})
+				}
+			}
+			if err := n.SubscribeTracked(plan.newParent, plan.lane, plan.from); err == nil {
+				lastSwitch = time.Now()
+			}
+		}
+	}()
+}
+
+// switchPlan is one adaptation decision.
+type switchPlan struct {
+	lane      int
+	oldParent int32
+	newParent int32
+	from      int64
+}
+
+// planSwitchLocked evaluates the inequalities under n.mu and picks the
+// worst violated lane plus an eligible replacement parent.
+func (n *Node) planSwitchLocked(cfg AdaptConfig, rng *xrand.RNG) (switchPlan, bool) {
+	k := n.cfg.Layout.K
+	// Own per-lane progress and the maximum.
+	own := make([]int64, k)
+	var maxOwn int64
+	for j := 0; j < k; j++ {
+		own[j] = n.sb.Latest(j)
+		if own[j] > maxOwn {
+			maxOwn = own[j]
+		}
+	}
+	// Best advertised progress across partners.
+	var best int64
+	for _, bm := range n.lastBM {
+		if m := bm.MaxLatest(); m > best {
+			best = m
+		}
+	}
+	if best == 0 {
+		return switchPlan{}, false
+	}
+	worst, worstLag := -1, int64(-1)
+	for j := 0; j < k; j++ {
+		lag1 := maxOwn - own[j]
+		violated := lag1 >= cfg.Ts
+		parent := n.laneParent[j]
+		if parent >= 0 {
+			if bm, ok := n.lastBM[parent]; ok && bm.K() == k {
+				if best-bm.Latest[j] >= cfg.Tp {
+					violated = true // Inequality (2)
+				}
+			}
+		} else {
+			violated = true // stalled lane: always re-subscribe
+		}
+		if violated && lag1 > worstLag {
+			worst, worstLag = j, lag1
+		}
+	}
+	if worst < 0 {
+		return switchPlan{}, false
+	}
+	// Eligible replacements: partners ahead of us on the lane and
+	// within Tp of the best advertiser.
+	var cands []int32
+	for pid, bm := range n.lastBM {
+		if bm.K() != k || pid == n.laneParent[worst] {
+			continue
+		}
+		if bm.Latest[worst] <= own[worst] {
+			continue
+		}
+		if best-bm.Latest[worst] >= cfg.Tp {
+			continue
+		}
+		if _, connected := n.conns[pid]; !connected {
+			continue
+		}
+		cands = append(cands, pid)
+	}
+	if len(cands) == 0 {
+		return switchPlan{}, false
+	}
+	// Deterministic order for the random draw.
+	for i := 1; i < len(cands); i++ {
+		for m := i; m > 0 && cands[m] < cands[m-1]; m-- {
+			cands[m], cands[m-1] = cands[m-1], cands[m]
+		}
+	}
+	choice := cands[rng.Intn(len(cands))]
+	return switchPlan{
+		lane:      worst,
+		oldParent: n.laneParent[worst],
+		newParent: choice,
+		from:      own[worst] + 1,
+	}, true
+}
+
+// SubscribeTracked subscribes like Subscribe and records the lane's
+// parent so the adaptation monitor can reason about it.
+func (n *Node) SubscribeTracked(peerID int32, j int, startSeq int64) error {
+	if err := n.Subscribe(peerID, j, startSeq); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.laneParent[j] = peerID
+	n.mu.Unlock()
+	return nil
+}
+
+// LaneParent returns the tracked parent of sub-stream j (-1 if none).
+func (n *Node) LaneParent(j int) int32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.laneParent[j]
+}
+
+func (n *Node) connOf(peer int32) *conn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.conns[peer]
+}

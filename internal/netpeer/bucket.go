@@ -1,0 +1,85 @@
+// Package netpeer runs the Coolstreaming data plane over real TCP
+// sockets: partnership handshakes, periodic buffer-map exchange, and
+// sub-stream block push through the wire codec of internal/protocol,
+// received into the synchronization/cache buffers of internal/buffer,
+// with upload capacity enforced by a shared token bucket (so a
+// parent's children share its uplink exactly as Eq. (5) describes).
+//
+// The simulator (internal/peer) remains the scale instrument; netpeer
+// is the deployable counterpart for the protocol's hot path, and its
+// integration tests stream real bytes across localhost.
+package netpeer
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token bucket metering bits. Take blocks until the
+// requested tokens are available, so concurrent takers share the rate
+// roughly fairly (FIFO per mutex acquisition).
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bits) per second; <= 0 means unlimited
+	burst  float64
+	avail  float64
+	last   time.Time
+	closed bool
+}
+
+func newBucket(rateBps float64) *bucket {
+	return &bucket{
+		rate:  rateBps,
+		burst: rateBps / 4, // a quarter second of burst absorbs jitter
+		avail: rateBps / 4,
+		last:  time.Now(),
+	}
+}
+
+// take blocks until n tokens are available (or the bucket is closed,
+// in which case it returns false).
+func (b *bucket) take(n float64) bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	for {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return false
+		}
+		now := time.Now()
+		b.avail += now.Sub(b.last).Seconds() * b.rate
+		if b.avail > b.burst {
+			b.avail = b.burst
+		}
+		b.last = now
+		if b.avail >= n {
+			b.avail -= n
+			b.mu.Unlock()
+			return true
+		}
+		deficit := n - b.avail
+		b.mu.Unlock()
+		wait := time.Duration(deficit / b.rate * float64(time.Second))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		// Cap each sleep so close() is observed promptly even at very
+		// low rates.
+		if wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+// close releases all takers.
+func (b *bucket) close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+}

@@ -1,0 +1,543 @@
+package netpeer
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"coolstream/internal/buffer"
+	"coolstream/internal/protocol"
+)
+
+// Config configures one networked node.
+type Config struct {
+	// ID is the node's protocol identity.
+	ID int32
+	// Layout fixes R, K and the block size (small blocks keep tests
+	// fast; the wire format is size-agnostic).
+	Layout buffer.Layout
+	// UploadBps meters outgoing block pushes (0 = unlimited).
+	UploadBps float64
+	// BMPeriod is the buffer-map exchange period towards partners.
+	BMPeriod time.Duration
+	// BufferBlocks is the cache window in per-sub-stream blocks.
+	BufferBlocks int64
+	// ReadyBlocks is the startup buffer in per-sub-stream blocks.
+	ReadyBlocks int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Layout.Validate(); err != nil {
+		return err
+	}
+	if c.BMPeriod <= 0 {
+		return fmt.Errorf("netpeer: BMPeriod %v", c.BMPeriod)
+	}
+	if c.BufferBlocks <= 0 || c.ReadyBlocks <= 0 {
+		return fmt.Errorf("netpeer: buffer %d / ready %d blocks", c.BufferBlocks, c.ReadyBlocks)
+	}
+	return nil
+}
+
+// conn is one partnership's TCP connection.
+type conn struct {
+	peer int32
+	c    net.Conn
+	wmu  sync.Mutex
+}
+
+func (cn *conn) send(m protocol.Message) error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	cn.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	return protocol.WriteFrame(cn.c, m)
+}
+
+type pushKey struct {
+	peer int32
+	sub  int
+}
+
+// Node is a networked Coolstreaming peer: it accepts partnerships,
+// exchanges buffer maps, serves sub-stream subscriptions from its
+// buffers, and receives pushed blocks into them.
+type Node struct {
+	cfg     Config
+	bkt     *bucket
+	ln      net.Listener
+	payload []byte // shared synthetic block content
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conns   map[int32]*conn
+	pushers map[pushKey]*pusherState
+	lastBM  map[int32]buffer.BufferMap
+	// laneParent tracks which partner serves each sub-stream, for the
+	// adaptation monitor (see adapt.go). -1 = untracked.
+	laneParent []int32
+	sb         *buffer.SyncBuffer
+	cb         *buffer.CacheBuffer
+	started    bool
+	source     bool
+	start      int64
+	ready      bool
+	readyAt    time.Time
+	onTime     int64
+	total      int64
+	closed     bool
+
+	wg sync.WaitGroup
+}
+
+// New creates a node. Call InitBuffers (or StartSource) before
+// subscribing, and Listen before advertising the address.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:        cfg,
+		bkt:        newBucket(cfg.UploadBps),
+		payload:    make([]byte, cfg.Layout.BlockBytes),
+		conns:      make(map[int32]*conn),
+		pushers:    make(map[pushKey]*pusherState),
+		lastBM:     make(map[int32]buffer.BufferMap),
+		laneParent: make([]int32, cfg.Layout.K),
+	}
+	for j := range n.laneParent {
+		n.laneParent[j] = -1
+	}
+	n.cond = sync.NewCond(&n.mu)
+	return n, nil
+}
+
+// pusherState lets a subscription be cancelled (unsubscribe or
+// adaptation switch).
+type pusherState struct{ stop bool }
+
+// InitBuffers prepares the receive path starting at the per-sub-stream
+// sequence startSeq (the Tp-shifted join position).
+func (n *Node) InitBuffers(startSeq int64) error {
+	k := int64(n.cfg.Layout.K)
+	sb, err := buffer.NewSyncBuffer(n.cfg.Layout, startSeq*k)
+	if err != nil {
+		return err
+	}
+	cb, err := buffer.NewCacheBuffer(n.cfg.BufferBlocks*k, startSeq*k)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return fmt.Errorf("netpeer: buffers already initialised")
+	}
+	n.sb, n.cb = sb, cb
+	n.start = startSeq
+	n.started = true
+	return nil
+}
+
+// Listen starts accepting partnerships on a loopback port and the
+// periodic BM exchange. Returns the bound address.
+func (n *Node) Listen() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	n.ln = ln
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.bmLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listen address ("" before Listen).
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handleInbound(c)
+		}()
+	}
+}
+
+// handleInbound performs the accept side of the partnership handshake.
+func (n *Node) handleInbound(c net.Conn) {
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr := protocol.NewFrameReader(c)
+	req, err := fr.Read()
+	if err != nil || req.Type != protocol.TypePartnerRequest {
+		c.Close()
+		return
+	}
+	cn := &conn{peer: req.From, c: c}
+	if err := cn.send(protocol.Message{Type: protocol.TypePartnerAccept, From: n.cfg.ID, To: req.From}); err != nil {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	if !n.register(cn) {
+		c.Close()
+		return
+	}
+	n.readLoop(cn, fr)
+}
+
+// Connect establishes a partnership towards addr and returns the
+// remote node's ID.
+func (n *Node) Connect(addr string) (int32, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	cn := &conn{c: c}
+	if err := cn.send(protocol.Message{Type: protocol.TypePartnerRequest, From: n.cfg.ID, To: -1}); err != nil {
+		c.Close()
+		return 0, err
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr := protocol.NewFrameReader(c)
+	resp, err := fr.Read()
+	if err != nil || resp.Type != protocol.TypePartnerAccept {
+		c.Close()
+		return 0, fmt.Errorf("netpeer: handshake rejected: %v", err)
+	}
+	c.SetReadDeadline(time.Time{})
+	cn.peer = resp.From
+	if !n.register(cn) {
+		c.Close()
+		return 0, fmt.Errorf("netpeer: node closed")
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(cn, fr)
+	}()
+	return resp.From, nil
+}
+
+func (n *Node) register(cn *conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	if old, dup := n.conns[cn.peer]; dup {
+		old.c.Close()
+	}
+	n.conns[cn.peer] = cn
+	return true
+}
+
+// readLoop dispatches inbound messages until the connection dies.
+func (n *Node) readLoop(cn *conn, fr *protocol.FrameReader) {
+	defer func() {
+		cn.c.Close()
+		n.mu.Lock()
+		if n.conns[cn.peer] == cn {
+			delete(n.conns, cn.peer)
+		}
+		n.mu.Unlock()
+	}()
+	for {
+		m, err := fr.Read()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case protocol.TypeBMExchange:
+			n.mu.Lock()
+			n.lastBM[cn.peer] = m.BM.Clone()
+			n.mu.Unlock()
+		case protocol.TypeSubscribe:
+			n.startPusher(cn, int(m.SubStream), m.StartSeq)
+		case protocol.TypeUnsubscribe:
+			n.stopPusher(cn.peer, int(m.SubStream))
+		case protocol.TypeBlockPush:
+			n.receiveBlock(int(m.SubStream), m.StartSeq, m.Payload)
+		case protocol.TypeLeave:
+			return
+		}
+	}
+}
+
+// Subscribe asks partner peerID to push sub-stream j from startSeq.
+func (n *Node) Subscribe(peerID int32, j int, startSeq int64) error {
+	n.mu.Lock()
+	cn := n.conns[peerID]
+	n.mu.Unlock()
+	if cn == nil {
+		return fmt.Errorf("netpeer: no partnership with %d", peerID)
+	}
+	return cn.send(protocol.Message{
+		Type: protocol.TypeSubscribe, From: n.cfg.ID, To: peerID,
+		SubStream: int16(j), StartSeq: startSeq,
+	})
+}
+
+// startPusher serves one (child, sub-stream) subscription: it pushes
+// every block from startSeq on, pacing on the shared upload bucket, and
+// waits for new blocks when caught up.
+func (n *Node) startPusher(cn *conn, j int, startSeq int64) {
+	key := pushKey{peer: cn.peer, sub: j}
+	st := &pusherState{}
+	n.mu.Lock()
+	if n.closed || n.pushers[key] != nil {
+		n.mu.Unlock()
+		return
+	}
+	n.pushers[key] = st
+	n.mu.Unlock()
+
+	blockBits := float64(8 * n.cfg.Layout.BlockBytes)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			n.mu.Lock()
+			if n.pushers[key] == st {
+				delete(n.pushers, key)
+			}
+			n.mu.Unlock()
+		}()
+		next := startSeq
+		for {
+			n.mu.Lock()
+			for !n.closed && !st.stop && (n.sb == nil || n.sb.Latest(j) < next) {
+				n.cond.Wait()
+			}
+			if n.closed || st.stop {
+				n.mu.Unlock()
+				return
+			}
+			n.mu.Unlock()
+			if !n.bkt.take(blockBits) {
+				return
+			}
+			err := cn.send(protocol.Message{
+				Type: protocol.TypeBlockPush, From: n.cfg.ID, To: cn.peer,
+				SubStream: int16(j), StartSeq: next, Payload: n.payload,
+			})
+			if err != nil {
+				return
+			}
+			next++
+		}
+	}()
+}
+
+// stopPusher cancels the pusher serving (peer, sub-stream), if any.
+func (n *Node) stopPusher(peer int32, j int) {
+	n.mu.Lock()
+	if st := n.pushers[pushKey{peer: peer, sub: j}]; st != nil {
+		st.stop = true
+	}
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// receiveBlock lands a pushed block in the buffers and updates
+// playback state.
+func (n *Node) receiveBlock(j int, seq int64, payload []byte) {
+	if len(payload) != n.cfg.Layout.BlockBytes {
+		return // malformed push; drop
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started || n.closed {
+		return
+	}
+	combined, err := n.sb.Receive(j, seq)
+	if err != nil {
+		return
+	}
+	if combined > 0 {
+		n.cb.Append(combined)
+	}
+	now := time.Now()
+	k := int64(n.cfg.Layout.K)
+	if !n.ready && n.sb.Combined() >= (n.start+n.cfg.ReadyBlocks)*k {
+		n.ready = true
+		n.readyAt = now
+	}
+	if n.ready && !n.source {
+		dueSec := n.cfg.Layout.SeqToSeconds(float64(seq - n.start))
+		due := n.readyAt.Add(time.Duration(dueSec * float64(time.Second)))
+		n.total++
+		if !now.After(due) {
+			n.onTime++
+		}
+	}
+	n.cond.Broadcast()
+}
+
+// StartSource turns the node into the stream origin: blocks appear in
+// its buffers at the live rate, driving all pushers.
+func (n *Node) StartSource() error {
+	if err := n.InitBuffers(0); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.source = true
+	n.ready = true
+	n.readyAt = time.Now()
+	n.mu.Unlock()
+	interval := time.Duration(float64(time.Second) / n.cfg.Layout.BlocksPerSecond())
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var g int64
+		for {
+			n.mu.Lock()
+			if n.closed {
+				n.mu.Unlock()
+				return
+			}
+			j := n.cfg.Layout.SubStream(g)
+			seq := n.cfg.Layout.Seq(g)
+			if combined, err := n.sb.Receive(j, seq); err == nil && combined > 0 {
+				n.cb.Append(combined)
+			}
+			n.cond.Broadcast()
+			n.mu.Unlock()
+			g++
+			<-ticker.C
+		}
+	}()
+	return nil
+}
+
+// bmLoop periodically sends the node's buffer map to every partner.
+func (n *Node) bmLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.BMPeriod)
+	defer ticker.Stop()
+	for range ticker.C {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		var bm buffer.BufferMap
+		if n.started {
+			bm = buffer.NewBufferMap(n.cfg.Layout.K)
+			for j := 0; j < n.cfg.Layout.K; j++ {
+				bm.Latest[j] = n.sb.Latest(j)
+			}
+		}
+		conns := make([]*conn, 0, len(n.conns))
+		for _, cn := range n.conns {
+			conns = append(conns, cn)
+		}
+		n.mu.Unlock()
+		if bm.K() == 0 {
+			continue
+		}
+		for _, cn := range conns {
+			cn.send(protocol.Message{
+				Type: protocol.TypeBMExchange, From: n.cfg.ID, To: cn.peer, BM: bm,
+			})
+		}
+	}
+}
+
+// Latest returns the latest received sequence on sub-stream j (-1
+// before InitBuffers).
+func (n *Node) Latest(j int) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started {
+		return -1
+	}
+	return n.sb.Latest(j)
+}
+
+// Combined returns the combined contiguous prefix in global blocks.
+func (n *Node) Combined() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started {
+		return 0
+	}
+	return n.sb.Combined()
+}
+
+// Ready reports whether playback started.
+func (n *Node) Ready() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ready
+}
+
+// Continuity returns on-time blocks over due blocks (1 before any
+// block was due).
+func (n *Node) Continuity() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.total == 0 {
+		return 1
+	}
+	return float64(n.onTime) / float64(n.total)
+}
+
+// PartnerBM returns the last buffer map received from a partner.
+func (n *Node) PartnerBM(peer int32) (buffer.BufferMap, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	bm, ok := n.lastBM[peer]
+	return bm, ok
+}
+
+// Partners returns the current partner IDs.
+func (n *Node) Partners() []int32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]int32, 0, len(n.conns))
+	for id := range n.conns {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.cond.Broadcast()
+	conns := make([]*conn, 0, len(n.conns))
+	for _, cn := range n.conns {
+		conns = append(conns, cn)
+	}
+	n.mu.Unlock()
+	n.bkt.close()
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, cn := range conns {
+		cn.send(protocol.Message{Type: protocol.TypeLeave, From: n.cfg.ID, To: cn.peer})
+		cn.c.Close()
+	}
+	n.wg.Wait()
+}

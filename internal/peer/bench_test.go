@@ -1,0 +1,40 @@
+package peer
+
+import (
+	"testing"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// BenchmarkWorldTick measures the steady-state cost of advancing a
+// ~150-peer overlay by one control tick (all five phases).
+func BenchmarkWorldTick(b *testing.B) {
+	p := DefaultParams()
+	engine := sim.NewEngine(sim.Second)
+	w, err := NewWorld(p, engine, logsys.NopSink{}, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		w.AddServer(20 * 768e3)
+	}
+	engine.Run(30 * sim.Second)
+	prof := netmodel.DefaultCapacityProfile(768e3)
+	rng := w.rng.SplitLabeled("bench")
+	for i := 0; i < 150; i++ {
+		class := netmodel.UserClass(i % 4)
+		// Effectively infinite watch time so the population cannot
+		// drain no matter how many virtual seconds b.N covers.
+		w.Join(1000+i, prof.Draw(class, rng), 1000*sim.Hour, 0, 0)
+	}
+	engine.Run(2 * sim.Minute) // let the overlay settle
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Run(engine.Now() + sim.Second)
+	}
+	b.ReportMetric(float64(w.ActivePeerCount()), "active_peers")
+}

@@ -1,0 +1,35 @@
+package peer
+
+// missedSeq computes, for one sub-stream over one tick, how many
+// per-sub-stream block positions pass their playback deadline without
+// having arrived — the numerator of the paper's continuity index,
+// evaluated exactly on the piecewise-linear fluid trajectories.
+//
+// Between ticks the receive progress is linear, H(t) = h0 + rho·(t-t0),
+// and the playback deadline position is linear, d(t) = d0 + beta·(t-t0)
+// with beta the sub-stream block rate. The deadline for block s falls
+// at t(s) = t0 + (s-d0)/beta, so block s is missed iff
+//
+//	f(s) = h0 + (rho/beta)(s-d0) - s < 0.
+//
+// f is linear in s, so the missed set within [d0, d1] is an interval
+// whose length has a closed form.
+func missedSeq(h0, rho, d0, d1, beta float64) float64 {
+	if beta <= 0 || d1 <= d0 {
+		return 0
+	}
+	fa := h0 - d0
+	fb := h0 + (rho/beta)*(d1-d0) - d1
+	switch {
+	case fa >= 0 && fb >= 0:
+		return 0
+	case fa < 0 && fb < 0:
+		return d1 - d0
+	case fa < 0:
+		// Missed at the start, catches up at the crossing.
+		return (d1 - d0) * fa / (fa - fb)
+	default:
+		// Arrives early at first, falls behind at the crossing.
+		return (d1 - d0) * fb / (fb - fa)
+	}
+}

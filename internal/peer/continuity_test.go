@@ -1,0 +1,106 @@
+package peer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/xrand"
+)
+
+func TestMissedSeqNoMissWhenAhead(t *testing.T) {
+	// H starts above the deadline and advances at deadline rate.
+	if got := missedSeq(10, 2, 5, 9, 2); got != 0 {
+		t.Fatalf("missed = %v, want 0", got)
+	}
+}
+
+func TestMissedSeqFullMissWhenStalled(t *testing.T) {
+	// H frozen far below the whole deadline window.
+	if got := missedSeq(0, 0, 10, 14, 2); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("missed = %v, want 4", got)
+	}
+}
+
+func TestMissedSeqFallsBehindMidInterval(t *testing.T) {
+	// H starts at the deadline but advances at half the deadline rate:
+	// f(s) = (s-d0)*(rho/beta - 1) = -(s-d0)/2, so f < 0 for all s>d0 —
+	// the entire interval after the start is missed.
+	got := missedSeq(10, 1, 10, 14, 2)
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("missed = %v, want 4", got)
+	}
+	// Starting slightly ahead, the crossing is inside the interval:
+	// f(d0) = 1, slope -(1/2) per seq → crosses at s = d0+2.
+	got = missedSeq(11, 1, 10, 14, 2)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("missed = %v, want 2", got)
+	}
+}
+
+func TestMissedSeqCatchesUpMidInterval(t *testing.T) {
+	// H starts 2 behind but advances at twice the deadline rate:
+	// f(d0) = -2, slope +1 per seq → crosses at d0+2; 2 blocks missed.
+	got := missedSeq(8, 4, 10, 20, 2)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("missed = %v, want 2", got)
+	}
+}
+
+func TestMissedSeqDegenerate(t *testing.T) {
+	if missedSeq(0, 0, 5, 5, 2) != 0 {
+		t.Fatal("empty interval should miss 0")
+	}
+	if missedSeq(0, 0, 5, 4, 2) != 0 {
+		t.Fatal("inverted interval should miss 0")
+	}
+	if missedSeq(0, 0, 5, 10, 0) != 0 {
+		t.Fatal("zero beta should miss 0")
+	}
+}
+
+func TestMissedSeqBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		h0 := r.Float64()*40 - 20
+		rho := r.Float64() * 8
+		d0 := r.Float64() * 20
+		d1 := d0 + r.Float64()*20
+		beta := 0.5 + r.Float64()*4
+		got := missedSeq(h0, rho, d0, d1, beta)
+		return got >= -1e-9 && got <= (d1-d0)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissedSeqMatchesDiscreteSimulation(t *testing.T) {
+	// Cross-check the closed form against brute-force per-block
+	// evaluation on a fine grid.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		h0 := r.Float64() * 30
+		rho := r.Float64() * 6
+		d0 := r.Float64() * 20
+		span := 1 + r.Float64()*15
+		d1 := d0 + span
+		beta := 0.5 + r.Float64()*4
+		got := missedSeq(h0, rho, d0, d1, beta)
+		// Discretise the block axis finely.
+		const steps = 20000
+		missed := 0.0
+		ds := span / steps
+		for i := 0; i < steps; i++ {
+			s := d0 + (float64(i)+0.5)*ds
+			tOfS := (s - d0) / beta
+			if h0+rho*tOfS < s {
+				missed += ds
+			}
+		}
+		return math.Abs(got-missed) < span*1e-3+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

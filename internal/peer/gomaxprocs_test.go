@@ -1,0 +1,53 @@
+package peer
+
+import (
+	"runtime"
+	"testing"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// TestWorldDeterministicAcrossGOMAXPROCS runs the same seeded scenario
+// single-threaded and with real worker fan-out; the log streams must
+// be bit-identical — the property the deterministic parallel design
+// guarantees.
+func TestWorldDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) []string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		w, engine, sink := testWorld(t, 555)
+		w.AddServer(15 * testRate)
+		w.AddServer(15 * testRate)
+		engine.Run(30 * sim.Second)
+		prof := netmodel.DefaultCapacityProfile(testRate)
+		rng := w.rng.SplitLabeled("gomaxprocs")
+		for i := 0; i < 120; i++ {
+			i := i
+			at := 30*sim.Second + sim.Time(i%30)*sim.Second
+			engine.Schedule(at, func() {
+				w.Join(700+i, prof.Draw(netmodel.UserClass(i%4), rng), sim.Time(40+i)*sim.Second, 1, 0)
+			})
+		}
+		engine.Run(3 * sim.Minute)
+		var out []string
+		for _, rec := range sink.Records() {
+			out = append(out, rec.LogString())
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("record counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("record %d differs between GOMAXPROCS=1 and 8:\n%s\n%s",
+				i, serial[i], parallel[i])
+		}
+	}
+	if len(serial) < 100 {
+		t.Fatalf("scenario too small to be meaningful: %d records", len(serial))
+	}
+}

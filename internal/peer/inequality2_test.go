@@ -1,0 +1,72 @@
+package peer
+
+import (
+	"testing"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// TestInequality2SwitchesFromLaggingParent builds the exact situation
+// Inequality (2) monitors: the node's parent serves all sub-streams
+// evenly (so the node's own deviation stays under Ts and Inequality
+// (1) never fires), but the parent itself keeps falling behind what
+// other partners advertise, because its own downlink cannot sustain
+// the stream. The child must abandon the lagging parent.
+func TestInequality2SwitchesFromLaggingParent(t *testing.T) {
+	w, engine, _ := testWorld(t, 41)
+	w.StallAbandonProb = 0 // keep lagging nodes in place for the test
+	srv := w.AddServer(20 * testRate)
+	engine.Run(30 * sim.Second)
+	// The laggard has a strong uplink (a tempting parent) but only
+	// half the stream rate of downlink: it falls behind the live edge
+	// at ~1 block/s per sub-stream, forever.
+	laggard := w.Join(100, ep(netmodel.Direct, 4, 0.5), 20*sim.Minute, 0, 0)
+	child := w.Join(101, ep(netmodel.Direct, 1, 4), 20*sim.Minute, 0, 0)
+	engine.Run(70 * sim.Second)
+	if laggard.State != StateReady || child.State != StateReady {
+		t.Fatalf("setup: laggard=%v child=%v", laggard.State, child.State)
+	}
+	// Rewire the child fully under the laggard, keeping the server as
+	// a partner so bestPartnerH tracks the live edge.
+	now := engine.Now()
+	if _, ok := child.Partners[laggard.ID]; !ok {
+		child.Partners[laggard.ID] = &Partner{Outgoing: true, BM: laggard.BufferMap(child.ID), BMAt: now, EstablishedAt: now}
+		laggard.Partners[child.ID] = &Partner{Outgoing: false, BM: child.BufferMap(laggard.ID), BMAt: now, EstablishedAt: now}
+	}
+	if _, ok := child.Partners[srv.ID]; !ok {
+		child.Partners[srv.ID] = &Partner{Outgoing: true, BM: srv.BufferMap(child.ID), BMAt: now, EstablishedAt: now}
+		srv.Partners[child.ID] = &Partner{Outgoing: false, BM: child.BufferMap(srv.ID), BMAt: now, EstablishedAt: now}
+	}
+	for j := range child.Subs {
+		if old := child.Subs[j].Parent; old != NoParent {
+			w.Node(old).removeChild(j, child.ID)
+		}
+		child.Subs[j].Parent = laggard.ID
+		child.Subs[j].RateBps = 0
+		laggard.addChild(j, child.ID)
+	}
+	// Sanity: the laggard is genuinely behind the live edge and falling
+	// further back.
+	gapBefore := w.liveEdge(engine.Now()) - laggard.MaxH()
+	engine.Run(engine.Now() + 30*sim.Second)
+	gapAfter := w.liveEdge(engine.Now()) - laggard.MaxH()
+	if gapAfter <= gapBefore {
+		t.Fatalf("laggard not lagging: gap %.1f -> %.1f", gapBefore, gapAfter)
+	}
+	// Inequality (2) (best partner H − parent H ≥ Tp) must pull the
+	// child's sub-streams off the laggard, one per cool-down period.
+	engine.Run(engine.Now() + 2*sim.Minute)
+	for j := range child.Subs {
+		if child.Subs[j].Parent == laggard.ID {
+			t.Fatalf("sub-stream %d still under the lagging parent (laggard gap %.0f blocks)",
+				j, w.liveEdge(engine.Now())-laggard.MaxH())
+		}
+	}
+	// And the child recovers towards the live edge.
+	engine.Run(engine.Now() + sim.Minute)
+	live := w.liveEdge(engine.Now())
+	if live-child.MinH() > float64(w.P.Tp)+10 {
+		t.Fatalf("child never recovered: minH %.0f vs live %.0f", child.MinH(), live)
+	}
+}

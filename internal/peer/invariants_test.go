@@ -1,0 +1,183 @@
+package peer
+
+import (
+	"testing"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// checkInvariants asserts the World's structural invariants:
+//
+//  1. parent/children symmetry: child.Subs[j].Parent == p iff child is
+//     in p.children[j];
+//  2. no cycles in any sub-stream forest;
+//  3. H never exceeds the live edge, never negative;
+//  4. departed nodes hold no links;
+//  5. partnerships are symmetric with opposite directions;
+//  6. active list matches node states.
+func checkInvariants(t *testing.T, w *World) {
+	t.Helper()
+	now := w.Engine.Now()
+	live := w.liveEdge(now)
+	activeSet := make(map[int]bool)
+	for _, id := range w.active {
+		activeSet[id] = true
+	}
+	for _, n := range w.nodes {
+		if n == nil {
+			continue
+		}
+		if (n.State != StateDeparted) != activeSet[n.ID] {
+			t.Fatalf("t=%v node %d state %v vs active-list membership %v",
+				now, n.ID, n.State, activeSet[n.ID])
+		}
+		if n.State == StateDeparted {
+			// A departed node's own maps are always cleared; with
+			// crash departures its *children list* may stay populated
+			// until the orphans detect the loss, but the entries must
+			// then point back at it.
+			if len(n.Partners) != 0 {
+				t.Fatalf("departed node %d still has partners", n.ID)
+			}
+			for j := range n.Subs {
+				if n.Subs[j].Parent != NoParent {
+					t.Fatalf("departed node %d still has a parent", n.ID)
+				}
+				for _, c := range n.children[j] {
+					if w.nodes[c].Subs[j].Parent != n.ID {
+						t.Fatalf("corpse %d children list stale: %d points elsewhere", n.ID, c)
+					}
+				}
+			}
+			continue
+		}
+		for j := range n.Subs {
+			h := n.Subs[j].H
+			if h < 0 || h > live+1e-6 {
+				t.Fatalf("t=%v node %d sub %d H=%v outside [0, live=%v]", now, n.ID, j, h, live)
+			}
+			// Symmetry child → parent. Pointing at a departed parent is
+			// legal transiently (crash not yet detected), but the
+			// corpse must still list the child so the edge is tracked.
+			if p := n.Subs[j].Parent; p != NoParent {
+				parent := w.nodes[p]
+				found := false
+				for _, c := range parent.children[j] {
+					if c == n.ID {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("node %d sub %d parent %d does not list it as child", n.ID, j, p)
+				}
+			}
+			// Symmetry parent → children.
+			for _, c := range n.children[j] {
+				child := w.nodes[c]
+				if child.Subs[j].Parent != n.ID {
+					t.Fatalf("node %d lists child %d on sub %d but child's parent is %d",
+						n.ID, c, j, child.Subs[j].Parent)
+				}
+			}
+			// Acyclicity: walk to a root.
+			seen := map[int]bool{n.ID: true}
+			cur := n.Subs[j].Parent
+			for cur != NoParent {
+				if seen[cur] {
+					t.Fatalf("cycle on sub-stream %d through node %d", j, cur)
+				}
+				seen[cur] = true
+				cur = w.nodes[cur].Subs[j].Parent
+			}
+		}
+		// Partnership symmetry (dangling links to crashed partners are
+		// legal until the next BM refresh tears them down).
+		for pid, p := range n.Partners {
+			other := w.nodes[pid]
+			if other.State == StateDeparted {
+				continue
+			}
+			back, ok := other.Partners[n.ID]
+			if !ok {
+				t.Fatalf("partnership %d→%d not symmetric", n.ID, pid)
+			}
+			if back.Outgoing == p.Outgoing {
+				t.Fatalf("partnership %d↔%d has same direction on both ends", n.ID, pid)
+			}
+		}
+	}
+}
+
+func TestWorldInvariantsUnderChurn(t *testing.T) {
+	w, engine, _ := testWorld(t, 77)
+	for i := 0; i < 3; i++ {
+		w.AddServer(10 * testRate)
+	}
+	engine.Run(30 * sim.Second)
+	prof := netmodel.DefaultCapacityProfile(testRate)
+	rng := w.rng.SplitLabeled("churn-test")
+	// Aggressive churn: short watches, retries, stall-abandons.
+	for i := 0; i < 60; i++ {
+		i := i
+		at := 30*sim.Second + sim.Time(i%20)*2*sim.Second
+		engine.Schedule(at, func() {
+			class := netmodel.UserClass(rng.Intn(4))
+			watch := sim.Time(10+rng.Intn(120)) * sim.Second
+			w.Join(2000+i, prof.Draw(class, rng), watch, 2, 0)
+		})
+	}
+	engine.OnTick(func(_, _ sim.Time) { checkInvariants(t, w) })
+	engine.Run(4 * sim.Minute)
+	// The run must have exercised real churn.
+	if w.JoinedSessions < 60 {
+		t.Fatalf("only %d sessions", w.JoinedSessions)
+	}
+	departed := 0
+	for _, n := range w.Nodes() {
+		if n.State == StateDeparted {
+			departed++
+		}
+	}
+	if departed < 30 {
+		t.Fatalf("churn too weak: %d departed", departed)
+	}
+}
+
+func TestWorldInvariantsWithEqualSplitAndLoss(t *testing.T) {
+	p := DefaultParams()
+	p.ReportPeriod = 30 * sim.Second
+	p.Allocator = "equalsplit"
+	p.ControlLossProb = 0.2
+	engine := sim.NewEngine(sim.Second)
+	w, err := NewWorld(p, engine, logsys.NopSink{}, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		w.AddServer(10 * testRate)
+	}
+	engine.Run(30 * sim.Second)
+	prof := netmodel.DefaultCapacityProfile(testRate)
+	rng := w.rng.SplitLabeled("es-test")
+	for i := 0; i < 30; i++ {
+		i := i
+		engine.Schedule(30*sim.Second+sim.Time(i)*sim.Second, func() {
+			w.Join(3000+i, prof.Draw(netmodel.UserClass(i%4), rng), 3*sim.Minute, 1, 0)
+		})
+	}
+	engine.OnTick(func(_, _ sim.Time) { checkInvariants(t, w) })
+	engine.Run(3 * sim.Minute)
+	ready := 0
+	for _, n := range w.Nodes() {
+		if n.State == StateReady {
+			ready++
+		}
+	}
+	if ready == 0 {
+		t.Fatal("no peer ready under equal-split allocator")
+	}
+}

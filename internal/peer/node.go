@@ -1,0 +1,249 @@
+package peer
+
+import (
+	"sort"
+
+	"coolstream/internal/buffer"
+	"coolstream/internal/gossip"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
+)
+
+// State is a node's lifecycle phase.
+type State uint8
+
+const (
+	// StateJoining means the node has contacted the bootstrap but has
+	// not yet subscribed to any sub-stream.
+	StateJoining State = iota
+	// StateSubscribing means at least one sub-stream subscription is
+	// active but the media player has not started.
+	StateSubscribing
+	// StateReady means the media player is playing.
+	StateReady
+	// StateDeparted means the node has left the overlay.
+	StateDeparted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateJoining:
+		return "joining"
+	case StateSubscribing:
+		return "subscribing"
+	case StateReady:
+		return "ready"
+	case StateDeparted:
+		return "departed"
+	default:
+		return "unknown"
+	}
+}
+
+// NoParent marks a sub-stream without a live parent.
+const NoParent = -1
+
+// Subscription is one sub-stream's receive state.
+type Subscription struct {
+	// Parent is the serving node ID, or NoParent when stalled.
+	Parent int
+	// H is the per-sub-stream sequence number of the latest received
+	// block, fractional under the fluid model.
+	H float64
+	// RateBps is the currently allocated transfer rate.
+	RateBps float64
+	// movedBlocks accumulates this tick's H advance for byte
+	// accounting; drained by the sequential accounting pass.
+	movedBlocks float64
+}
+
+// Partner is the local view of one partnership.
+type Partner struct {
+	// Outgoing records who initiated: true when we initiated the
+	// partnership (we are the "outgoing" side). The log-based user
+	// classifier relies on this directionality.
+	Outgoing bool
+	// BM is the partner's last exchanged buffer map.
+	BM buffer.BufferMap
+	// BMAt is when BM was refreshed.
+	BMAt sim.Time
+	// EstablishedAt is when the partnership formed.
+	EstablishedAt sim.Time
+}
+
+// Node is one overlay participant.
+type Node struct {
+	ID      int
+	UserID  int
+	Session int
+	EP      netmodel.Endpoint
+	State   State
+
+	// Timing milestones (virtual).
+	JoinedAt   sim.Time
+	StartSubAt sim.Time // zero until the first subscription
+	ReadyAt    sim.Time // zero until media-ready
+	LeftAt     sim.Time
+
+	// Retries is how many failed sessions this user had before this one.
+	Retries int
+
+	// Membership and partnership state.
+	MCache   *gossip.MCache
+	Partners map[int]*Partner
+
+	// Subs has one entry per sub-stream.
+	Subs []Subscription
+	// children[j] lists node IDs subscribed to sub-stream j from this
+	// node, kept sorted for deterministic allocation.
+	children [][]int
+
+	// startPos is the per-sub-stream sequence chosen at join (m - Tp).
+	startPos float64
+
+	// Playback state.
+	playDeadline float64 // current deadline position (per-sub-stream seq)
+	// readyPending defers the media-ready log record from the parallel
+	// playback phase to the sequential control phase.
+	readyPending bool
+
+	// Report-interval accumulators.
+	missedBlocks  float64
+	totalBlocks   float64
+	upBytes       float64
+	downBytes     float64
+	lastReportAt  sim.Time
+	CumUploadB    float64
+	CumDownloadB  float64
+	lastAdaptAt   sim.Time
+	lastGossipAt  sim.Time
+	recruitingDue sim.Time
+
+	// watch and patience carry the user's intent: how long they mean
+	// to stay and how many failed joins they will retry.
+	watch    sim.Time
+	patience int
+
+	// partnerChanges counts partnership establishments and losses in
+	// the current report interval — the compact partner-activity
+	// series of the paper's partner report, and the raw material of
+	// the overlay-stability metric (§V-E's third scalability factor).
+	partnerChanges int
+
+	rng *xrand.RNG
+}
+
+// IsServer reports whether the node is part of the source/server tier.
+func (n *Node) IsServer() bool { return n.EP.Server }
+
+// Active reports whether the node is participating in the overlay.
+func (n *Node) Active() bool { return n.State != StateDeparted }
+
+// PartnerCounts returns (incoming, outgoing) partnership counts, the
+// observable the paper's user classifier is built on (§V-B).
+func (n *Node) PartnerCounts() (in, out int) {
+	for _, p := range n.Partners {
+		if p.Outgoing {
+			out++
+		} else {
+			in++
+		}
+	}
+	return in, out
+}
+
+// MaxH returns the node's best sub-stream progress.
+func (n *Node) MaxH() float64 {
+	if len(n.Subs) == 0 {
+		return 0
+	}
+	max := n.Subs[0].H
+	for _, s := range n.Subs[1:] {
+		if s.H > max {
+			max = s.H
+		}
+	}
+	return max
+}
+
+// MinH returns the node's worst sub-stream progress.
+func (n *Node) MinH() float64 {
+	if len(n.Subs) == 0 {
+		return 0
+	}
+	min := n.Subs[0].H
+	for _, s := range n.Subs[1:] {
+		if s.H < min {
+			min = s.H
+		}
+	}
+	return min
+}
+
+// BufferMap builds the node's current BM as exchanged with partners:
+// latest sequence per sub-stream, plus which sub-streams the node
+// pulls from the given partner.
+func (n *Node) BufferMap(towards int) buffer.BufferMap {
+	bm := buffer.NewBufferMap(len(n.Subs))
+	for i, s := range n.Subs {
+		bm.Latest[i] = int64(s.H)
+		bm.Subscribed[i] = s.Parent == towards
+	}
+	return bm
+}
+
+// addChild registers a child on sub-stream j, keeping order sorted.
+func (n *Node) addChild(j, child int) {
+	cs := n.children[j]
+	i := sort.SearchInts(cs, child)
+	if i < len(cs) && cs[i] == child {
+		return
+	}
+	cs = append(cs, 0)
+	copy(cs[i+1:], cs[i:])
+	cs[i] = child
+	n.children[j] = cs
+}
+
+// removeChild deregisters a child on sub-stream j.
+func (n *Node) removeChild(j, child int) {
+	cs := n.children[j]
+	i := sort.SearchInts(cs, child)
+	if i < len(cs) && cs[i] == child {
+		n.children[j] = append(cs[:i], cs[i+1:]...)
+	}
+}
+
+// ChildCount returns the total sub-stream out-degree (the paper's D_p
+// summed over sub-streams).
+func (n *Node) ChildCount() int {
+	total := 0
+	for _, cs := range n.children {
+		total += len(cs)
+	}
+	return total
+}
+
+// Children returns the child IDs on sub-stream j (read-only view).
+func (n *Node) Children(j int) []int { return n.children[j] }
+
+// parentCountByReach tallies current parents by reachability class,
+// feeding the partner status report used by the Fig. 4 topology
+// analysis.
+func (n *Node) parentStats(nodes []*Node) (reachable, total, natLinks int) {
+	for _, s := range n.Subs {
+		if s.Parent == NoParent {
+			continue
+		}
+		total++
+		p := nodes[s.Parent]
+		if p.EP.Class.Reachable() {
+			reachable++
+		} else if !n.EP.Class.Reachable() {
+			natLinks++
+		}
+	}
+	return
+}

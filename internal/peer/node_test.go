@@ -1,0 +1,133 @@
+package peer
+
+import (
+	"testing"
+
+	"coolstream/internal/netmodel"
+)
+
+func testNode(k int) *Node {
+	n := &Node{
+		ID:       1,
+		Partners: make(map[int]*Partner),
+		Subs:     make([]Subscription, k),
+		children: make([][]int, k),
+	}
+	for j := range n.Subs {
+		n.Subs[j].Parent = NoParent
+	}
+	return n
+}
+
+func TestAddRemoveChildSorted(t *testing.T) {
+	n := testNode(2)
+	for _, c := range []int{5, 2, 9, 2, 7} {
+		n.addChild(0, c)
+	}
+	want := []int{2, 5, 7, 9}
+	got := n.Children(0)
+	if len(got) != len(want) {
+		t.Fatalf("children %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("children %v, want %v", got, want)
+		}
+	}
+	n.removeChild(0, 5)
+	n.removeChild(0, 100) // absent: no-op
+	got = n.Children(0)
+	if len(got) != 3 || got[0] != 2 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("after remove: %v", got)
+	}
+	if n.ChildCount() != 3 {
+		t.Fatalf("ChildCount = %d", n.ChildCount())
+	}
+}
+
+func TestPartnerCounts(t *testing.T) {
+	n := testNode(2)
+	n.Partners[2] = &Partner{Outgoing: true}
+	n.Partners[3] = &Partner{Outgoing: true}
+	n.Partners[4] = &Partner{Outgoing: false}
+	in, out := n.PartnerCounts()
+	if in != 1 || out != 2 {
+		t.Fatalf("in=%d out=%d", in, out)
+	}
+}
+
+func TestMinMaxH(t *testing.T) {
+	n := testNode(3)
+	n.Subs[0].H = 5
+	n.Subs[1].H = 9
+	n.Subs[2].H = 7
+	if n.MaxH() != 9 || n.MinH() != 5 {
+		t.Fatalf("max=%v min=%v", n.MaxH(), n.MinH())
+	}
+	empty := &Node{}
+	if empty.MaxH() != 0 || empty.MinH() != 0 {
+		t.Fatal("empty node H not zero")
+	}
+}
+
+func TestBufferMapReflectsSubscriptions(t *testing.T) {
+	n := testNode(2)
+	n.Subs[0].H = 10.9
+	n.Subs[0].Parent = 7
+	n.Subs[1].H = 3.2
+	bm := n.BufferMap(7)
+	if bm.Latest[0] != 10 || bm.Latest[1] != 3 {
+		t.Fatalf("latest %v", bm.Latest)
+	}
+	if !bm.Subscribed[0] || bm.Subscribed[1] {
+		t.Fatalf("subscribed %v", bm.Subscribed)
+	}
+	// Towards someone else, nothing is subscribed.
+	bm = n.BufferMap(9)
+	if bm.Subscribed[0] {
+		t.Fatal("subscription leaked to wrong partner")
+	}
+}
+
+func TestParentStats(t *testing.T) {
+	nodes := make([]*Node, 4)
+	nodes[0] = testNode(2)
+	nodes[0].EP.Class = netmodel.Direct
+	nodes[1] = testNode(2)
+	nodes[1].EP.Class = netmodel.NAT
+	nodes[2] = testNode(2)
+	nodes[2].EP.Class = netmodel.NAT
+	// Node 2 (NAT) has parents: node 0 (direct) on sub 0, node 1 (NAT) on sub 1.
+	nodes[2].Subs[0].Parent = 0
+	nodes[2].Subs[1].Parent = 1
+	reach, total, nat := nodes[2].parentStats(nodes)
+	if reach != 1 || total != 2 || nat != 1 {
+		t.Fatalf("reach=%d total=%d nat=%d", reach, total, nat)
+	}
+	// A direct-class child of a NAT parent is not a "random link".
+	nodes[3] = testNode(2)
+	nodes[3].EP.Class = netmodel.Direct
+	nodes[3].Subs[0].Parent = 1
+	_, _, nat = nodes[3].parentStats(nodes)
+	if nat != 0 {
+		t.Fatalf("direct child counted as NAT random link")
+	}
+}
+
+func TestIsServerAndActive(t *testing.T) {
+	n := testNode(1)
+	if n.IsServer() {
+		t.Fatal("plain node is server")
+	}
+	n.EP.Server = true
+	if !n.IsServer() {
+		t.Fatal("server flag ignored")
+	}
+	if !n.Active() {
+		t.Fatal("joining node inactive")
+	}
+	n.State = StateDeparted
+	if n.Active() {
+		t.Fatal("departed node active")
+	}
+}

@@ -1,0 +1,123 @@
+package peer
+
+import (
+	"testing"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// lossyWorld builds a world with the given control-loss probability.
+func lossyWorld(t *testing.T, seed uint64, loss float64) (*World, *sim.Engine, *logsys.MemorySink) {
+	t.Helper()
+	p := DefaultParams()
+	p.ReportPeriod = 30 * sim.Second
+	p.ControlLossProb = loss
+	engine := sim.NewEngine(sim.Second)
+	sink := &logsys.MemorySink{}
+	w, err := NewWorld(p, engine, sink, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, engine, sink
+}
+
+func TestControlLossValidated(t *testing.T) {
+	p := DefaultParams()
+	p.ControlLossProb = 1.5
+	if p.Validate() == nil {
+		t.Fatal("loss probability > 1 accepted")
+	}
+	p.ControlLossProb = -0.1
+	if p.Validate() == nil {
+		t.Fatal("negative loss probability accepted")
+	}
+}
+
+func TestModerateControlLossStillConverges(t *testing.T) {
+	w, engine, _ := lossyWorld(t, 21, 0.3)
+	for i := 0; i < 3; i++ {
+		w.AddServer(15 * testRate)
+	}
+	engine.Run(30 * sim.Second)
+	var nodes []*Node
+	for i := 0; i < 20; i++ {
+		nodes = append(nodes, w.Join(100+i, ep(netmodel.Direct, 2, 3), 10*sim.Minute, 2, 0))
+	}
+	engine.Run(4 * sim.Minute)
+	ready := 0
+	for _, n := range nodes {
+		if n.State == StateReady {
+			ready++
+		}
+	}
+	// Retries through the recruiting cadence must overcome 30% loss.
+	if ready < 15 {
+		t.Fatalf("only %d/20 ready under 30%% control loss", ready)
+	}
+}
+
+func TestTotalControlLossPreventsJoining(t *testing.T) {
+	w, engine, sink := lossyWorld(t, 22, 1.0)
+	w.AddServer(15 * testRate)
+	engine.Run(30 * sim.Second)
+	n := w.Join(100, ep(netmodel.Direct, 2, 3), 5*sim.Minute, 0, 0)
+	engine.Run(3 * sim.Minute)
+	if n.State == StateReady {
+		t.Fatal("node became ready with every handshake lost")
+	}
+	// The session must have failed by join timeout.
+	failed := false
+	for _, rec := range sink.Records() {
+		if rec.Kind == logsys.KindLeave && rec.Reason == "join-timeout" {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("no join-timeout leave recorded")
+	}
+}
+
+func TestPartnerChangesReported(t *testing.T) {
+	w, engine, sink := lossyWorld(t, 23, 0)
+	w.AddServer(15 * testRate)
+	engine.Run(30 * sim.Second)
+	a := w.Join(100, ep(netmodel.Direct, 2, 3), 10*sim.Minute, 0, 0)
+	b := w.Join(101, ep(netmodel.Direct, 2, 3), 2*sim.Minute, 0, 0)
+	engine.Run(5 * sim.Minute)
+	_, _ = a, b
+	// At least one partner report must carry a positive change count:
+	// establishments at startup, and b's departure costs its partners
+	// a link.
+	sawChanges := false
+	for _, rec := range sink.Records() {
+		if rec.Kind == logsys.KindPartner && rec.PartnerChanges > 0 {
+			sawChanges = true
+		}
+	}
+	if !sawChanges {
+		t.Fatal("no partner-change activity reported")
+	}
+}
+
+func TestBMStalenessRespectsPeriod(t *testing.T) {
+	w, engine, _ := testWorld(t, 24)
+	w.AddServer(15 * testRate)
+	engine.Run(30 * sim.Second)
+	n := w.Join(100, ep(netmodel.Direct, 2, 3), 10*sim.Minute, 0, 0)
+	engine.Run(2 * sim.Minute)
+	if len(n.Partners) == 0 {
+		t.Fatal("no partners")
+	}
+	// Every cached BM must be at most one BM period + one tick stale.
+	now := engine.Now()
+	for pid, p := range n.Partners {
+		age := now - p.BMAt
+		if age > w.P.BMPeriod+2*sim.Second {
+			t.Fatalf("partner %d BM is %v stale (period %v)", pid, age, w.P.BMPeriod)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package peer
+
+import "coolstream/internal/sim"
+
+// TopologySnapshot captures the overlay's structural state at one
+// instant, the measurable counterpart of the paper's conceptual
+// overlay (Fig. 4): how strongly peers clog under direct/UPnP parents,
+// how rare NAT↔NAT "random links" are, and how deep the forest runs.
+type TopologySnapshot struct {
+	At          sim.Time
+	ActivePeers int
+	// ParentLinks is the number of (child, sub-stream) → parent edges.
+	ParentLinks int
+	// LinksToReachable counts edges whose parent is direct/UPnP or a
+	// server.
+	LinksToReachable int
+	// NATRandomLinks counts edges between two unreachable peers.
+	NATRandomLinks int
+	// PeersAllReachableParents counts peers whose every parent is
+	// direct/UPnP (the paper's "clogged under direct-connect" state).
+	PeersAllReachableParents int
+	// PeersWithParents counts peers holding at least one parent.
+	PeersWithParents int
+	// ReadyPeers counts peers in playback.
+	ReadyPeers int
+	// MeanDepth and MaxDepth measure sub-stream-0 forest depth from
+	// the server tier.
+	MeanDepth float64
+	MaxDepth  int
+	// SupplyBps is the aggregate upload capacity of all active nodes
+	// (server tier included); DemandBps is ActivePeers × R. Their
+	// ratio is the resource index of Kumar/Ross ("Stochastic Fluid
+	// Theory for P2P Streaming Systems"), whose critical value ~1 the
+	// paper invokes in its scalability discussion (§V-E).
+	SupplyBps float64
+	DemandBps float64
+}
+
+// FractionReachableLinks returns LinksToReachable / ParentLinks.
+func (s TopologySnapshot) FractionReachableLinks() float64 {
+	if s.ParentLinks == 0 {
+		return 0
+	}
+	return float64(s.LinksToReachable) / float64(s.ParentLinks)
+}
+
+// FractionRandomLinks returns NATRandomLinks / ParentLinks.
+func (s TopologySnapshot) FractionRandomLinks() float64 {
+	if s.ParentLinks == 0 {
+		return 0
+	}
+	return float64(s.NATRandomLinks) / float64(s.ParentLinks)
+}
+
+// FractionClogged returns PeersAllReachableParents / PeersWithParents.
+func (s TopologySnapshot) FractionClogged() float64 {
+	if s.PeersWithParents == 0 {
+		return 0
+	}
+	return float64(s.PeersAllReachableParents) / float64(s.PeersWithParents)
+}
+
+// ResourceIndex returns SupplyBps / DemandBps (0 when no demand): the
+// system-wide upload-supply-to-streaming-demand ratio. Values below ~1
+// mean the population cannot be served at full rate no matter how the
+// overlay organises itself.
+func (s TopologySnapshot) ResourceIndex() float64 {
+	if s.DemandBps <= 0 {
+		return 0
+	}
+	return s.SupplyBps / s.DemandBps
+}
+
+// Snapshot measures the current overlay.
+func (w *World) Snapshot() TopologySnapshot {
+	snap := TopologySnapshot{At: w.Engine.Now()}
+	depth := make(map[int]int)
+	// Depth by BFS over sub-stream 0 children links from servers.
+	queue := make([]int, 0, len(w.active))
+	for _, id := range w.active {
+		if w.nodes[id].IsServer() {
+			depth[id] = 0
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, c := range w.nodes[id].children[0] {
+			if _, seen := depth[c]; !seen {
+				depth[c] = depth[id] + 1
+				queue = append(queue, c)
+			}
+		}
+	}
+	var depthSum, depthN int
+	for _, id := range w.active {
+		n := w.nodes[id]
+		snap.SupplyBps += n.EP.UploadBps
+		if n.IsServer() {
+			continue
+		}
+		snap.DemandBps += w.P.Layout.RateBps
+		snap.ActivePeers++
+		if n.State == StateReady {
+			snap.ReadyPeers++
+		}
+		reach, total, natLinks := n.parentStats(w.nodes)
+		snap.ParentLinks += total
+		snap.LinksToReachable += reach
+		snap.NATRandomLinks += natLinks
+		if total > 0 {
+			snap.PeersWithParents++
+			if reach == total {
+				snap.PeersAllReachableParents++
+			}
+		}
+		if d, ok := depth[id]; ok {
+			depthSum += d
+			depthN++
+			if d > snap.MaxDepth {
+				snap.MaxDepth = d
+			}
+		}
+	}
+	if depthN > 0 {
+		snap.MeanDepth = float64(depthSum) / float64(depthN)
+	}
+	return snap
+}
+
+// UploadByClass sums cumulative upload bytes per user class over all
+// non-server nodes (departed included) — the ground-truth counterpart
+// of the log-derived Fig. 3b analysis.
+func (w *World) UploadByClass() (bytes [4]float64, counts [4]int) {
+	for _, n := range w.nodes {
+		if n.IsServer() {
+			continue
+		}
+		bytes[n.EP.Class] += n.CumUploadB
+		counts[n.EP.Class]++
+	}
+	return
+}

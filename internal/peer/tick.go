@@ -1,0 +1,560 @@
+package peer
+
+import (
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// tick advances the fluid data plane and runs the control plane for
+// the elapsed interval [prev, now]. Phase structure:
+//
+//  1. allocation  — parents divide upload capacity (parallel, per node)
+//  2. advance     — H values move along each sub-stream forest
+//     (parallel, per sub-stream, topological)
+//  3. playback    — deadlines, continuity integration, media-ready
+//     (parallel, per node)
+//  4. accounting  — byte counters (sequential, deterministic)
+//  5. control     — BM exchange, gossip, adaptation, recruiting,
+//     status reports (sequential, ID order)
+func (w *World) tick(prev, now sim.Time) {
+	dt := (now - prev).Seconds()
+	if dt <= 0 {
+		return
+	}
+	ids := w.active // snapshot: phases 1-4 do not change membership
+	w.allocate(ids)
+	w.advance(ids, now, dt)
+	w.playback(ids, dt)
+	w.account(ids)
+	w.control(ids, now)
+}
+
+// allocate runs the water-filling allocator on every serving node.
+// Each parent writes the allocated rate into its children's
+// subscription slots; a (child, sub-stream) slot has exactly one
+// parent, so the parallel writes never collide.
+func (w *World) allocate(ids []int) {
+	subRate := w.P.Layout.SubRateBps()
+	k := w.P.Layout.K
+	equalSplit := w.P.EqualSplitAllocator()
+	sim.Parallel(len(ids), func(lo, hi int) {
+		demands := make([]netmodel.Demand, 0, 32)
+		type slot struct{ child, sub int }
+		slots := make([]slot, 0, 32)
+		for idx := lo; idx < hi; idx++ {
+			n := w.nodes[ids[idx]]
+			demands = demands[:0]
+			slots = slots[:0]
+			for j := 0; j < k; j++ {
+				for _, c := range n.children[j] {
+					child := w.nodes[c]
+					// The child's downlink bounds what it can absorb on
+					// any lane; a caught-up child additionally only
+					// needs the live sub-stream rate.
+					need := child.EP.DownloadBps / float64(k)
+					if child.Subs[j].H >= n.Subs[j].H-1 && need > subRate {
+						need = subRate
+					}
+					demands = append(demands, netmodel.Demand{Need: need, Weight: 1})
+					slots = append(slots, slot{child: c, sub: j})
+				}
+			}
+			if len(demands) == 0 {
+				continue
+			}
+			if equalSplit {
+				// Paper Eq. (5) literally: capacity/D per transmission,
+				// wasting any surplus a caught-up child cannot absorb.
+				rate := netmodel.EqualSplit(n.EP.UploadBps, len(demands))
+				for i, s := range slots {
+					r := rate
+					if r > demands[i].Need {
+						r = demands[i].Need
+					}
+					w.nodes[s.child].Subs[s.sub].RateBps = r
+				}
+				continue
+			}
+			rates := netmodel.WaterFill(n.EP.UploadBps, demands)
+			for i, s := range slots {
+				w.nodes[s.child].Subs[s.sub].RateBps = rates[i]
+			}
+		}
+	})
+}
+
+// advance moves every H value forward by dt along the per-sub-stream
+// parent forests, top-down so a child is clamped by its parent's
+// already-advanced position. Sub-streams are independent, so the loop
+// parallelises across them.
+func (w *World) advance(ids []int, now sim.Time, dt float64) {
+	live := w.liveEdge(now)
+	blockBits := 8 * float64(w.P.Layout.BlockBytes)
+	sim.Parallel(w.P.Layout.K, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			// Roots: servers (pinned to the live edge) and stalled
+			// nodes (frozen H). Then walk children depth-first.
+			var walk func(id int)
+			walk = func(id int) {
+				n := w.nodes[id]
+				for _, c := range n.children[j] {
+					child := w.nodes[c]
+					s := &child.Subs[j]
+					moved := s.RateBps * dt / blockBits
+					newH := s.H + moved
+					if parentH := n.Subs[j].H; newH > parentH {
+						newH = parentH
+					}
+					if newH > live {
+						newH = live
+					}
+					if newH < s.H {
+						newH = s.H
+					}
+					s.movedBlocks += newH - s.H
+					s.H = newH
+					walk(c)
+				}
+			}
+			for _, id := range ids {
+				n := w.nodes[id]
+				if n.IsServer() {
+					n.Subs[j].H = live
+					walk(id)
+					continue
+				}
+				// Roots: no parent, or a parent that crashed without
+				// notification (its subtree freezes until the children
+				// detect the loss and re-select).
+				if p := n.Subs[j].Parent; p == NoParent || w.nodes[p].State == StateDeparted {
+					walk(id)
+				}
+			}
+		}
+	})
+}
+
+// playback advances deadlines, integrates missed blocks, and detects
+// media-ready transitions. Each node touches only its own state.
+func (w *World) playback(ids []int, dt float64) {
+	beta := w.P.Layout.SubBlocksPerSecond()
+	readyBlocks := w.P.ReadyBlocks()
+	sim.Parallel(len(ids), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			n := w.nodes[ids[idx]]
+			if n.IsServer() {
+				continue
+			}
+			switch n.State {
+			case StateSubscribing:
+				if n.MinH() >= n.startPos+readyBlocks {
+					n.State = StateReady
+					n.ReadyAt = w.Engine.Now()
+					n.playDeadline = n.startPos
+					n.readyPending = true
+				}
+			case StateReady:
+				d0 := n.playDeadline
+				d1 := d0 + beta*dt
+				for j := range n.Subs {
+					s := &n.Subs[j]
+					h0 := s.H - s.movedBlocks
+					rho := s.movedBlocks / dt
+					n.missedBlocks += missedSeq(h0, rho, d0, d1, beta)
+					n.totalBlocks += d1 - d0
+				}
+				n.playDeadline = d1
+			}
+		}
+	})
+}
+
+// account drains per-subscription movedBlocks into the byte counters
+// of child and parent. Sequential so parents aggregate deterministically.
+func (w *World) account(ids []int) {
+	blockBytes := float64(w.P.Layout.BlockBytes)
+	for _, id := range ids {
+		n := w.nodes[id]
+		for j := range n.Subs {
+			s := &n.Subs[j]
+			if s.movedBlocks == 0 {
+				continue
+			}
+			bytes := s.movedBlocks * blockBytes
+			n.downBytes += bytes
+			n.CumDownloadB += bytes
+			if p := s.Parent; p != NoParent {
+				parent := w.nodes[p]
+				parent.upBytes += bytes
+				parent.CumUploadB += bytes
+			}
+			s.movedBlocks = 0
+		}
+	}
+}
+
+// control runs the per-node protocol logic in deterministic ID order.
+// Nodes may depart (stall-abandon) or change subscriptions here, so it
+// iterates a snapshot and re-checks liveness.
+func (w *World) control(ids []int, now sim.Time) {
+	snapshot := append([]int(nil), ids...)
+	for _, id := range snapshot {
+		n := w.nodes[id]
+		if n.State == StateDeparted || n.IsServer() {
+			continue
+		}
+		if n.readyPending {
+			n.readyPending = false
+			w.ReadySessions++
+			w.log(n, logsys.Record{Kind: logsys.KindMediaReady})
+		}
+		w.refreshBMs(n, now)
+		w.gossipStep(n, now)
+		switch n.State {
+		case StateJoining:
+			w.tryInitialSubscription(n, now)
+		case StateSubscribing, StateReady:
+			w.fillStalledSubstreams(n)
+			w.adapt(n, now)
+		}
+		w.maintainPartners(n, now)
+		w.stallCheck(n, now)
+		if n.State == StateDeparted {
+			continue // abandoned mid-interval: the bad report is censored
+		}
+		w.statusReports(n, now)
+	}
+}
+
+// refreshBMs updates cached partner buffer maps that are due. With
+// control loss enabled, a due refresh may be skipped, leaving the view
+// one period staler.
+func (w *World) refreshBMs(n *Node, now sim.Time) {
+	for pid, p := range n.Partners {
+		if now-p.BMAt < w.P.BMPeriod {
+			continue
+		}
+		partner := w.nodes[pid]
+		if partner.State == StateDeparted {
+			// Crash detection: the BM exchange fails, the partnership
+			// is torn down, and any sub-stream served by the corpse is
+			// marked stalled.
+			delete(n.Partners, pid)
+			n.partnerChanges++
+			for j := range n.Subs {
+				if n.Subs[j].Parent == pid {
+					partner.removeChild(j, n.ID)
+					n.Subs[j].Parent = NoParent
+					n.Subs[j].RateBps = 0
+				}
+			}
+			continue
+		}
+		if w.P.ControlLossProb > 0 && n.rng.Bool(w.P.ControlLossProb) {
+			p.BMAt = now // the exchange round happened but was lost
+			continue
+		}
+		p.BM = partner.BufferMap(n.ID)
+		p.BMAt = now
+	}
+}
+
+// gossipStep merges membership knowledge with one random partner.
+func (w *World) gossipStep(n *Node, now sim.Time) {
+	if now-n.lastGossipAt < w.P.GossipPeriod || len(n.Partners) == 0 {
+		return
+	}
+	n.lastGossipAt = now
+	pid := n.pickRandomPartner()
+	partner := w.nodes[pid]
+	if partner.State == StateDeparted {
+		return // detected and torn down at the next BM refresh
+	}
+	for _, e := range partner.MCache.Sample(4, map[int]bool{n.ID: true}) {
+		n.MCache.Insert(e, now)
+	}
+	partner.MCache.Insert(w.bootEntry(n), now)
+}
+
+func (n *Node) pickRandomPartner() int {
+	// Deterministic choice: collect IDs in sorted order, then draw.
+	ids := make([]int, 0, len(n.Partners))
+	for pid := range n.Partners {
+		ids = append(ids, pid)
+	}
+	sortInts(ids)
+	return ids[n.rng.Intn(len(ids))]
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: partner sets are tiny and this avoids pulling in
+	// sort for a hot path.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// bestPartnerH returns the max of max-latest over all partners' cached
+// BMs — the reference point of Inequality (2) and of the join shift.
+func (n *Node) bestPartnerH() (int64, bool) {
+	var best int64
+	found := false
+	for _, p := range n.Partners {
+		if m := p.BM.MaxLatest(); !found || m > best {
+			best = m
+			found = true
+		}
+	}
+	return best, found
+}
+
+// tryInitialSubscription implements §IV-A: once partners' BMs are
+// visible, choose the start position m - Tp and subscribe each
+// sub-stream to an eligible parent.
+func (w *World) tryInitialSubscription(n *Node, now sim.Time) {
+	best, ok := n.bestPartnerH()
+	if !ok || best <= w.P.Tp {
+		return // partners know nothing useful yet
+	}
+	start := best - w.P.Tp
+	n.startPos = float64(start)
+	for j := range n.Subs {
+		n.Subs[j].H = n.startPos
+	}
+	got := 0
+	for j := range n.Subs {
+		if w.subscribe(n, j, best) {
+			got++
+		}
+	}
+	if got > 0 {
+		n.State = StateSubscribing
+		n.StartSubAt = now
+		w.log(n, logsys.Record{Kind: logsys.KindStartSub})
+	}
+}
+
+// fillStalledSubstreams re-subscribes sub-streams without a parent;
+// this is not rate-limited by Ta (there is nothing to disrupt).
+func (w *World) fillStalledSubstreams(n *Node) {
+	best, ok := n.bestPartnerH()
+	if !ok {
+		return
+	}
+	for j := range n.Subs {
+		if n.Subs[j].Parent == NoParent {
+			w.subscribe(n, j, best)
+		}
+	}
+}
+
+// subscribe picks an eligible partner as parent for sub-stream j.
+// Eligibility follows §IV-B: the candidate must be ahead of us on j,
+// within Tp of the best partner (Inequality (2) at selection time),
+// and not create a cycle. Among several eligible partners the choice
+// is random (the paper's randomized selection).
+func (w *World) subscribe(n *Node, j int, best int64) bool {
+	cands := make([]int, 0, len(n.Partners))
+	ids := make([]int, 0, len(n.Partners))
+	for pid := range n.Partners {
+		ids = append(ids, pid)
+	}
+	sortInts(ids)
+	for _, pid := range ids {
+		p := n.Partners[pid]
+		if p.BM.K() != w.P.Layout.K {
+			continue
+		}
+		if w.nodes[pid].State == StateDeparted {
+			continue // a real subscribe would fail to connect
+		}
+		latest := p.BM.Latest[j]
+		if float64(latest) <= n.Subs[j].H {
+			continue // nothing we need
+		}
+		if best-latest >= w.P.Tp {
+			continue // Inequality (2) would already be violated
+		}
+		if w.wouldCycle(n, j, pid) {
+			continue
+		}
+		cands = append(cands, pid)
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	var choice int
+	if w.P.ParentSelection == "freshest" {
+		// Greedy ablation: always take the partner advertising the
+		// highest sequence on this sub-stream.
+		choice = cands[0]
+		for _, pid := range cands[1:] {
+			if n.Partners[pid].BM.Latest[j] > n.Partners[choice].BM.Latest[j] {
+				choice = pid
+			}
+		}
+	} else {
+		choice = cands[n.rng.Intn(len(cands))]
+	}
+	old := n.Subs[j].Parent
+	if old == choice {
+		return true
+	}
+	if old != NoParent {
+		w.nodes[old].removeChild(j, n.ID)
+	}
+	n.Subs[j].Parent = choice
+	n.Subs[j].RateBps = 0 // next allocation pass sets it
+	w.nodes[choice].addChild(j, n.ID)
+	return true
+}
+
+// wouldCycle walks candidate's ancestry on sub-stream j to reject
+// subscriptions that would close a loop.
+func (w *World) wouldCycle(n *Node, j, candidate int) bool {
+	cur := candidate
+	for steps := 0; steps < len(w.nodes); steps++ {
+		if cur == n.ID {
+			return true
+		}
+		next := w.nodes[cur].Subs[j].Parent
+		if next == NoParent {
+			return false
+		}
+		cur = next
+	}
+	return true // unreachable unless the forest is corrupt; fail safe
+}
+
+// adapt implements §IV-B peer adaptation: Inequality (1) monitors the
+// node's own sub-stream deviation against Ts; Inequality (2) monitors
+// the parent's advertised progress against the best partner and Tp.
+// At most one parent switch per cool-down period Ta.
+func (w *World) adapt(n *Node, now sim.Time) {
+	if now-n.lastAdaptAt < w.P.Ta {
+		return
+	}
+	best, ok := n.bestPartnerH()
+	if !ok {
+		return
+	}
+	maxH := n.MaxH()
+	worst, worstLag := -1, float64(0)
+	for j := range n.Subs {
+		pid := n.Subs[j].Parent
+		if pid == NoParent {
+			continue
+		}
+		lag1 := maxH - n.Subs[j].H // Inequality (1) deviation
+		violated := lag1 >= float64(w.P.Ts)
+		if p, okp := n.Partners[pid]; okp && p.BM.K() == w.P.Layout.K {
+			if best-p.BM.Latest[j] >= w.P.Tp { // Inequality (2)
+				violated = true
+			}
+		} else {
+			// The parent is no longer a partner (link lost): always
+			// re-select.
+			violated = true
+		}
+		if violated && lag1 >= worstLag {
+			worst, worstLag = j, lag1
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	// Drop the failing parent and re-select; if no eligible partner
+	// exists the sub-stream stays stalled and the next rounds retry.
+	old := n.Subs[worst].Parent
+	if old != NoParent {
+		w.nodes[old].removeChild(worst, n.ID)
+		n.Subs[worst].Parent = NoParent
+		n.Subs[worst].RateBps = 0
+	}
+	w.subscribe(n, worst, best)
+	n.lastAdaptAt = now
+	w.Adaptations++
+}
+
+// maintainPartners recruits replacements when the partner set shrinks
+// below the minimum, re-contacting the bootstrap if the mCache is dry.
+func (w *World) maintainPartners(n *Node, now sim.Time) {
+	if len(n.Partners) >= w.P.MinPartners || now < n.recruitingDue {
+		return
+	}
+	n.recruitingDue = now + 2*sim.Second
+	if n.MCache.Len() == 0 {
+		w.Engine.After(w.P.BootstrapRTT, func() { w.bootstrapReply(n) })
+		return
+	}
+	w.recruit(n)
+}
+
+// stallCheck models the frustrated user: once the current report
+// interval shows badly stalled playback, the user departs and
+// re-enters with a constant hazard — usually *before* the next status
+// report fires. This is precisely the censoring mechanism of §V-D:
+// the stalled interval's low continuity index never reaches the log
+// server, which is why NAT/firewall users' *reported* continuity can
+// exceed direct-connect users' despite worse actual service.
+func (w *World) stallCheck(n *Node, now sim.Time) {
+	if n.State != StateReady || n.totalBlocks <= 0 || w.StallAbandonProb <= 0 {
+		return
+	}
+	if now-n.lastReportAt < w.P.ReportPeriod/4 {
+		return // too little evidence this interval
+	}
+	ci := 1 - n.missedBlocks/n.totalBlocks
+	if ci >= w.StallContinuity {
+		return
+	}
+	// Per-tick hazard such that the total abandon probability over one
+	// report period is ~StallAbandonProb.
+	pTick := w.StallAbandonProb * float64(w.Engine.TickPeriod()) / float64(w.P.ReportPeriod)
+	if pTick > 1 {
+		pTick = 1
+	}
+	if n.rng.Bool(pTick) {
+		w.abandonAndRejoin(n)
+	}
+}
+
+// statusReports emits the periodic QoS / traffic / partner reports.
+func (w *World) statusReports(n *Node, now sim.Time) {
+	if now-n.lastReportAt < w.P.ReportPeriod {
+		return
+	}
+	n.lastReportAt = now
+	continuity := 1.0
+	hasCI := n.State == StateReady && n.totalBlocks > 0
+	if hasCI {
+		continuity = 1 - n.missedBlocks/n.totalBlocks
+		if continuity < 0 {
+			continuity = 0
+		}
+		w.log(n, logsys.Record{Kind: logsys.KindQoS, Continuity: continuity})
+	}
+	w.log(n, logsys.Record{
+		Kind:          logsys.KindTraffic,
+		UploadBytes:   int64(n.upBytes),
+		DownloadBytes: int64(n.downBytes),
+	})
+	in, out := n.PartnerCounts()
+	reach, total, natLinks := n.parentStats(w.nodes)
+	w.log(n, logsys.Record{
+		Kind:            logsys.KindPartner,
+		InPartners:      in,
+		OutPartners:     out,
+		ParentReachable: reach,
+		ParentTotal:     total,
+		NATParentLinks:  natLinks,
+		PartnerChanges:  n.partnerChanges,
+	})
+	n.missedBlocks, n.totalBlocks = 0, 0
+	n.upBytes, n.downBytes = 0, 0
+	n.partnerChanges = 0
+	w.Boot.UpdatePartnerCount(n.ID, in+out)
+}

@@ -1,0 +1,435 @@
+package peer
+
+import (
+	"fmt"
+	"sort"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
+)
+
+// World owns the full overlay population and advances it on the
+// simulation engine: the source/server tier, every peer node, the
+// bootstrap, and the log sink. It is the composition root of the
+// Coolstreaming system.
+type World struct {
+	P       Params
+	Engine  *sim.Engine
+	Sink    logsys.Sink
+	Boot    *gossip.Bootstrap
+	Latency netmodel.LatencyModel
+	Reach   netmodel.Reachability
+	Policy  gossip.Policy
+
+	rng      *xrand.RNG
+	nodes    []*Node
+	active   []int // sorted IDs of active nodes (servers included)
+	sessions int
+
+	// leaveEv and timeoutEv track cancellable per-node events.
+	leaveEv   map[int]*sim.Event
+	timeoutEv map[int]*sim.Event
+
+	// StallContinuity/StallAbandonProb model frustrated users: a Ready
+	// node whose report-interval continuity falls below the threshold
+	// departs and re-enters with the given probability (the paper's
+	// churn-driven depart-and-rejoin behaviour, §V-D).
+	StallContinuity  float64
+	StallAbandonProb float64
+	// CrashProb is the probability that a user-initiated departure is
+	// ungraceful (no TCP teardown): partners and children discover it
+	// only through failed BM exchanges and Inequality (1) lag.
+	CrashProb float64
+	// Counters for experiment summaries.
+	JoinedSessions  int
+	FailedSessions  int
+	ReadySessions   int
+	AbandonSessions int
+	// Adaptations counts parent switches triggered by the §IV-B
+	// inequalities (the overlay's self-repair work rate).
+	Adaptations int
+}
+
+// NewWorld wires a world onto the engine. The engine's tick callback
+// is registered here; callers then schedule joins and call Engine.Run.
+func NewWorld(p Params, engine *sim.Engine, sink logsys.Sink, latency netmodel.LatencyModel, policy gossip.Policy, seed uint64) (*World, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil || sink == nil || latency == nil || policy == nil {
+		return nil, fmt.Errorf("peer: nil dependency")
+	}
+	root := xrand.New(seed)
+	w := &World{
+		P:                p,
+		Engine:           engine,
+		Sink:             sink,
+		Latency:          latency,
+		Reach:            netmodel.Reachability{TraversalProb: p.TraversalProb},
+		Policy:           policy,
+		rng:              root.SplitLabeled("world"),
+		Boot:             gossip.NewBootstrap(root.SplitLabeled("bootstrap")),
+		leaveEv:          make(map[int]*sim.Event),
+		timeoutEv:        make(map[int]*sim.Event),
+		StallContinuity:  0.85,
+		StallAbandonProb: 0.7,
+		CrashProb:        0.3,
+	}
+	engine.OnTick(w.tick)
+	return w, nil
+}
+
+// Node returns the node with the given ID (nil if out of range).
+func (w *World) Node(id int) *Node {
+	if id < 0 || id >= len(w.nodes) {
+		return nil
+	}
+	return w.nodes[id]
+}
+
+// Nodes returns all nodes ever created (departed included), indexed by ID.
+func (w *World) Nodes() []*Node { return w.nodes }
+
+// ActiveCount returns the number of active nodes including servers.
+func (w *World) ActiveCount() int { return len(w.active) }
+
+// ActivePeerCount returns the number of active non-server peers.
+func (w *World) ActivePeerCount() int {
+	n := 0
+	for _, id := range w.active {
+		if !w.nodes[id].IsServer() {
+			n++
+		}
+	}
+	return n
+}
+
+func (w *World) newNode(ep netmodel.Endpoint, userID int) *Node {
+	id := len(w.nodes)
+	w.sessions++
+	n := &Node{
+		ID:       id,
+		UserID:   userID,
+		Session:  w.sessions,
+		EP:       ep,
+		JoinedAt: w.Engine.Now(),
+		Partners: make(map[int]*Partner),
+		Subs:     make([]Subscription, w.P.Layout.K),
+		children: make([][]int, w.P.Layout.K),
+		rng:      w.rng.SplitLabeled(fmt.Sprintf("node-%d", id)),
+	}
+	for j := range n.Subs {
+		n.Subs[j].Parent = NoParent
+	}
+	n.MCache = gossip.NewMCache(w.P.MCacheCapacity, w.Policy, n.rng.SplitLabeled("mcache"))
+	n.lastReportAt = n.JoinedAt
+	w.nodes = append(w.nodes, n)
+	w.insertActive(id)
+	return n
+}
+
+func (w *World) insertActive(id int) {
+	i := sort.SearchInts(w.active, id)
+	w.active = append(w.active, 0)
+	copy(w.active[i+1:], w.active[i:])
+	w.active[i] = id
+}
+
+func (w *World) removeActive(id int) {
+	i := sort.SearchInts(w.active, id)
+	if i < len(w.active) && w.active[i] == id {
+		w.active = append(w.active[:i], w.active[i+1:]...)
+	}
+}
+
+// AddServer creates one dedicated-server node (the paper's 24×100 Mbps
+// tier). Servers sit at the live edge, never play back, never depart,
+// and are registered with the bootstrap so newcomers always learn
+// about the server tier.
+func (w *World) AddServer(uploadBps float64) *Node {
+	n := w.newNode(netmodel.Endpoint{
+		Class:       netmodel.Direct,
+		UploadBps:   uploadBps,
+		DownloadBps: uploadBps,
+		Server:      true,
+	}, -1)
+	n.State = StateReady
+	live := w.liveEdge(w.Engine.Now())
+	for j := range n.Subs {
+		n.Subs[j].H = live
+	}
+	w.Boot.Join(w.bootEntry(n), w.Engine.Now())
+	w.Boot.RegisterServer(n.ID)
+	return n
+}
+
+func (w *World) bootEntry(n *Node) gossip.Entry {
+	in, out := n.PartnerCounts()
+	return gossip.Entry{
+		ID:           n.ID,
+		Class:        n.EP.Class,
+		JoinedAt:     n.JoinedAt,
+		PartnerCount: in + out,
+	}
+}
+
+// liveEdge returns the source's per-sub-stream sequence position at t.
+func (w *World) liveEdge(t sim.Time) float64 {
+	return w.P.Layout.SecondsToSeq(t.Seconds())
+}
+
+// Join starts a session for userID with the given endpoint. The user
+// intends to watch for `watch`; if the session fails to reach
+// media-ready within JoinTimeout the user retries up to `patience`
+// more times (Fig. 10b's re-try behaviour). retries carries how many
+// failures this user has already had, for the session logs.
+func (w *World) Join(userID int, ep netmodel.Endpoint, watch sim.Time, patience, retries int) *Node {
+	now := w.Engine.Now()
+	n := w.newNode(ep, userID)
+	n.State = StateJoining
+	n.Retries = retries
+	n.watch = watch
+	n.patience = patience
+	w.JoinedSessions++
+	w.Boot.Join(w.bootEntry(n), now)
+	w.log(n, logsys.Record{Kind: logsys.KindJoin})
+
+	// Bootstrap round trip delivers the initial candidate list.
+	w.Engine.After(w.P.BootstrapRTT, func() { w.bootstrapReply(n) })
+
+	// The user's own departure clock. A fraction of users just close
+	// the application without teardown.
+	crash := n.rng.Bool(w.CrashProb)
+	w.leaveEv[n.ID] = w.Engine.After(watch, func() {
+		if crash {
+			w.departCrash(n, "user")
+		} else {
+			w.depart(n, "user")
+		}
+	})
+
+	// Startup failure clock.
+	w.timeoutEv[n.ID] = w.Engine.After(w.P.JoinTimeout, func() {
+		if n.State == StateJoining || n.State == StateSubscribing {
+			w.failSession(n)
+		}
+	})
+	return n
+}
+
+// failSession aborts a session that never reached media-ready and
+// schedules the user's retry if patience remains.
+func (w *World) failSession(n *Node) {
+	w.FailedSessions++
+	userID, ep, watch, patience, retries := n.UserID, n.EP, n.watch, n.patience, n.Retries
+	w.depart(n, "join-timeout")
+	if patience > 0 {
+		w.Engine.After(w.P.RetryDelay, func() {
+			w.Join(userID, ep, watch, patience-1, retries+1)
+		})
+	}
+}
+
+// abandonAndRejoin models a frustrated Ready user who departs after a
+// badly stalled interval and immediately re-enters (treated by the
+// system as a brand-new join, per §V-D).
+func (w *World) abandonAndRejoin(n *Node) {
+	w.AbandonSessions++
+	userID, ep, patience := n.UserID, n.EP, n.patience
+	// Remaining watch time continues to run.
+	remaining := n.JoinedAt + n.watch - w.Engine.Now()
+	w.depart(n, "stall-reenter")
+	if remaining > w.P.RetryDelay {
+		w.Engine.After(w.P.RetryDelay, func() {
+			w.Join(userID, ep, remaining-w.P.RetryDelay, patience, n.Retries+1)
+		})
+	}
+}
+
+// depart removes a node gracefully: partners drop it immediately (TCP
+// reset semantics), children stall, the bootstrap forgets it, and the
+// leave is logged. Safe to call once; later calls are no-ops.
+func (w *World) depart(n *Node, reason string) {
+	w.departMode(n, reason, true)
+}
+
+// departCrash removes a node without notifying anyone: its partners
+// keep a dangling entry until the next BM refresh fails, and its
+// children's transfers silently freeze until Inequality (1) detects
+// the lag — the paper's ungraceful-churn case. The leave is still
+// logged (the deployed reporter hooks page unload).
+func (w *World) departCrash(n *Node, reason string) {
+	w.departMode(n, reason, false)
+}
+
+func (w *World) departMode(n *Node, reason string, graceful bool) {
+	if n.State == StateDeparted {
+		return
+	}
+	now := w.Engine.Now()
+	n.State = StateDeparted
+	n.LeftAt = now
+	w.Boot.Leave(n.ID)
+	w.removeActive(n.ID)
+	if ev := w.leaveEv[n.ID]; ev != nil {
+		w.Engine.Cancel(ev)
+		delete(w.leaveEv, n.ID)
+	}
+	if ev := w.timeoutEv[n.ID]; ev != nil {
+		w.Engine.Cancel(ev)
+		delete(w.timeoutEv, n.ID)
+	}
+	// Detach from parents. Parents notice a vanished child either way:
+	// their TCP send fails at once, so the child registry is cleaned
+	// for both graceful and crash departures.
+	for j := range n.Subs {
+		if p := n.Subs[j].Parent; p != NoParent {
+			w.nodes[p].removeChild(j, n.ID)
+			n.Subs[j].Parent = NoParent
+			n.Subs[j].RateBps = 0
+		}
+	}
+	if graceful {
+		// Stall children (TCP reset is observed immediately).
+		for j := range n.children {
+			for _, c := range n.children[j] {
+				child := w.nodes[c]
+				if child.Subs[j].Parent == n.ID {
+					child.Subs[j].Parent = NoParent
+					child.Subs[j].RateBps = 0
+				}
+			}
+			n.children[j] = nil
+		}
+		// Partners drop the link.
+		for pid := range n.Partners {
+			delete(w.nodes[pid].Partners, n.ID)
+			w.nodes[pid].partnerChanges++
+		}
+	}
+	// On a crash, children and partner back-pointers stay dangling;
+	// refreshBMs and the adaptation inequalities clean them up lazily.
+	n.Partners = make(map[int]*Partner)
+	w.log(n, logsys.Record{Kind: logsys.KindLeave, Reason: reason})
+}
+
+// DepartAllPeers removes every active non-server peer at once — the
+// program-end event: when a broadcast finishes, its audience leaves
+// together (Fig. 5b's 22:00 cliff at channel granularity).
+func (w *World) DepartAllPeers(reason string) int {
+	ids := append([]int(nil), w.active...)
+	n := 0
+	for _, id := range ids {
+		node := w.nodes[id]
+		if node.IsServer() || node.State == StateDeparted {
+			continue
+		}
+		w.depart(node, reason)
+		n++
+	}
+	return n
+}
+
+// bootstrapReply fills the joiner's mCache with the bootstrap's
+// candidate list and starts partner recruitment.
+func (w *World) bootstrapReply(n *Node) {
+	if n.State == StateDeparted {
+		return
+	}
+	now := w.Engine.Now()
+	for _, e := range w.Boot.Candidates(n.ID, w.P.BootstrapCandidates) {
+		n.MCache.Insert(e, now)
+	}
+	w.recruit(n)
+}
+
+// recruit attempts partnership establishment towards mCache samples
+// until the desired partner count is reached.
+func (w *World) recruit(n *Node) {
+	if n.State == StateDeparted {
+		return
+	}
+	want := w.P.DesiredPartners - len(n.Partners)
+	if want <= 0 {
+		return
+	}
+	exclude := map[int]bool{n.ID: true}
+	for pid := range n.Partners {
+		exclude[pid] = true
+	}
+	for _, e := range n.MCache.Sample(want, exclude) {
+		w.attemptPartnership(n, e.ID)
+	}
+}
+
+// attemptPartnership models the TCP partnership handshake with the
+// latency model and the NAT/firewall reachability rules.
+func (w *World) attemptPartnership(n *Node, targetID int) {
+	rtt := 2 * w.Latency.Delay(n.ID, targetID)
+	u := n.rng.Float64() // drawn now so event ordering cannot disturb streams
+	if w.P.ControlLossProb > 0 && n.rng.Bool(w.P.ControlLossProb) {
+		// Handshake lost in flight; the peer retries through the
+		// normal recruiting cadence.
+		return
+	}
+	w.Engine.After(rtt, func() {
+		target := w.Node(targetID)
+		if n.State == StateDeparted {
+			return
+		}
+		if target == nil || target.State == StateDeparted {
+			n.MCache.Remove(targetID)
+			return
+		}
+		if _, dup := n.Partners[targetID]; dup {
+			return
+		}
+		bound := w.P.MaxPartners
+		if target.IsServer() {
+			bound = w.P.MaxServerPartners
+		}
+		if len(target.Partners) >= bound || len(n.Partners) >= w.P.MaxPartners {
+			return
+		}
+		if !w.Reach.Attempt(n.EP.Class, target.EP.Class, u) {
+			n.MCache.Remove(targetID)
+			return
+		}
+		now := w.Engine.Now()
+		n.Partners[targetID] = &Partner{
+			Outgoing:      true,
+			BM:            target.BufferMap(n.ID),
+			BMAt:          now,
+			EstablishedAt: now,
+		}
+		target.Partners[n.ID] = &Partner{
+			Outgoing:      false,
+			BM:            n.BufferMap(targetID),
+			BMAt:          now,
+			EstablishedAt: now,
+		}
+		n.partnerChanges++
+		target.partnerChanges++
+		// Membership gossip piggybacks on establishment.
+		target.MCache.Insert(w.bootEntry(n), now)
+		n.MCache.Insert(w.bootEntry(target), now)
+	})
+}
+
+// log emits a record for the node, filling identity fields.
+func (w *World) log(n *Node, rec logsys.Record) {
+	if n.IsServer() {
+		return // the server tier does not report; it is infrastructure
+	}
+	rec.At = w.Engine.Now()
+	rec.Peer = n.ID
+	rec.Session = n.Session
+	rec.User = n.UserID
+	rec.PrivateAddr = n.EP.Class.HasPrivateAddress()
+	rec.TrueClass = n.EP.Class
+	rec.HasTruth = true
+	w.Sink.Log(rec)
+}

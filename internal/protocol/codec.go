@@ -1,0 +1,176 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"coolstream/internal/netmodel"
+)
+
+// codec layout (big endian):
+//
+//	u8  type
+//	i32 from
+//	i32 to
+//	then type-specific payload:
+//	  mcache-request : i16 want
+//	  mcache-reply   : u16 n, n × (i32 id, u8 class, i64 joinedAt, i16 partners)
+//	  bm-exchange    : u16 len, BufferMap.MarshalBinary bytes
+//	  subscribe      : i16 substream, i64 startSeq
+//	  unsubscribe    : i16 substream
+//	  others         : empty
+
+// Marshal encodes a message. It validates first, so malformed messages
+// never reach the wire.
+func Marshal(m Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	b.WriteByte(byte(m.Type))
+	writeI32 := func(v int32) { binary.Write(&b, binary.BigEndian, v) }
+	writeI32(m.From)
+	writeI32(m.To)
+	switch m.Type {
+	case TypeMCacheRequest:
+		binary.Write(&b, binary.BigEndian, m.Want)
+	case TypeMCacheReply:
+		if len(m.Entries) > 0xffff {
+			return nil, fmt.Errorf("protocol: %d entries exceed reply limit", len(m.Entries))
+		}
+		binary.Write(&b, binary.BigEndian, uint16(len(m.Entries)))
+		for _, e := range m.Entries {
+			binary.Write(&b, binary.BigEndian, e.ID)
+			b.WriteByte(byte(e.Class))
+			binary.Write(&b, binary.BigEndian, e.JoinedAtMs)
+			binary.Write(&b, binary.BigEndian, e.PartnerCount)
+		}
+	case TypeBMExchange:
+		bm, err := m.BM.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		if len(bm) > 0xffff {
+			return nil, fmt.Errorf("protocol: buffer map too large: %d bytes", len(bm))
+		}
+		binary.Write(&b, binary.BigEndian, uint16(len(bm)))
+		b.Write(bm)
+	case TypeSubscribe:
+		binary.Write(&b, binary.BigEndian, m.SubStream)
+		binary.Write(&b, binary.BigEndian, m.StartSeq)
+	case TypeUnsubscribe:
+		binary.Write(&b, binary.BigEndian, m.SubStream)
+	case TypeBlockPush:
+		binary.Write(&b, binary.BigEndian, m.SubStream)
+		binary.Write(&b, binary.BigEndian, m.StartSeq)
+		if len(m.Payload) > 1<<24 {
+			return nil, fmt.Errorf("protocol: block payload %d exceeds 16 MiB", len(m.Payload))
+		}
+		binary.Write(&b, binary.BigEndian, uint32(len(m.Payload)))
+		b.Write(m.Payload)
+	}
+	return b.Bytes(), nil
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func Unmarshal(data []byte) (Message, error) {
+	var m Message
+	r := bytes.NewReader(data)
+	var typ uint8
+	if err := binary.Read(r, binary.BigEndian, &typ); err != nil {
+		return m, fmt.Errorf("protocol: truncated type: %w", err)
+	}
+	m.Type = MsgType(typ)
+	if err := binary.Read(r, binary.BigEndian, &m.From); err != nil {
+		return m, fmt.Errorf("protocol: truncated from: %w", err)
+	}
+	if err := binary.Read(r, binary.BigEndian, &m.To); err != nil {
+		return m, fmt.Errorf("protocol: truncated to: %w", err)
+	}
+	switch m.Type {
+	case TypeMCacheRequest:
+		if err := binary.Read(r, binary.BigEndian, &m.Want); err != nil {
+			return m, fmt.Errorf("protocol: truncated want: %w", err)
+		}
+	case TypeMCacheReply:
+		var n uint16
+		if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+			return m, fmt.Errorf("protocol: truncated entry count: %w", err)
+		}
+		m.Entries = make([]PeerEntry, n)
+		for i := range m.Entries {
+			e := &m.Entries[i]
+			var class uint8
+			if err := binary.Read(r, binary.BigEndian, &e.ID); err != nil {
+				return m, fmt.Errorf("protocol: truncated entry %d: %w", i, err)
+			}
+			if err := binary.Read(r, binary.BigEndian, &class); err != nil {
+				return m, fmt.Errorf("protocol: truncated entry %d: %w", i, err)
+			}
+			if class >= netmodel.NumClasses {
+				return m, fmt.Errorf("protocol: entry %d has invalid class %d", i, class)
+			}
+			e.Class = netmodel.UserClass(class)
+			if err := binary.Read(r, binary.BigEndian, &e.JoinedAtMs); err != nil {
+				return m, fmt.Errorf("protocol: truncated entry %d: %w", i, err)
+			}
+			if err := binary.Read(r, binary.BigEndian, &e.PartnerCount); err != nil {
+				return m, fmt.Errorf("protocol: truncated entry %d: %w", i, err)
+			}
+		}
+	case TypeBMExchange:
+		var n uint16
+		if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+			return m, fmt.Errorf("protocol: truncated bm length: %w", err)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return m, fmt.Errorf("protocol: truncated bm: %w", err)
+		}
+		if err := m.BM.UnmarshalBinary(buf); err != nil {
+			return m, err
+		}
+	case TypeSubscribe:
+		if err := binary.Read(r, binary.BigEndian, &m.SubStream); err != nil {
+			return m, fmt.Errorf("protocol: truncated substream: %w", err)
+		}
+		if err := binary.Read(r, binary.BigEndian, &m.StartSeq); err != nil {
+			return m, fmt.Errorf("protocol: truncated startseq: %w", err)
+		}
+	case TypeUnsubscribe:
+		if err := binary.Read(r, binary.BigEndian, &m.SubStream); err != nil {
+			return m, fmt.Errorf("protocol: truncated substream: %w", err)
+		}
+	case TypeBlockPush:
+		if err := binary.Read(r, binary.BigEndian, &m.SubStream); err != nil {
+			return m, fmt.Errorf("protocol: truncated substream: %w", err)
+		}
+		if err := binary.Read(r, binary.BigEndian, &m.StartSeq); err != nil {
+			return m, fmt.Errorf("protocol: truncated block seq: %w", err)
+		}
+		var n uint32
+		if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+			return m, fmt.Errorf("protocol: truncated payload length: %w", err)
+		}
+		if int(n) > r.Len() {
+			return m, fmt.Errorf("protocol: payload length %d exceeds remaining %d", n, r.Len())
+		}
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return m, fmt.Errorf("protocol: truncated payload: %w", err)
+		}
+	case TypePartnerRequest, TypePartnerAccept, TypePartnerReject, TypeLeave:
+		// No payload.
+	default:
+		return m, fmt.Errorf("protocol: unknown message type %d", typ)
+	}
+	if r.Len() != 0 {
+		return m, fmt.Errorf("protocol: %d trailing bytes", r.Len())
+	}
+	if err := m.Validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}

@@ -1,0 +1,181 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/buffer"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/xrand"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal(%v): %v", m.Type, err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal(%v): %v", m.Type, err)
+	}
+	return got
+}
+
+func TestRoundTripSimpleTypes(t *testing.T) {
+	for _, typ := range []MsgType{TypePartnerRequest, TypePartnerAccept, TypePartnerReject, TypeLeave} {
+		m := Message{Type: typ, From: 7, To: 12}
+		got := roundTrip(t, m)
+		if got.Type != typ || got.From != 7 || got.To != 12 {
+			t.Fatalf("round trip %v: got %+v", typ, got)
+		}
+	}
+}
+
+func TestRoundTripMCacheRequest(t *testing.T) {
+	got := roundTrip(t, Message{Type: TypeMCacheRequest, From: 1, To: -1, Want: 30})
+	if got.Want != 30 || got.To != -1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundTripMCacheReply(t *testing.T) {
+	m := Message{Type: TypeMCacheReply, From: -1, To: 4, Entries: []PeerEntry{
+		{ID: 9, Class: netmodel.NAT, JoinedAtMs: 123456, PartnerCount: 3},
+		{ID: 11, Class: netmodel.Direct, JoinedAtMs: -1, PartnerCount: 0},
+	}}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(got.Entries, m.Entries) {
+		t.Fatalf("entries differ: %+v vs %+v", got.Entries, m.Entries)
+	}
+}
+
+func TestRoundTripEmptyMCacheReply(t *testing.T) {
+	got := roundTrip(t, Message{Type: TypeMCacheReply, From: -1, To: 4})
+	if len(got.Entries) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundTripBMExchange(t *testing.T) {
+	bm := buffer.NewBufferMap(4)
+	bm.Latest = []int64{10, 11, 9, 12}
+	bm.Subscribed = []bool{true, false, true, false}
+	got := roundTrip(t, Message{Type: TypeBMExchange, From: 2, To: 3, BM: bm})
+	if !reflect.DeepEqual(got.BM.Latest, bm.Latest) || !reflect.DeepEqual(got.BM.Subscribed, bm.Subscribed) {
+		t.Fatalf("bm differs: %+v", got.BM)
+	}
+}
+
+func TestRoundTripSubscribe(t *testing.T) {
+	got := roundTrip(t, Message{Type: TypeSubscribe, From: 5, To: 6, SubStream: 2, StartSeq: 1 << 40})
+	if got.SubStream != 2 || got.StartSeq != 1<<40 {
+		t.Fatalf("got %+v", got)
+	}
+	got = roundTrip(t, Message{Type: TypeUnsubscribe, From: 5, To: 6, SubStream: 3})
+	if got.SubStream != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	bad := []Message{
+		{Type: TypeMCacheRequest, Want: 0},
+		{Type: TypeSubscribe, SubStream: -1},
+		{Type: TypeBMExchange}, // empty BM
+		{Type: MsgType(200)},
+	}
+	for i, m := range bad {
+		if _, err := Marshal(m); err == nil {
+			t.Errorf("case %d marshalled", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(TypeLeave)},             // truncated ids
+		{200, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown type
+		append([]byte{byte(TypeLeave), 0, 0, 0, 1, 0, 0, 0, 2}, 0xFF), // trailing byte
+	}
+	for i, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("case %d unmarshalled", i)
+		}
+	}
+	// Invalid class in entry.
+	good, _ := Marshal(Message{Type: TypeMCacheReply, Entries: []PeerEntry{{ID: 1, Class: netmodel.Direct}}})
+	good[9+2+4] = 99 // class byte of the first entry
+	if _, err := Unmarshal(good); err == nil {
+		t.Error("invalid class accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var m Message
+		switch r.Intn(5) {
+		case 0:
+			m = Message{Type: TypeMCacheRequest, Want: int16(1 + r.Intn(100))}
+		case 1:
+			n := r.Intn(20)
+			entries := make([]PeerEntry, n)
+			for i := range entries {
+				entries[i] = PeerEntry{
+					ID:           int32(r.Intn(1 << 20)),
+					Class:        netmodel.UserClass(r.Intn(netmodel.NumClasses)),
+					JoinedAtMs:   r.Int63n(1 << 40),
+					PartnerCount: int16(r.Intn(100)),
+				}
+			}
+			m = Message{Type: TypeMCacheReply, Entries: entries}
+		case 2:
+			k := 1 + r.Intn(8)
+			bm := buffer.NewBufferMap(k)
+			for i := 0; i < k; i++ {
+				bm.Latest[i] = r.Int63n(1 << 30)
+				bm.Subscribed[i] = r.Bool(0.5)
+			}
+			m = Message{Type: TypeBMExchange, BM: bm}
+		case 3:
+			m = Message{Type: TypeSubscribe, SubStream: int16(r.Intn(8)), StartSeq: r.Int63n(1 << 30)}
+		default:
+			m = Message{Type: TypeLeave}
+		}
+		m.From = int32(r.Intn(1000))
+		m.To = int32(r.Intn(1000)) - 1
+		data, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		data2, err := Marshal(got)
+		if err != nil {
+			return false
+		}
+		return string(data) == string(data2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	seen := map[string]bool{}
+	for typ := TypeMCacheRequest; typ <= TypeLeave; typ++ {
+		s := typ.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate string %q", s)
+		}
+		seen[s] = true
+	}
+	if MsgType(0).String() != "MsgType(0)" {
+		t.Fatal("unknown type string wrong")
+	}
+}

@@ -1,0 +1,60 @@
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame size limit: a block plus headers comfortably fits; anything
+// larger on the wire is corruption or abuse.
+const maxFrameBytes = 1<<24 + 64
+
+// WriteFrame writes one length-prefixed message to w.
+func WriteFrame(w io.Writer, m Message) error {
+	data, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("protocol: frame header: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("protocol: frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err // io.EOF passes through for clean close detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return Message{}, fmt.Errorf("protocol: frame length %d out of range", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return Message{}, fmt.Errorf("protocol: truncated frame: %w", err)
+	}
+	return Unmarshal(data)
+}
+
+// FrameReader wraps a connection with buffering for repeated ReadFrame
+// calls.
+type FrameReader struct {
+	br *bufio.Reader
+}
+
+// NewFrameReader buffers r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// Read returns the next message.
+func (fr *FrameReader) Read() (Message, error) { return ReadFrame(fr.br) }

@@ -1,0 +1,91 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"coolstream/internal/netmodel"
+)
+
+func TestBlockPushRoundTrip(t *testing.T) {
+	m := Message{
+		Type: TypeBlockPush, From: 1, To: 2,
+		SubStream: 3, StartSeq: 1234567, Payload: bytes.Repeat([]byte{0xAB}, 12000),
+	}
+	got := roundTrip(t, m)
+	if got.SubStream != 3 || got.StartSeq != 1234567 || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("block push mangled: %d bytes", len(got.Payload))
+	}
+}
+
+func TestBlockPushValidation(t *testing.T) {
+	bad := []Message{
+		{Type: TypeBlockPush, SubStream: -1, StartSeq: 0, Payload: []byte{1}},
+		{Type: TypeBlockPush, SubStream: 0, StartSeq: -1, Payload: []byte{1}},
+		{Type: TypeBlockPush, SubStream: 0, StartSeq: 0},
+	}
+	for i, m := range bad {
+		if _, err := Marshal(m); err == nil {
+			t.Errorf("case %d marshalled", i)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Type: TypePartnerRequest, From: 1, To: 2},
+		{Type: TypeBlockPush, From: 2, To: 1, SubStream: 0, StartSeq: 9, Payload: []byte("blockdata")},
+		{Type: TypeMCacheReply, From: -1, To: 1, Entries: []PeerEntry{{ID: 7, Class: netmodel.UPnP}}},
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for i, want := range msgs {
+		got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.From != want.From {
+			t.Fatalf("frame %d mismatch: %+v", i, got)
+		}
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Zero length.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// Oversized length.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Truncated body.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 10, 1, 2})); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Malformed payload inside a well-formed frame.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 1, 200})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("malformed message accepted")
+	}
+}
+
+func TestWriteFrameRejectsInvalidMessage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Message{Type: MsgType(99)}); err == nil {
+		t.Fatal("invalid message framed")
+	}
+	if buf.Len() != 0 {
+		t.Fatal("partial frame written")
+	}
+}

@@ -1,0 +1,44 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+
+	"coolstream/internal/buffer"
+)
+
+// FuzzUnmarshal asserts the codec never panics on arbitrary bytes and
+// that every message it accepts re-marshals byte-identically.
+func FuzzUnmarshal(f *testing.F) {
+	seedMsgs := []Message{
+		{Type: TypePartnerRequest, From: 1, To: 2},
+		{Type: TypeMCacheRequest, From: 1, To: -1, Want: 20},
+		{Type: TypeSubscribe, From: 3, To: 4, SubStream: 2, StartSeq: 100},
+		{Type: TypeBlockPush, From: 5, To: 6, SubStream: 1, StartSeq: 7, Payload: []byte("data")},
+	}
+	bm := buffer.NewBufferMap(4)
+	bm.Latest = []int64{1, 2, 3, 4}
+	seedMsgs = append(seedMsgs, Message{Type: TypeBMExchange, From: 9, To: 10, BM: bm})
+	for _, m := range seedMsgs {
+		data, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted message fails to marshal: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("marshal not canonical:\n% x\n% x", data, again)
+		}
+	})
+}

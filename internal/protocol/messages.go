@@ -1,0 +1,133 @@
+// Package protocol defines the control-plane messages Coolstreaming
+// peers exchange and a compact binary codec for them. The simulator
+// delivers these messages through its latency model; the codec also
+// lets tests and tools capture protocol exchanges as byte streams, as
+// a real deployment would put on the wire.
+package protocol
+
+import (
+	"fmt"
+
+	"coolstream/internal/buffer"
+	"coolstream/internal/netmodel"
+)
+
+// MsgType discriminates the message union.
+type MsgType uint8
+
+const (
+	// TypeMCacheRequest asks the bootstrap (or a partner) for a list of
+	// candidate peers.
+	TypeMCacheRequest MsgType = iota + 1
+	// TypeMCacheReply carries candidate peer entries.
+	TypeMCacheReply
+	// TypePartnerRequest asks a peer to establish a partnership.
+	TypePartnerRequest
+	// TypePartnerAccept accepts a partnership request.
+	TypePartnerAccept
+	// TypePartnerReject declines a partnership request.
+	TypePartnerReject
+	// TypeBMExchange carries a buffer map to a partner.
+	TypeBMExchange
+	// TypeSubscribe asks a partner to become the parent of a sub-stream.
+	TypeSubscribe
+	// TypeUnsubscribe drops a sub-stream subscription.
+	TypeUnsubscribe
+	// TypeLeave announces a graceful departure.
+	TypeLeave
+	// TypeBlockPush carries one video block of a sub-stream.
+	TypeBlockPush
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeMCacheRequest:
+		return "mcache-request"
+	case TypeMCacheReply:
+		return "mcache-reply"
+	case TypePartnerRequest:
+		return "partner-request"
+	case TypePartnerAccept:
+		return "partner-accept"
+	case TypePartnerReject:
+		return "partner-reject"
+	case TypeBMExchange:
+		return "bm-exchange"
+	case TypeSubscribe:
+		return "subscribe"
+	case TypeUnsubscribe:
+		return "unsubscribe"
+	case TypeLeave:
+		return "leave"
+	case TypeBlockPush:
+		return "block-push"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// PeerEntry is one mCache entry as carried in membership replies.
+type PeerEntry struct {
+	ID           int32
+	Class        netmodel.UserClass
+	JoinedAtMs   int64 // virtual join time, for stability-aware policies
+	PartnerCount int16
+}
+
+// Message is the control-plane message union. From/To are peer IDs
+// (-1 addresses the bootstrap node).
+type Message struct {
+	Type MsgType
+	From int32
+	To   int32
+
+	// MCacheRequest: number of entries wanted.
+	Want int16
+	// MCacheReply: candidate entries.
+	Entries []PeerEntry
+	// BMExchange: the sender's buffer map towards the receiver.
+	BM buffer.BufferMap
+	// Subscribe/Unsubscribe/BlockPush: the sub-stream index.
+	SubStream int16
+	// Subscribe: per-sub-stream sequence number to start pushing from.
+	// BlockPush: the block's sequence number.
+	StartSeq int64
+	// BlockPush: the block contents.
+	Payload []byte
+}
+
+// Validate performs structural checks appropriate for the type.
+func (m Message) Validate() error {
+	switch m.Type {
+	case TypeMCacheRequest:
+		if m.Want <= 0 {
+			return fmt.Errorf("protocol: mcache-request wants %d entries", m.Want)
+		}
+	case TypeMCacheReply:
+		// Empty replies are legal (bootstrap knows no one yet).
+	case TypeBMExchange:
+		if err := m.BM.Validate(); err != nil {
+			return fmt.Errorf("protocol: bm-exchange: %w", err)
+		}
+	case TypeSubscribe, TypeUnsubscribe:
+		if m.SubStream < 0 {
+			return fmt.Errorf("protocol: negative sub-stream %d", m.SubStream)
+		}
+	case TypeBlockPush:
+		if m.SubStream < 0 {
+			return fmt.Errorf("protocol: negative sub-stream %d", m.SubStream)
+		}
+		if m.StartSeq < 0 {
+			return fmt.Errorf("protocol: negative block sequence %d", m.StartSeq)
+		}
+		if len(m.Payload) == 0 {
+			return fmt.Errorf("protocol: empty block payload")
+		}
+	case TypePartnerRequest, TypePartnerAccept, TypePartnerReject, TypeLeave:
+		// No payload.
+	default:
+		return fmt.Errorf("protocol: unknown message type %d", m.Type)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package protocol
+
+import (
+	"testing"
+
+	"coolstream/internal/buffer"
+	"coolstream/internal/netmodel"
+)
+
+// TestUnmarshalEveryTruncation takes one valid message of every type
+// and verifies that every strict prefix is rejected — covering each
+// "truncated X" branch of the decoder in one sweep.
+func TestUnmarshalEveryTruncation(t *testing.T) {
+	bm := buffer.NewBufferMap(3)
+	bm.Latest = []int64{7, 8, 9}
+	bm.Subscribed = []bool{true, false, true}
+	msgs := []Message{
+		{Type: TypeMCacheRequest, From: 1, To: -1, Want: 5},
+		{Type: TypeMCacheReply, From: -1, To: 2, Entries: []PeerEntry{
+			{ID: 3, Class: netmodel.UPnP, JoinedAtMs: 99, PartnerCount: 4},
+		}},
+		{Type: TypePartnerRequest, From: 1, To: 2},
+		{Type: TypePartnerAccept, From: 2, To: 1},
+		{Type: TypePartnerReject, From: 2, To: 1},
+		{Type: TypeBMExchange, From: 1, To: 2, BM: bm},
+		{Type: TypeSubscribe, From: 1, To: 2, SubStream: 1, StartSeq: 42},
+		{Type: TypeUnsubscribe, From: 1, To: 2, SubStream: 2},
+		{Type: TypeLeave, From: 1, To: 2},
+		{Type: TypeBlockPush, From: 1, To: 2, SubStream: 0, StartSeq: 7, Payload: []byte("abcdef")},
+	}
+	for _, m := range msgs {
+		data, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type, err)
+		}
+		for i := 0; i < len(data); i++ {
+			if _, err := Unmarshal(data[:i]); err == nil {
+				t.Fatalf("%v: prefix of %d/%d bytes accepted", m.Type, i, len(data))
+			}
+		}
+		// The full message round-trips.
+		if _, err := Unmarshal(data); err != nil {
+			t.Fatalf("%v: full message rejected: %v", m.Type, err)
+		}
+		// One trailing byte is rejected.
+		if _, err := Unmarshal(append(append([]byte(nil), data...), 0)); err == nil {
+			t.Fatalf("%v: trailing byte accepted", m.Type)
+		}
+	}
+}
+
+// TestMarshalOversizeLimits exercises the size guards.
+func TestMarshalOversizeLimits(t *testing.T) {
+	entries := make([]PeerEntry, 0x10000)
+	if _, err := Marshal(Message{Type: TypeMCacheReply, Entries: entries}); err == nil {
+		t.Fatal("oversized mcache reply accepted")
+	}
+	if _, err := Marshal(Message{
+		Type: TypeBlockPush, SubStream: 0, StartSeq: 0, Payload: make([]byte, 1<<24+1),
+	}); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	var q Queue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(Time(i%1000), nil)
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine(Hour) // ticks out of the way
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < b.N {
+			e.After(Millisecond, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	b.ResetTimer()
+	e.Run(Time(b.N+1) * Millisecond)
+	if count != b.N {
+		b.Fatalf("ran %d of %d events", count, b.N)
+	}
+}
+
+func BenchmarkParallelSmallShards(b *testing.B) {
+	data := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parallel(len(data), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j] += 1
+			}
+		})
+	}
+}
+
+func BenchmarkParallelReduceSum(b *testing.B) {
+	const n = 4096
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelReduce(n, func(lo, hi int) int64 {
+			var s int64
+			for j := lo; j < hi; j++ {
+				s += int64(j)
+			}
+			return s
+		}, func(a, c int64) int64 { return a + c })
+	}
+}

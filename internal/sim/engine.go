@@ -1,0 +1,106 @@
+package sim
+
+import "fmt"
+
+// TickFunc is invoked at every control tick with the interval
+// [prev, now] that has just elapsed in virtual time.
+type TickFunc func(prev, now Time)
+
+// Engine drives virtual time forward, interleaving discrete events
+// with fixed-period control ticks. All callbacks run on the caller's
+// goroutine; parallelism inside a tick is the callback's business
+// (see Parallel).
+type Engine struct {
+	now      Time
+	q        Queue
+	tick     Time
+	tickFns  []TickFunc
+	lastTick Time
+	stopped  bool
+}
+
+// NewEngine creates an engine with the given control-tick period.
+// tick must be positive.
+func NewEngine(tick Time) *Engine {
+	if tick <= 0 {
+		panic(fmt.Sprintf("sim: non-positive tick %d", tick))
+	}
+	return &Engine{tick: tick}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// TickPeriod returns the control-tick period.
+func (e *Engine) TickPeriod() Time { return e.tick }
+
+// Schedule runs fn at the absolute virtual time at. Scheduling in the
+// past (at < Now) panics: it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	return e.q.Push(at, fn)
+}
+
+// After runs fn after delay d (non-negative) from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event.
+func (e *Engine) Cancel(ev *Event) { e.q.Cancel(ev) }
+
+// OnTick registers a control-tick callback. Callbacks run in
+// registration order at each tick boundary.
+func (e *Engine) OnTick(fn TickFunc) { e.tickFns = append(e.tickFns, fn) }
+
+// Stop makes Run return after the current event or tick completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run advances virtual time until `until`, firing events and ticks in
+// timestamp order. Events scheduled exactly on a tick boundary fire
+// before that tick's callbacks (join events take effect in the tick
+// that follows them). Run may be called repeatedly with increasing
+// horizons.
+func (e *Engine) Run(until Time) {
+	if until < e.now {
+		panic(fmt.Sprintf("sim: Run(%v) before now %v", until, e.now))
+	}
+	e.stopped = false
+	for !e.stopped {
+		nextTick := e.lastTick + e.tick
+		nextEv := e.q.Peek()
+
+		// Decide what happens next: an event, a tick, or the horizon.
+		evAt := until + 1
+		if nextEv != nil {
+			evAt = nextEv.At
+		}
+		switch {
+		case evAt <= nextTick && evAt <= until:
+			ev := e.q.Pop()
+			e.now = ev.At
+			ev.Fn()
+		case nextTick <= until:
+			e.now = nextTick
+			prev := e.lastTick
+			e.lastTick = nextTick
+			for _, fn := range e.tickFns {
+				fn(prev, nextTick)
+			}
+		default:
+			// Nothing left before the horizon; settle the clock there.
+			if e.now < until {
+				e.now = until
+			}
+			return
+		}
+	}
+}
+
+// Pending returns the number of scheduled (unfired) events.
+func (e *Engine) Pending() int { return e.q.Len() }

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineEventsAndTicksInterleave(t *testing.T) {
+	e := NewEngine(10)
+	var trace []string
+	e.OnTick(func(prev, now Time) {
+		trace = append(trace, "tick@"+now.String())
+	})
+	e.Schedule(5, func() { trace = append(trace, "ev@"+e.Now().String()) })
+	e.Schedule(10, func() { trace = append(trace, "ev10") }) // fires before tick callbacks at t=10
+	e.Run(25)
+	want := []string{"ev@00:00:00.005", "ev10", "tick@00:00:00.010", "tick@00:00:00.020"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q (full: %v)", i, trace[i], want[i], trace)
+		}
+	}
+	if e.Now() != 25 {
+		t.Fatalf("final clock %v", e.Now())
+	}
+}
+
+func TestEngineRunResumable(t *testing.T) {
+	e := NewEngine(10)
+	ticks := 0
+	e.OnTick(func(_, _ Time) { ticks++ })
+	e.Run(15)
+	if ticks != 1 {
+		t.Fatalf("ticks after first run = %d", ticks)
+	}
+	e.Run(40)
+	if ticks != 4 {
+		t.Fatalf("ticks after second run = %d", ticks)
+	}
+}
+
+func TestEngineEventSchedulesEvent(t *testing.T) {
+	e := NewEngine(100)
+	var at Time
+	e.Schedule(5, func() {
+		e.After(7, func() { at = e.Now() })
+	})
+	e.Run(50)
+	if at != 12 {
+		t.Fatalf("chained event at %v, want 12", at)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(10)
+	count := 0
+	e.OnTick(func(_, _ Time) {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	})
+	e.Run(1000)
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3 (Stop ignored)", count)
+	}
+	// Run again resumes.
+	e.Run(1000)
+	if count <= 3 {
+		t.Fatal("engine did not resume after Stop")
+	}
+}
+
+func TestEnginePanicsOnPastScheduling(t *testing.T) {
+	e := NewEngine(10)
+	e.Schedule(50, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(10, func() {})
+	})
+	e.Run(100)
+}
+
+func TestEnginePanicsOnBadConstruction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEngine(0) did not panic")
+		}
+	}()
+	NewEngine(0)
+}
+
+func TestEngineCancelPendingEvent(t *testing.T) {
+	e := NewEngine(10)
+	fired := false
+	ev := e.Schedule(30, func() { fired = true })
+	e.Schedule(20, func() { e.Cancel(ev) })
+	e.Run(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineTickIntervals(t *testing.T) {
+	e := NewEngine(25)
+	var intervals [][2]Time
+	e.OnTick(func(prev, now Time) { intervals = append(intervals, [2]Time{prev, now}) })
+	e.Run(100)
+	want := [][2]Time{{0, 25}, {25, 50}, {50, 75}, {75, 100}}
+	if len(intervals) != len(want) {
+		t.Fatalf("intervals %v", intervals)
+	}
+	for i := range want {
+		if intervals[i] != want[i] {
+			t.Fatalf("interval[%d] = %v, want %v", i, intervals[i], want[i])
+		}
+	}
+}
+
+func TestEngineManyEventsDeterministic(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(7)
+		var seen []Time
+		for i := 0; i < 100; i++ {
+			at := Time((i * 13) % 90)
+			e.Schedule(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run(90)
+		return seen
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 100 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic event order")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Fn runs with the engine clock set to
+// At. Events at equal times fire in scheduling order (FIFO), which
+// keeps runs reproducible regardless of heap internals.
+type Event struct {
+	At  Time
+	Fn  func()
+	seq uint64
+	idx int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.idx == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a deterministic priority queue of events. The zero value is
+// ready to use. It is not safe for concurrent use; only the engine
+// goroutine touches it.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules fn at time at and returns the event handle, which can
+// be passed to Cancel.
+func (q *Queue) Push(at Time, fn func()) *Event {
+	q.seq++
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Pop removes and returns the earliest event. It panics on an empty
+// queue; callers check Len first.
+func (q *Queue) Pop() *Event {
+	e := heap.Pop(&q.h).(*Event)
+	return e
+}
+
+// Peek returns the earliest event without removing it, or nil.
+func (q *Queue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.idx)
+	e.idx = -2
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"coolstream/internal/xrand"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	var fired []int
+	q.Push(30, func() { fired = append(fired, 3) })
+	q.Push(10, func() { fired = append(fired, 1) })
+	q.Push(20, func() { fired = append(fired, 2) })
+	for q.Len() > 0 {
+		q.Pop().Fn()
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired order %v", fired)
+	}
+}
+
+func TestQueueFIFOAtEqualTimes(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Push(5, func() { fired = append(fired, i) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fn()
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("equal-time events out of order: %v", fired)
+		}
+	}
+}
+
+func TestQueueCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Push(10, func() { fired = true })
+	q.Push(20, func() {})
+	q.Cancel(e)
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	for q.Len() > 0 {
+		q.Pop().Fn()
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and nil cancel are no-ops.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestQueuePeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Fatal("empty Peek not nil")
+	}
+	q.Push(7, func() {})
+	if q.Peek().At != 7 {
+		t.Fatal("Peek wrong event")
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek consumed event")
+	}
+}
+
+func TestQueueRandomisedOrdering(t *testing.T) {
+	r := xrand.New(99)
+	var q Queue
+	const n = 2000
+	times := make([]Time, n)
+	for i := range times {
+		times[i] = Time(r.Intn(500))
+		q.Push(times[i], nil)
+	}
+	var prev Time = -1
+	for q.Len() > 0 {
+		e := q.Pop()
+		if e.At < prev {
+			t.Fatalf("heap violated ordering: %d after %d", e.At, prev)
+		}
+		prev = e.At
+	}
+}
+
+func TestQueueCancelMiddleKeepsHeapValid(t *testing.T) {
+	var q Queue
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, q.Push(Time(i%17), nil))
+	}
+	r := xrand.New(5)
+	for i := 0; i < 40; i++ {
+		q.Cancel(evs[r.Intn(len(evs))])
+	}
+	var prev Time = -1
+	for q.Len() > 0 {
+		e := q.Pop()
+		if e.At < prev {
+			t.Fatal("ordering violated after cancels")
+		}
+		prev = e.At
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel partitions [0, n) into contiguous shards and runs fn on
+// each shard from a pool of GOMAXPROCS workers, then waits for all of
+// them. fn(lo, hi) must touch only state owned by indices [lo, hi), so
+// the result is independent of scheduling — the simulator stays
+// deterministic at any GOMAXPROCS.
+//
+// For small n the call runs inline to avoid goroutine overhead.
+func Parallel(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	const minShard = 64
+	if workers == 1 || n < 2*minShard {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelReduce runs fn over shards like Parallel, collecting one
+// partial result per shard, and folds the partials in shard order with
+// merge so the reduction is deterministic.
+func ParallelReduce[T any](n int, fn func(lo, hi int) T, merge func(a, b T) T) T {
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	const minShard = 64
+	if workers == 1 || n < 2*minShard {
+		return fn(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	nShards := (n + chunk - 1) / chunk
+	partials := make([]T, nShards)
+	var wg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			partials[s] = fn(lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = merge(acc, p)
+	}
+	return acc
+}

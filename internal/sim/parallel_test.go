@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 128, 1000, 4097} {
+		marks := make([]int32, n)
+		Parallel(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, m)
+			}
+		}
+	}
+}
+
+func TestParallelReduceSum(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw % 5000)
+		got := ParallelReduce(n, func(lo, hi int) int64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i)
+			}
+			return s
+		}, func(a, b int64) int64 { return a + b })
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelReduceOrderedMerge(t *testing.T) {
+	// Merge is string concatenation — only deterministic if partials
+	// fold in shard order.
+	n := 10000
+	got := ParallelReduce(n, func(lo, hi int) string {
+		return "["
+	}, func(a, b string) string { return a + b })
+	want := got
+	for i := 0; i < 5; i++ {
+		again := ParallelReduce(n, func(lo, hi int) string {
+			return "["
+		}, func(a, b string) string { return a + b })
+		if again != want {
+			t.Fatal("ParallelReduce merge order unstable")
+		}
+	}
+}
+
+func TestParallelZeroAndNegative(t *testing.T) {
+	called := false
+	Parallel(0, func(lo, hi int) { called = true })
+	Parallel(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("Parallel called fn for n <= 0")
+	}
+	if ParallelReduce(0, func(lo, hi int) int { return 1 }, func(a, b int) int { return a + b }) != 0 {
+		t.Fatal("ParallelReduce n=0 not zero value")
+	}
+}

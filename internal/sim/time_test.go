@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "00:00:00"},
+		{Second, "00:00:01"},
+		{90 * Minute, "01:30:00"},
+		{22*Hour + 15*Minute + 3*Second, "22:15:03"},
+		{1234, "00:00:01.234"},
+		{-Second, "-00:00:01"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTimeSecondsRoundTrip(t *testing.T) {
+	for _, s := range []float64{0, 0.001, 1, 59.999, 3600} {
+		got := FromSeconds(s).Seconds()
+		if got != s {
+			t.Errorf("FromSeconds(%v).Seconds() = %v", s, got)
+		}
+	}
+}
+
+func TestTimeDuration(t *testing.T) {
+	if (2 * Second).Duration() != 2*time.Second {
+		t.Fatal("Duration conversion wrong")
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sample is a mutable collection of float64 observations from which
+// empirical distribution functions and quantiles are computed.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends several observations.
+func (s *Sample) AddAll(xs ...float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// It panics on an empty sample or q outside [0,1].
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile(%v) out of [0,1]", q))
+	}
+	s.ensureSorted()
+	if len(s.xs) == 1 {
+		return s.xs[0]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(pos)
+	if lo == len(s.xs)-1 {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// CDFAt returns the empirical CDF evaluated at x: the fraction of
+// observations <= x. Returns 0 for an empty sample.
+func (s *Sample) CDFAt(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.xs, x)
+	// SearchFloat64s finds the first index >= x; advance over equal values.
+	for i < len(s.xs) && s.xs[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(s.xs))
+}
+
+// CDFPoint is one point of a discretised empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // P(X <= x)
+}
+
+// CDF returns the empirical CDF discretised at n evenly spaced points
+// spanning [min, max]. For n < 2 or an empty sample it returns nil.
+func (s *Sample) CDF(n int) []CDFPoint {
+	if len(s.xs) == 0 || n < 2 {
+		return nil
+	}
+	s.ensureSorted()
+	lo, hi := s.xs[0], s.xs[len(s.xs)-1]
+	pts := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		if i == n-1 {
+			x = hi // avoid landing one ulp below the max observation
+		}
+		pts[i] = CDFPoint{X: x, P: s.CDFAt(x)}
+	}
+	return pts
+}
+
+// CCDFAt returns P(X > x).
+func (s *Sample) CCDFAt(x float64) float64 { return 1 - s.CDFAt(x) }
+
+// Values returns the observations sorted ascending. The returned slice
+// is owned by the Sample and must not be modified.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	return s.xs
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/xrand"
+)
+
+func TestQuantileKnown(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3, 4, 5)
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	var s Sample
+	s.AddAll(0, 10)
+	if got := s.Quantile(0.5); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Quantile(0.5) = %v", got)
+	}
+	if got := s.Quantile(0.1); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("Quantile(0.1) = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	var s Sample
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty Quantile did not panic")
+			}
+		}()
+		s.Quantile(0.5)
+	}()
+	s.Add(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range q did not panic")
+			}
+		}()
+		s.Quantile(1.5)
+	}()
+}
+
+func TestCDFAt(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 2, 3)
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := s.CDFAt(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var s Sample
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Add(r.NormFloat64() * 100)
+		}
+		pts := s.CDF(20)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].P < pts[i-1].P {
+				return false
+			}
+		}
+		return pts[len(pts)-1].P == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFEmptyAndDegenerate(t *testing.T) {
+	var s Sample
+	if s.CDF(10) != nil {
+		t.Fatal("empty CDF not nil")
+	}
+	if s.CDFAt(5) != 0 {
+		t.Fatal("empty CDFAt not 0")
+	}
+	s.Add(1)
+	if s.CDF(1) != nil {
+		t.Fatal("n<2 CDF not nil")
+	}
+}
+
+func TestCCDFComplement(t *testing.T) {
+	var s Sample
+	s.AddAll(5, 6, 7, 8)
+	if got := s.CCDFAt(6); !almostEq(got, 0.5, 1e-12) {
+		t.Fatalf("CCDFAt(6) = %v", got)
+	}
+}
+
+func TestSampleMeanAndMedian(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	s.AddAll(1, 3, 5)
+	if !almostEq(s.Mean(), 3, 1e-12) || !almostEq(s.Median(), 3, 1e-12) {
+		t.Fatalf("mean=%v median=%v", s.Mean(), s.Median())
+	}
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Observations
+// below Lo land in an underflow bin and those at or above Hi in an
+// overflow bin, so no data is silently dropped.
+type Histogram struct {
+	Lo, Hi    float64
+	counts    []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram with non-positive bins")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int(float64(len(h.counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.counts) { // guard against FP edge
+			i--
+		}
+		h.counts[i]++
+	}
+}
+
+// Bins returns the number of regular bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the count of bin i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Total returns the number of observations including under/overflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int64 { return h.underflow }
+func (h *Histogram) Overflow() int64  { return h.overflow }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns bin i's share of all observations.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// ASCII renders the histogram as a fixed-width bar chart, one row per
+// bin, for terminal reports.
+func (h *Histogram) ASCII(width int) string {
+	var max int64 = 1
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		bar := int(float64(width) * float64(c) / float64(max))
+		fmt.Fprintf(&b, "%12.3f |%-*s| %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// LogHistogram bins positive observations into logarithmically spaced
+// buckets, the natural shape for heavy-tailed session durations
+// (Fig. 10a of the paper).
+type LogHistogram struct {
+	Lo, Hi    float64 // positive bounds
+	counts    []int64
+	underflow int64
+	overflow  int64
+	total     int64
+	logLo     float64
+	logHi     float64
+}
+
+// NewLogHistogram creates bins log-spaced bins over [lo, hi).
+// It panics unless 0 < lo < hi and bins > 0.
+func NewLogHistogram(lo, hi float64, bins int) *LogHistogram {
+	if bins <= 0 || lo <= 0 || hi <= lo {
+		panic("stats: NewLogHistogram with invalid bounds")
+	}
+	return &LogHistogram{
+		Lo: lo, Hi: hi, counts: make([]int64, bins),
+		logLo: math.Log(lo), logHi: math.Log(hi),
+	}
+}
+
+// Add records one observation. Non-positive values count as underflow.
+func (h *LogHistogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int(float64(len(h.counts)) * (math.Log(x) - h.logLo) / (h.logHi - h.logLo))
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Bins returns the number of regular bins.
+func (h *LogHistogram) Bins() int { return len(h.counts) }
+
+// Count returns the count of bin i.
+func (h *LogHistogram) Count(i int) int64 { return h.counts[i] }
+
+// Total returns the number of observations including under/overflow.
+func (h *LogHistogram) Total() int64 { return h.total }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *LogHistogram) Underflow() int64 { return h.underflow }
+func (h *LogHistogram) Overflow() int64  { return h.overflow }
+
+// BinBounds returns the [lo, hi) range of bin i.
+func (h *LogHistogram) BinBounds(i int) (float64, float64) {
+	w := (h.logHi - h.logLo) / float64(len(h.counts))
+	return math.Exp(h.logLo + float64(i)*w), math.Exp(h.logLo + float64(i+1)*w)
+}
+
+// Fraction returns bin i's share of all observations.
+func (h *LogHistogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/xrand"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-1)   // underflow
+	h.Add(0)    // bin 0
+	h.Add(9.99) // bin 9
+	h.Add(10)   // overflow
+	h.Add(5)    // bin 5
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Fatalf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	if h.Count(0) != 1 || h.Count(9) != 1 || h.Count(5) != 1 {
+		t.Fatalf("counts wrong: %v %v %v", h.Count(0), h.Count(9), h.Count(5))
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		h := NewHistogram(-50, 50, 7)
+		n := r.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Add(r.NormFloat64() * 40)
+		}
+		var sum int64 = h.Underflow() + h.Overflow()
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == h.Total() && h.Total() == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if !almostEq(h.BinCenter(0), 0.5, 1e-12) || !almostEq(h.BinCenter(9), 9.5, 1e-12) {
+		t.Fatalf("centers: %v %v", h.BinCenter(0), h.BinCenter(9))
+	}
+}
+
+func TestHistogramFraction(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	if h.Fraction(0) != 0 {
+		t.Fatal("empty fraction not 0")
+	}
+	h.Add(0.5)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(5) // overflow counts in total
+	if !almostEq(h.Fraction(0), 0.5, 1e-12) {
+		t.Fatalf("fraction = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	out := h.ASCII(10)
+	if !strings.Contains(out, "#") {
+		t.Fatal("ASCII output missing bars")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("ASCII output rows: %q", out)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 0, 5) },
+		func() { NewLogHistogram(0, 10, 5) },
+		func() { NewLogHistogram(1, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogHistogramBinning(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3) // bins [1,10) [10,100) [100,1000)
+	for _, x := range []float64{1, 5, 9.99} {
+		h.Add(x)
+	}
+	h.Add(50)
+	h.Add(500)
+	h.Add(0.5)  // underflow
+	h.Add(2000) // overflow
+	if h.Count(0) != 3 || h.Count(1) != 1 || h.Count(2) != 1 {
+		t.Fatalf("log bins: %d %d %d", h.Count(0), h.Count(1), h.Count(2))
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Fatalf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	lo, hi := h.BinBounds(1)
+	if !almostEq(lo, 10, 1e-9) || !almostEq(hi, 100, 1e-9) {
+		t.Fatalf("BinBounds(1) = %v,%v", lo, hi)
+	}
+}
+
+func TestLogHistogramConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		h := NewLogHistogram(0.1, 10000, 12)
+		n := r.Intn(300)
+		for i := 0; i < n; i++ {
+			h.Add(Pareto{Xm: 0.05, Alpha: 1.2}.Sample(r))
+		}
+		var sum int64 = h.Underflow() + h.Overflow()
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == h.Total() && h.Total() == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package stats
+
+import "sort"
+
+// LorenzPoint is one point of a Lorenz curve: the poorest PopShare
+// fraction of the population holds ValueShare of the total value.
+type LorenzPoint struct {
+	PopShare   float64
+	ValueShare float64
+}
+
+// Lorenz computes the Lorenz curve of the non-negative values, sorted
+// ascending, with one point per observation plus the origin. Used for
+// the upload-contribution analysis of Fig. 3b.
+func Lorenz(values []float64) []LorenzPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	xs := append([]float64(nil), values...)
+	sort.Float64s(xs)
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	pts := make([]LorenzPoint, 0, len(xs)+1)
+	pts = append(pts, LorenzPoint{0, 0})
+	acc := 0.0
+	for i, x := range xs {
+		acc += x
+		vs := 0.0
+		if total > 0 {
+			vs = acc / total
+		}
+		pts = append(pts, LorenzPoint{
+			PopShare:   float64(i+1) / float64(len(xs)),
+			ValueShare: vs,
+		})
+	}
+	return pts
+}
+
+// Gini computes the Gini coefficient of the non-negative values
+// (0 = perfect equality, 1 = maximal inequality).
+func Gini(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), values...)
+	sort.Float64s(xs)
+	var cum, weighted float64
+	for i, x := range xs {
+		cum += x
+		weighted += float64(i+1) * x
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
+}
+
+// TopShare returns the fraction of total value held by the top
+// `topFrac` fraction of the population (e.g. TopShare(xs, 0.3) for the
+// paper's "30% of peers contribute >80% of upload bytes").
+func TopShare(values []float64, topFrac float64) float64 {
+	n := len(values)
+	if n == 0 || topFrac <= 0 {
+		return 0
+	}
+	xs := append([]float64(nil), values...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
+	k := int(topFrac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	total, top := 0.0, 0.0
+	for i, x := range xs {
+		total += x
+		if i < k {
+			top += x
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}

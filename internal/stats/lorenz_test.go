@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/xrand"
+)
+
+func TestLorenzEqualDistribution(t *testing.T) {
+	pts := Lorenz([]float64{1, 1, 1, 1})
+	for _, p := range pts {
+		if math.Abs(p.PopShare-p.ValueShare) > 1e-12 {
+			t.Fatalf("equal distribution not on diagonal: %+v", p)
+		}
+	}
+}
+
+func TestLorenzExtremeInequality(t *testing.T) {
+	pts := Lorenz([]float64{0, 0, 0, 100})
+	// First 75% of population holds 0.
+	if pts[3].ValueShare != 0 {
+		t.Fatalf("expected zero share, got %+v", pts[3])
+	}
+	if pts[4].ValueShare != 1 {
+		t.Fatalf("expected full share at top, got %+v", pts[4])
+	}
+}
+
+func TestLorenzEmptyAndZero(t *testing.T) {
+	if Lorenz(nil) != nil {
+		t.Fatal("empty Lorenz not nil")
+	}
+	pts := Lorenz([]float64{0, 0})
+	if pts[len(pts)-1].ValueShare != 0 {
+		t.Fatal("all-zero Lorenz should report zero shares")
+	}
+}
+
+func TestGiniKnownValues(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1}); math.Abs(g) > 1e-12 {
+		t.Fatalf("equal Gini = %v", g)
+	}
+	// Gini of {0,0,0,1} with n=4 is (2*4 - 5)/4 = 0.75.
+	if g := Gini([]float64{0, 0, 0, 1}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("extreme Gini = %v", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Fatalf("empty Gini = %v", g)
+	}
+	if g := Gini([]float64{0, 0}); g != 0 {
+		t.Fatalf("zero-total Gini = %v", g)
+	}
+}
+
+func TestGiniRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		g := Gini(xs)
+		return g >= -1e-9 && g <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiniDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Gini(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Gini mutated its input")
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	// Top 25% (1 of 4) holds 100 of 103.
+	got := TopShare([]float64{1, 1, 1, 100}, 0.25)
+	if math.Abs(got-100.0/103.0) > 1e-12 {
+		t.Fatalf("TopShare = %v", got)
+	}
+	if TopShare(nil, 0.3) != 0 {
+		t.Fatal("empty TopShare not 0")
+	}
+	if TopShare([]float64{0, 0}, 0.5) != 0 {
+		t.Fatal("zero-total TopShare not 0")
+	}
+	// topFrac rounding: at least one element is included.
+	if got := TopShare([]float64{1, 2}, 0.01); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("tiny topFrac TopShare = %v", got)
+	}
+	// topFrac = 1 covers everything.
+	if got := TopShare([]float64{5, 5}, 1); got != 1 {
+		t.Fatalf("full TopShare = %v", got)
+	}
+}

@@ -1,0 +1,98 @@
+// Package stats provides the small statistics toolkit used by the
+// measurement pipeline: running moments, histograms, empirical CDFs,
+// distribution samplers, and inequality measures (Lorenz/Gini).
+//
+// Everything here is deterministic and allocation-conscious; the
+// simulator calls into this package on hot paths (per-tick continuity
+// accounting) as well as in offline analysis.
+package stats
+
+import "math"
+
+// Welford accumulates running mean and variance in a numerically stable
+// way (Welford's online algorithm). The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 if none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if none).
+func (w *Welford) Max() float64 { return w.max }
+
+// WeightedMean accumulates a weighted running mean and variance
+// (West 1979 incremental formulas). Weights must be non-negative; in the
+// simulator they are interval lengths, so the mean is a time average.
+// The zero value is ready to use.
+type WeightedMean struct {
+	wsum float64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates observation x with weight wt. Non-positive weights
+// are ignored.
+func (w *WeightedMean) Add(x, wt float64) {
+	if wt <= 0 {
+		return
+	}
+	w.wsum += wt
+	d := x - w.mean
+	w.mean += d * wt / w.wsum
+	w.m2 += wt * d * (x - w.mean)
+}
+
+// Weight returns the total accumulated weight.
+func (w *WeightedMean) Weight() float64 { return w.wsum }
+
+// Mean returns the weighted mean, or 0 with no weight.
+func (w *WeightedMean) Mean() float64 { return w.mean }
+
+// Variance returns the biased weighted variance (population form), the
+// natural quantity for time averages.
+func (w *WeightedMean) Variance() float64 {
+	if w.wsum <= 0 {
+		return 0
+	}
+	return w.m2 / w.wsum
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolstream/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if !almostEq(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 {
+		t.Fatal("single-observation Welford wrong")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			w.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		naiveVar := varSum / float64(n-1)
+		return almostEq(w.Mean(), mean, 1e-9) && almostEq(w.Variance(), naiveVar, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMeanEqualWeightsMatchUnweighted(t *testing.T) {
+	var w WeightedMean
+	var u Welford
+	for _, x := range []float64{1, 2, 3, 10, -4} {
+		w.Add(x, 2.5)
+		u.Add(x)
+	}
+	if !almostEq(w.Mean(), u.Mean(), 1e-12) {
+		t.Fatalf("weighted mean %v != unweighted %v", w.Mean(), u.Mean())
+	}
+}
+
+func TestWeightedMeanIntervalAverage(t *testing.T) {
+	// Value 1 for 9 time units, value 0 for 1 unit: time average 0.9.
+	var w WeightedMean
+	w.Add(1, 9)
+	w.Add(0, 1)
+	if !almostEq(w.Mean(), 0.9, 1e-12) {
+		t.Fatalf("time average = %v", w.Mean())
+	}
+	if !almostEq(w.Weight(), 10, 1e-12) {
+		t.Fatalf("weight = %v", w.Weight())
+	}
+}
+
+func TestWeightedMeanIgnoresNonPositiveWeight(t *testing.T) {
+	var w WeightedMean
+	w.Add(100, 0)
+	w.Add(100, -5)
+	w.Add(1, 1)
+	if !almostEq(w.Mean(), 1, 1e-12) {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+}

@@ -1,0 +1,119 @@
+package stats
+
+import "sort"
+
+// P2Quantile is the Jain & Chlamtac P² algorithm: a streaming estimate
+// of a single quantile in O(1) space, used for long-running
+// simulations where retaining every observation is wasteful.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired position increments
+	initBuf []float64
+}
+
+// NewP2Quantile creates an estimator for quantile p in (0,1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2 quantile must be in (0,1)")
+	}
+	return &P2Quantile{
+		p:   p,
+		inc: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// Add incorporates one observation.
+func (q *P2Quantile) Add(x float64) {
+	if q.n < 5 {
+		q.initBuf = append(q.initBuf, x)
+		q.n++
+		if q.n == 5 {
+			sort.Float64s(q.initBuf)
+			copy(q.heights[:], q.initBuf)
+			q.initBuf = nil
+			for i := 0; i < 5; i++ {
+				q.pos[i] = float64(i + 1)
+			}
+			q.want = [5]float64{1, 1 + 2*q.p, 1 + 4*q.p, 3 + 2*q.p, 5}
+		}
+		return
+	}
+	q.n++
+	// Find the cell k containing x and update extremes.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		k = 3
+		for i := 1; i < 5; i++ {
+			if x < q.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		q.want[i] += q.inc[i]
+	}
+	// Adjust interior markers towards their desired positions.
+	for i := 1; i < 4; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	di := int(d)
+	return q.heights[i] + d*(q.heights[i+di]-q.heights[i])/(q.pos[i+di]-q.pos[i])
+}
+
+// N returns the number of observations.
+func (q *P2Quantile) N() int { return q.n }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact order statistic.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if q.n < 5 {
+		xs := append([]float64(nil), q.initBuf...)
+		sort.Float64s(xs)
+		idx := int(q.p * float64(len(xs)))
+		if idx >= len(xs) {
+			idx = len(xs) - 1
+		}
+		return xs[idx]
+	}
+	return q.heights[2]
+}

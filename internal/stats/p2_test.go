@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"coolstream/internal/xrand"
+)
+
+func TestP2QuantilePanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Fatal("empty estimator not 0")
+	}
+	q.Add(3)
+	q.Add(1)
+	q.Add(2)
+	if got := q.Value(); got != 2 {
+		t.Fatalf("3-sample median %v", got)
+	}
+	if q.N() != 3 {
+		t.Fatalf("N = %d", q.N())
+	}
+}
+
+func TestP2QuantileUniform(t *testing.T) {
+	r := xrand.New(1)
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		q := NewP2Quantile(p)
+		for i := 0; i < 100000; i++ {
+			q.Add(r.Float64() * 100)
+		}
+		want := p * 100
+		if math.Abs(q.Value()-want) > 2 {
+			t.Fatalf("P2(%v) = %v, want ~%v", p, q.Value(), want)
+		}
+	}
+}
+
+func TestP2QuantileMatchesExactOnLognormal(t *testing.T) {
+	r := xrand.New(2)
+	ln := LogNormal{Mu: 2, Sigma: 0.7}
+	q := NewP2Quantile(0.9)
+	var xs []float64
+	for i := 0; i < 50000; i++ {
+		v := ln.Sample(r)
+		q.Add(v)
+		xs = append(xs, v)
+	}
+	sort.Float64s(xs)
+	exact := xs[int(0.9*float64(len(xs)))]
+	rel := math.Abs(q.Value()-exact) / exact
+	if rel > 0.05 {
+		t.Fatalf("P2 p90 %v vs exact %v (rel %v)", q.Value(), exact, rel)
+	}
+}
+
+func TestP2QuantileSortedInput(t *testing.T) {
+	// Monotone input is the classic hard case for online estimators.
+	q := NewP2Quantile(0.5)
+	const n = 10001
+	for i := 0; i < n; i++ {
+		q.Add(float64(i))
+	}
+	want := float64(n-1) / 2
+	if math.Abs(q.Value()-want) > float64(n)*0.02 {
+		t.Fatalf("sorted median %v, want ~%v", q.Value(), want)
+	}
+}

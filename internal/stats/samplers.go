@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"coolstream/internal/xrand"
+)
+
+// Sampler draws float64 variates from some distribution.
+type Sampler interface {
+	Sample(r *xrand.RNG) float64
+}
+
+// Exponential samples Exp(rate); mean 1/rate.
+type Exponential struct{ Rate float64 }
+
+// Sample implements Sampler.
+func (e Exponential) Sample(r *xrand.RNG) float64 { return r.ExpFloat64() / e.Rate }
+
+// LogNormal samples exp(N(Mu, Sigma^2)).
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample implements Sampler.
+func (l LogNormal) Sample(r *xrand.RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Mean returns the analytic mean exp(mu + sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Pareto samples a Pareto distribution with scale Xm > 0 and shape
+// Alpha > 0: P(X > x) = (Xm/x)^Alpha for x >= Xm. Heavy-tailed for
+// small Alpha; infinite mean when Alpha <= 1.
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample implements Sampler.
+func (p Pareto) Sample(r *xrand.RNG) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return p.Xm / math.Pow(u, 1/p.Alpha)
+		}
+	}
+}
+
+// BoundedPareto samples a Pareto truncated to [Lo, Hi] by inverse CDF,
+// used for upload-capacity distributions where physical caps exist.
+type BoundedPareto struct{ Lo, Hi, Alpha float64 }
+
+// Sample implements Sampler.
+func (p BoundedPareto) Sample(r *xrand.RNG) float64 {
+	u := r.Float64()
+	la := math.Pow(p.Lo, p.Alpha)
+	ha := math.Pow(p.Hi, p.Alpha)
+	// Inverse of the truncated CDF.
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+	if x < p.Lo {
+		x = p.Lo
+	}
+	if x > p.Hi {
+		x = p.Hi
+	}
+	return x
+}
+
+// Weibull samples a Weibull(Shape, Scale) distribution, a common fit
+// for session lifetimes in P2P measurement literature.
+type Weibull struct{ Shape, Scale float64 }
+
+// Sample implements Sampler.
+func (w Weibull) Sample(r *xrand.RNG) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return w.Scale * math.Pow(-math.Log(u), 1/w.Shape)
+		}
+	}
+}
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Sampler.
+func (u Uniform) Sample(r *xrand.RNG) float64 {
+	return u.Lo + (u.Hi-u.Lo)*r.Float64()
+}
+
+// Constant always returns V; useful in tests and degenerate configs.
+type Constant struct{ V float64 }
+
+// Sample implements Sampler.
+func (c Constant) Sample(*xrand.RNG) float64 { return c.V }
+
+// Scaled multiplies another sampler's draws by Factor — used to sweep
+// capacity profiles in resource-index experiments.
+type Scaled struct {
+	S      Sampler
+	Factor float64
+}
+
+// Sample implements Sampler.
+func (s Scaled) Sample(r *xrand.RNG) float64 { return s.Factor * s.S.Sample(r) }
+
+// Mixture samples from component i with probability Weights[i]
+// (normalised internally).
+type Mixture struct {
+	Components []Sampler
+	Weights    []float64
+	cum        []float64
+}
+
+// NewMixture builds a mixture; panics if the slices mismatch or are empty.
+func NewMixture(components []Sampler, weights []float64) *Mixture {
+	if len(components) == 0 || len(components) != len(weights) {
+		panic("stats: invalid mixture specification")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative mixture weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: zero-weight mixture")
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // guard FP drift
+	return &Mixture{Components: components, Weights: weights, cum: cum}
+}
+
+// Sample implements Sampler.
+func (m *Mixture) Sample(r *xrand.RNG) float64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.Components) {
+		i = len(m.Components) - 1
+	}
+	return m.Components[i].Sample(r)
+}
+
+// Categorical draws an index in [0, len(weights)) with probability
+// proportional to the weight.
+type Categorical struct {
+	cum []float64
+}
+
+// NewCategorical builds a categorical sampler over the given weights.
+func NewCategorical(weights []float64) *Categorical {
+	if len(weights) == 0 {
+		panic("stats: empty categorical")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative categorical weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: zero-weight categorical")
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1
+	return &Categorical{cum: cum}
+}
+
+// Draw returns a weighted-random index.
+func (c *Categorical) Draw(r *xrand.RNG) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(c.cum, u)
+	if i >= len(c.cum) {
+		i = len(c.cum) - 1
+	}
+	return i
+}
+
+// K returns the number of categories.
+func (c *Categorical) K() int { return len(c.cum) }

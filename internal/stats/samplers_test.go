@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"coolstream/internal/xrand"
+)
+
+const sampleN = 100000
+
+func sampleMean(t *testing.T, s Sampler, seed uint64) float64 {
+	t.Helper()
+	r := xrand.New(seed)
+	sum := 0.0
+	for i := 0; i < sampleN; i++ {
+		sum += s.Sample(r)
+	}
+	return sum / sampleN
+}
+
+func TestExponentialMean(t *testing.T) {
+	got := sampleMean(t, Exponential{Rate: 0.5}, 1)
+	if math.Abs(got-2) > 0.05 {
+		t.Fatalf("Exp(0.5) mean %v, want ~2", got)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	ln := LogNormal{Mu: 1, Sigma: 0.5}
+	got := sampleMean(t, ln, 2)
+	if math.Abs(got-ln.Mean())/ln.Mean() > 0.03 {
+		t.Fatalf("LogNormal mean %v, want ~%v", got, ln.Mean())
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	p := Pareto{Xm: 1, Alpha: 2}
+	r := xrand.New(3)
+	exceed := 0
+	for i := 0; i < sampleN; i++ {
+		v := p.Sample(r)
+		if v < p.Xm {
+			t.Fatal("Pareto sample below scale")
+		}
+		if v > 10 {
+			exceed++
+		}
+	}
+	// P(X > 10) = (1/10)^2 = 0.01.
+	frac := float64(exceed) / sampleN
+	if math.Abs(frac-0.01) > 0.003 {
+		t.Fatalf("Pareto tail P(X>10) = %v, want ~0.01", frac)
+	}
+}
+
+func TestBoundedParetoWithinBounds(t *testing.T) {
+	p := BoundedPareto{Lo: 2, Hi: 50, Alpha: 1.5}
+	r := xrand.New(4)
+	for i := 0; i < 10000; i++ {
+		v := p.Sample(r)
+		if v < p.Lo || v > p.Hi {
+			t.Fatalf("BoundedPareto sample %v outside [%v,%v]", v, p.Lo, p.Hi)
+		}
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	// Shape 1 reduces to Exponential with mean Scale.
+	got := sampleMean(t, Weibull{Shape: 1, Scale: 3}, 5)
+	if math.Abs(got-3) > 0.08 {
+		t.Fatalf("Weibull(1,3) mean %v, want ~3", got)
+	}
+}
+
+func TestUniformBoundsAndMean(t *testing.T) {
+	u := Uniform{Lo: -2, Hi: 4}
+	r := xrand.New(6)
+	sum := 0.0
+	for i := 0; i < sampleN; i++ {
+		v := u.Sample(r)
+		if v < u.Lo || v >= u.Hi {
+			t.Fatalf("Uniform sample %v outside [%v,%v)", v, u.Lo, u.Hi)
+		}
+		sum += v
+	}
+	if math.Abs(sum/sampleN-1) > 0.05 {
+		t.Fatalf("Uniform mean %v, want ~1", sum/sampleN)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	if (Constant{V: 7}).Sample(nil) != 7 {
+		t.Fatal("Constant did not return its value")
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture(
+		[]Sampler{Constant{V: 0}, Constant{V: 1}},
+		[]float64{1, 3},
+	)
+	r := xrand.New(7)
+	ones := 0
+	for i := 0; i < sampleN; i++ {
+		if m.Sample(r) == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / sampleN
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("mixture weight-1 fraction %v, want ~0.75", frac)
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewMixture(nil, nil) },
+		func() { NewMixture([]Sampler{Constant{}}, []float64{1, 2}) },
+		func() { NewMixture([]Sampler{Constant{}}, []float64{-1}) },
+		func() { NewMixture([]Sampler{Constant{}}, []float64{0}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	c := NewCategorical([]float64{0.5, 0.3, 0.2})
+	r := xrand.New(8)
+	counts := make([]int, 3)
+	for i := 0; i < sampleN; i++ {
+		counts[c.Draw(r)]++
+	}
+	want := []float64{0.5, 0.3, 0.2}
+	for i, w := range want {
+		got := float64(counts[i]) / sampleN
+		if math.Abs(got-w) > 0.01 {
+			t.Fatalf("category %d frequency %v, want ~%v", i, got, w)
+		}
+	}
+	if c.K() != 3 {
+		t.Fatalf("K = %d", c.K())
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewCategorical(nil) },
+		func() { NewCategorical([]float64{0}) },
+		func() { NewCategorical([]float64{-1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

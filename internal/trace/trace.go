@@ -1,0 +1,100 @@
+// Package trace persists run artifacts: log records as JSONL (one
+// record per line) and metric series as CSV, with matching readers, so
+// simulation runs can be archived and re-analysed by cmd/coolanalyze
+// without re-running the simulator.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"coolstream/internal/logsys"
+	"coolstream/internal/metrics"
+	"coolstream/internal/sim"
+)
+
+// WriteRecords streams log records as JSONL.
+func WriteRecords(w io.Writer, recs []logsys.Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("trace: record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords reads a JSONL record stream.
+func ReadRecords(r io.Reader) ([]logsys.Record, error) {
+	var out []logsys.Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec logsys.Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteSeries writes a metric series as two-column CSV.
+func WriteSeries(w io.Writer, name string, pts []metrics.SeriesPoint) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "t_ms,%s\n", name); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(bw, "%d,%g\n", int64(p.At), p.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSeries reads a two-column CSV produced by WriteSeries, returning
+// the series name and points.
+func ReadSeries(r io.Reader) (string, []metrics.SeriesPoint, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return "", nil, fmt.Errorf("trace: empty series")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if len(header) != 2 || header[0] != "t_ms" {
+		return "", nil, fmt.Errorf("trace: bad series header %q", sc.Text())
+	}
+	var pts []metrics.SeriesPoint
+	line := 1
+	for sc.Scan() {
+		line++
+		cells := strings.Split(sc.Text(), ",")
+		if len(cells) != 2 {
+			return "", nil, fmt.Errorf("trace: line %d: %d cells", line, len(cells))
+		}
+		at, err := strconv.ParseInt(cells[0], 10, 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(cells[1], 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		pts = append(pts, metrics.SeriesPoint{At: sim.Time(at), Value: v})
+	}
+	return header[1], pts, sc.Err()
+}

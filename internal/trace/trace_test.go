@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"coolstream/internal/logsys"
+	"coolstream/internal/metrics"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+func TestRecordsRoundTrip(t *testing.T) {
+	recs := []logsys.Record{
+		{Kind: logsys.KindJoin, At: 5 * sim.Second, Peer: 1, Session: 1, User: 1,
+			PrivateAddr: true, TrueClass: netmodel.NAT, HasTruth: true},
+		{Kind: logsys.KindQoS, At: 300 * sim.Second, Peer: 1, Session: 1, User: 1, Continuity: 0.98},
+		{Kind: logsys.KindTraffic, At: 300 * sim.Second, Peer: 1, Session: 1, User: 1,
+			UploadBytes: 12345, DownloadBytes: 67890},
+	}
+	var buf strings.Builder
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadRecordsSkipsBlanksRejectsGarbage(t *testing.T) {
+	if recs, err := ReadRecords(strings.NewReader("\n\n")); err != nil || len(recs) != 0 {
+		t.Fatalf("blank read: %v %v", recs, err)
+	}
+	if _, err := ReadRecords(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	pts := []metrics.SeriesPoint{
+		{At: 0, Value: 1},
+		{At: 10 * sim.Second, Value: 2.5},
+		{At: sim.Hour, Value: 0},
+	}
+	var buf strings.Builder
+	if err := WriteSeries(&buf, "users", pts); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := ReadSeries(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "users" || len(got) != len(pts) {
+		t.Fatalf("name %q, %d points", name, len(got))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d: %+v vs %+v", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestReadSeriesErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bad header\n",
+		"t_ms,v\n1,2,3\n",
+		"t_ms,v\nx,2\n",
+		"t_ms,v\n1,y\n",
+	}
+	for i, c := range cases {
+		if _, _, err := ReadSeries(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
+)
+
+// Arrivals samples a non-homogeneous Poisson process over [0, horizon)
+// with the given rate profile, by thinning (Lewis & Shedler): candidate
+// events are drawn from a homogeneous process at the peak rate and
+// accepted with probability rate(t)/peak.
+func Arrivals(p RateProfile, horizon sim.Time, r *xrand.RNG) []sim.Time {
+	peak := p.MaxRate()
+	if peak <= 0 || horizon <= 0 {
+		return nil
+	}
+	var out []sim.Time
+	t := 0.0
+	hz := horizon.Seconds()
+	for {
+		t += r.ExpFloat64() / peak
+		if t >= hz {
+			return out
+		}
+		at := sim.FromSeconds(t)
+		if r.Float64()*peak < p.RateAt(at) {
+			out = append(out, at)
+		}
+	}
+}
+
+// FlashCrowd returns a profile that is quiet at `quiet` arrivals/s for
+// warmup seconds, then bursts at `burst` arrivals/s for burstLen, then
+// returns to quiet — the §V-E flash-crowd shape.
+func FlashCrowd(warmup, burstLen sim.Time, quiet, burst float64) RateProfile {
+	return RateProfile{
+		Boundaries: []sim.Time{0, warmup, warmup + burstLen},
+		Rates:      []float64{quiet, burst, quiet},
+	}
+}
+
+// Constant returns a homogeneous profile.
+func Constant(rate float64) RateProfile {
+	return RateProfile{Boundaries: []sim.Time{0}, Rates: []float64{rate}}
+}

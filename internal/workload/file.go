@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// fileSpec is the JSON form of a UserSpec, with times in milliseconds
+// and capacities in bits/second, so scenario files are self-describing
+// and editable by hand.
+type fileSpec struct {
+	UserID      int     `json:"user"`
+	AtMs        int64   `json:"at_ms"`
+	Class       string  `json:"class"`
+	UploadBps   float64 `json:"upload_bps"`
+	DownloadBps float64 `json:"download_bps"`
+	WatchMs     int64   `json:"watch_ms"`
+	Patience    int     `json:"patience"`
+}
+
+// WriteScenario streams a scenario as JSON lines (one user per line),
+// so huge workloads can be processed without loading them whole.
+func WriteScenario(w io.Writer, sc Scenario) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := struct {
+		HorizonMs    int64 `json:"horizon_ms"`
+		ProgramEndMs int64 `json:"program_end_ms"`
+	}{int64(sc.Horizon), int64(sc.ProgramEnd)}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, s := range sc.Specs {
+		fs := fileSpec{
+			UserID:      s.UserID,
+			AtMs:        int64(s.At),
+			Class:       s.Endpoint.Class.String(),
+			UploadBps:   s.Endpoint.UploadBps,
+			DownloadBps: s.Endpoint.DownloadBps,
+			WatchMs:     int64(s.Watch),
+			Patience:    s.Patience,
+		}
+		if err := enc.Encode(fs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadScenario parses the WriteScenario format.
+func ReadScenario(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header struct {
+		HorizonMs    int64 `json:"horizon_ms"`
+		ProgramEndMs int64 `json:"program_end_ms"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return Scenario{}, fmt.Errorf("workload: scenario header: %w", err)
+	}
+	sc := Scenario{
+		Horizon:    sim.Time(header.HorizonMs),
+		ProgramEnd: sim.Time(header.ProgramEndMs),
+	}
+	if sc.Horizon <= 0 {
+		return Scenario{}, fmt.Errorf("workload: scenario horizon %d ms", header.HorizonMs)
+	}
+	line := 1
+	for {
+		var fs fileSpec
+		if err := dec.Decode(&fs); err == io.EOF {
+			break
+		} else if err != nil {
+			return Scenario{}, fmt.Errorf("workload: scenario entry %d: %w", line, err)
+		}
+		line++
+		class, err := netmodel.ParseUserClass(fs.Class)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("workload: scenario entry %d: %w", line, err)
+		}
+		if fs.AtMs < 0 || fs.WatchMs <= 0 || fs.UploadBps < 0 || fs.DownloadBps <= 0 {
+			return Scenario{}, fmt.Errorf("workload: scenario entry %d: invalid numbers", line)
+		}
+		sc.Specs = append(sc.Specs, UserSpec{
+			UserID: fs.UserID,
+			At:     sim.Time(fs.AtMs),
+			Endpoint: netmodel.Endpoint{
+				Class:       class,
+				UploadBps:   fs.UploadBps,
+				DownloadBps: fs.DownloadBps,
+			},
+			Watch:    sim.Time(fs.WatchMs),
+			Patience: fs.Patience,
+		})
+	}
+	return sc, nil
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
+)
+
+func TestScenarioFileRoundTrip(t *testing.T) {
+	opts := Options{
+		Profile:    Constant(0.5),
+		Horizon:    5 * sim.Minute,
+		Mix:        netmodel.DefaultClassMix(),
+		Capacity:   netmodel.DefaultCapacityProfile(768e3),
+		Sessions:   DefaultSessionModel(0.1),
+		ProgramEnd: 4 * sim.Minute,
+	}
+	sc, err := Generate(opts, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteScenario(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenario(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Horizon != sc.Horizon || got.ProgramEnd != sc.ProgramEnd {
+		t.Fatalf("header mismatch: %v/%v vs %v/%v", got.Horizon, got.ProgramEnd, sc.Horizon, sc.ProgramEnd)
+	}
+	if len(got.Specs) != len(sc.Specs) {
+		t.Fatalf("specs %d vs %d", len(got.Specs), len(sc.Specs))
+	}
+	for i := range sc.Specs {
+		if got.Specs[i] != sc.Specs[i] {
+			t.Fatalf("spec %d: %+v vs %+v", i, got.Specs[i], sc.Specs[i])
+		}
+	}
+}
+
+func TestReadScenarioErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"horizon_ms":0}`,
+		`{"horizon_ms":1000}` + "\n" + `{"user":1,"at_ms":0,"class":"alien","upload_bps":1,"download_bps":1,"watch_ms":10}`,
+		`{"horizon_ms":1000}` + "\n" + `{"user":1,"at_ms":-5,"class":"nat","upload_bps":1,"download_bps":1,"watch_ms":10}`,
+		`{"horizon_ms":1000}` + "\n" + `{"user":1,"at_ms":0,"class":"nat","upload_bps":1,"download_bps":1,"watch_ms":0}`,
+		`{"horizon_ms":1000}` + "\n" + "garbage",
+	}
+	for i, c := range cases {
+		if _, err := ReadScenario(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestScenarioFileEmptySpecsOK(t *testing.T) {
+	sc := Scenario{Horizon: sim.Minute}
+	var buf strings.Builder
+	if err := WriteScenario(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenario(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Specs) != 0 || got.Horizon != sim.Minute {
+		t.Fatalf("empty scenario mangled: %+v", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package workload generates the synthetic user population and
+// arrival process standing in for the paper's 2006-09-27 broadcast
+// traces: a diurnal arrival-rate profile with an evening flash crowd
+// and a program-end departure cliff (Fig. 5), heavy-tailed session
+// durations with a short-session failure spike (Fig. 10a), retry
+// patience (Fig. 10b), and the NAT-dominated class mix with skewed
+// upload capacities (Fig. 3).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"coolstream/internal/sim"
+)
+
+// RateProfile is a piecewise-constant arrival-rate function
+// (arrivals per virtual second).
+type RateProfile struct {
+	// Boundaries are segment start times, ascending, starting at 0.
+	Boundaries []sim.Time
+	// Rates[i] applies from Boundaries[i] to Boundaries[i+1] (the last
+	// rate extends to the horizon).
+	Rates []float64
+}
+
+// Validate checks structural consistency.
+func (p RateProfile) Validate() error {
+	if len(p.Boundaries) == 0 || len(p.Boundaries) != len(p.Rates) {
+		return fmt.Errorf("workload: profile has %d boundaries, %d rates",
+			len(p.Boundaries), len(p.Rates))
+	}
+	if p.Boundaries[0] != 0 {
+		return fmt.Errorf("workload: profile must start at 0, got %v", p.Boundaries[0])
+	}
+	for i := 1; i < len(p.Boundaries); i++ {
+		if p.Boundaries[i] <= p.Boundaries[i-1] {
+			return fmt.Errorf("workload: boundaries not ascending at %d", i)
+		}
+	}
+	for i, r := range p.Rates {
+		if r < 0 {
+			return fmt.Errorf("workload: negative rate %v at segment %d", r, i)
+		}
+	}
+	return nil
+}
+
+// RateAt returns the arrival rate at time t.
+func (p RateProfile) RateAt(t sim.Time) float64 {
+	i := sort.Search(len(p.Boundaries), func(i int) bool { return p.Boundaries[i] > t }) - 1
+	if i < 0 {
+		return 0
+	}
+	return p.Rates[i]
+}
+
+// MaxRate returns the profile's peak rate.
+func (p RateProfile) MaxRate() float64 {
+	max := 0.0
+	for _, r := range p.Rates {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Scale returns a copy with all rates multiplied by f.
+func (p RateProfile) Scale(f float64) RateProfile {
+	out := RateProfile{
+		Boundaries: append([]sim.Time(nil), p.Boundaries...),
+		Rates:      make([]float64, len(p.Rates)),
+	}
+	for i, r := range p.Rates {
+		out.Rates[i] = r * f
+	}
+	return out
+}
+
+// DiurnalProfile builds a compressed broadcast-day profile shaped like
+// Fig. 5a: low overnight arrivals, a daytime ramp, an evening flash
+// crowd between the 18:00 and 22:00 equivalents, and decay afterwards.
+// dayLength is the virtual duration representing 24 hours; baseRate is
+// the overnight arrivals/second at that compression, and the evening
+// peak is peakFactor times the base.
+func DiurnalProfile(dayLength sim.Time, baseRate, peakFactor float64) RateProfile {
+	frac := func(hours float64) sim.Time { return sim.Time(float64(dayLength) * hours / 24) }
+	return RateProfile{
+		Boundaries: []sim.Time{
+			0,          // 00:00 overnight trough
+			frac(7),    // 07:00 morning ramp
+			frac(12),   // 12:00 lunchtime plateau
+			frac(13.5), // 13:30 afternoon (paper period ii)
+			frac(17.5), // 17:30 pre-evening ramp (period iii starts)
+			frac(18.5), // 18:30 flash crowd
+			frac(20.5), // 20:30 peak sustains (period iv)
+			frac(22),   // 22:00 program end: arrivals collapse
+			frac(23),   // 23:00 overnight decay
+		},
+		Rates: []float64{
+			baseRate * 0.3,
+			baseRate * 0.8,
+			baseRate * 1.2,
+			baseRate * 1.0,
+			baseRate * 2.0,
+			baseRate * peakFactor,
+			baseRate * peakFactor * 0.8,
+			baseRate * 0.4,
+			baseRate * 0.2,
+		},
+	}
+}
+
+// ProgramEnd returns the virtual time of the 22:00 program boundary in
+// a compressed day, where the Fig. 5b departure cliff occurs.
+func ProgramEnd(dayLength sim.Time) sim.Time {
+	return sim.Time(float64(dayLength) * 22 / 24)
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"math"
+
+	"coolstream/internal/sim"
+	"coolstream/internal/stats"
+	"coolstream/internal/xrand"
+)
+
+// SessionModel draws intended watch durations and retry patience.
+// Durations are a three-way mixture reproducing Fig. 10a's shape:
+//
+//   - a spike of sub-minute "sampler" sessions (users checking a
+//     channel and leaving, plus sessions doomed to fail),
+//   - a lognormal body of ordinary viewing,
+//   - a Pareto tail of users watching essentially the whole program.
+type SessionModel struct {
+	durations *stats.Mixture
+	// PatienceProb[k] is the probability a user retries at least k+1
+	// times after failures; geometric by default.
+	RetryProb float64
+	MaxRetry  int
+}
+
+// DefaultSessionModel calibrates the mixture for a compressed day:
+// timeScale converts real seconds to virtual seconds (timeScale = 0.1
+// compresses 24 h into 2.4 h).
+func DefaultSessionModel(timeScale float64) *SessionModel {
+	return &SessionModel{
+		durations: stats.NewMixture(
+			[]stats.Sampler{
+				stats.LogNormal{Mu: math.Log(20 * timeScale), Sigma: 0.8},  // samplers, <1 min
+				stats.LogNormal{Mu: math.Log(900 * timeScale), Sigma: 1.0}, // body, ~15 min
+				stats.Pareto{Xm: 3600 * timeScale, Alpha: 1.3},             // stayers, 1 h+
+			},
+			[]float64{0.25, 0.55, 0.20},
+		),
+		RetryProb: 0.65,
+		MaxRetry:  4,
+	}
+}
+
+// Duration draws one intended watch duration.
+func (m *SessionModel) Duration(r *xrand.RNG) sim.Time {
+	return sim.FromSeconds(m.durations.Sample(r))
+}
+
+// Patience draws how many failed joins the user will retry.
+func (m *SessionModel) Patience(r *xrand.RNG) int {
+	n := 0
+	for n < m.MaxRetry && r.Bool(m.RetryProb) {
+		n++
+	}
+	return n
+}

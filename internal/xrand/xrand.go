@@ -1,0 +1,164 @@
+// Package xrand provides a small, fast, deterministic, splittable
+// pseudo-random number generator for the simulator.
+//
+// The simulator must be reproducible bit-for-bit across runs and across
+// GOMAXPROCS settings, so math/rand's global state is unsuitable. Every
+// subsystem (and every peer) derives its own independent stream with
+// Split, keyed by a stable label, so that adding a consumer of randomness
+// in one subsystem never perturbs the draws seen by another.
+//
+// The core generator is splitmix64 (Steele, Lea, Flood: "Fast splittable
+// pseudorandom number generators", OOPSLA 2014), which passes BigCrush
+// when used as a 64-bit generator and supports O(1) splitting.
+package xrand
+
+import "math"
+
+// RNG is a deterministic splittable pseudo-random number generator.
+// It is not safe for concurrent use; derive one per goroutine with Split.
+type RNG struct {
+	state uint64
+	gamma uint64
+}
+
+const (
+	goldenGamma = 0x9e3779b97f4a7c15
+	defaultSeed = 0x5deece66d
+)
+
+// New returns an RNG seeded with seed. Two RNGs created with the same
+// seed produce identical sequences.
+func New(seed uint64) *RNG {
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	return &RNG{state: seed, gamma: goldenGamma}
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func mixGamma(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	z = (z ^ (z >> 33)) | 1 // gammas must be odd
+	// Ensure enough bit transitions; see splitmix64 paper §5.
+	if popcount(z^(z>>1)) < 24 {
+		z ^= 0xaaaaaaaaaaaaaaaa
+	}
+	return z
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += r.gamma
+	return mix64(r.state)
+}
+
+// Split returns a new RNG whose stream is statistically independent of
+// the receiver's. The receiver advances by one draw.
+func (r *RNG) Split() *RNG {
+	s := r.Uint64()
+	g := mixGamma(r.Uint64())
+	return &RNG{state: s, gamma: g}
+}
+
+// SplitLabeled returns an independent RNG keyed by both the receiver's
+// current state and a stable string label. Unlike Split it does NOT
+// advance the receiver, so the derived stream depends only on the
+// original seed and the label — subsystems can be initialised in any
+// order without perturbing each other.
+func (r *RNG) SplitLabeled(label string) *RNG {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return &RNG{state: mix64(r.state ^ h), gamma: mixGamma(h ^ r.gamma)}
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n)) // modulo bias negligible for sim-scale n
+}
+
+// Int63n returns a uniform int64 in [0,n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomises the order of n elements using swap, as in math/rand.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// NormFloat64 returns a standard-normally distributed float64
+// (Box–Muller; one value per call, the pair's sibling is discarded to
+// keep the generator allocation-free and stateless beyond the counter).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Pick returns a uniformly random element of xs. It panics if xs is empty.
+func Pick[T any](r *RNG, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
