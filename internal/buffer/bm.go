@@ -23,6 +23,19 @@ func NewBufferMap(k int) BufferMap {
 // K returns the number of sub-streams described.
 func (m BufferMap) K() int { return len(m.Latest) }
 
+// Reset resizes the map to k sub-streams, reusing existing storage
+// when possible so periodic BM refreshes need not allocate. Entries
+// are left uninitialised: the caller must overwrite all k slots.
+func (m *BufferMap) Reset(k int) {
+	if cap(m.Latest) >= k && cap(m.Subscribed) >= k {
+		m.Latest = m.Latest[:k]
+		m.Subscribed = m.Subscribed[:k]
+		return
+	}
+	m.Latest = make([]int64, k)
+	m.Subscribed = make([]bool, k)
+}
+
 // Clone returns a deep copy.
 func (m BufferMap) Clone() BufferMap {
 	c := BufferMap{

@@ -76,6 +76,11 @@ type MCache struct {
 	rng      *xrand.RNG
 	entries  []Entry
 	index    map[int]int // peer ID → position in entries
+
+	// candScratch and outScratch are reused across Sample calls so the
+	// per-tick gossip step allocates nothing at steady state.
+	candScratch []int
+	outScratch  []Entry
 }
 
 // NewMCache creates a cache with the given capacity and replacement
@@ -144,30 +149,47 @@ func (c *MCache) Contains(id int) bool {
 	return ok
 }
 
-// Sample returns up to n distinct entries chosen uniformly at random,
-// excluding the IDs in exclude.
-func (c *MCache) Sample(n int, exclude map[int]bool) []Entry {
+// Sample returns up to n distinct entries chosen uniformly at random.
+// The peer `self` is always excluded (pass a negative ID to exclude
+// nothing), as is every ID in excludeIDs, which must be sorted
+// ascending — callers typically pass their partner-ID slice, so the
+// hot gossip/recruit paths build no per-call exclusion set.
+//
+// The returned slice is scratch owned by the cache: it is valid only
+// until the next Sample call and must not be retained.
+func (c *MCache) Sample(n int, self int, excludeIDs []int) []Entry {
 	if n <= 0 {
 		return nil
 	}
-	candidates := make([]int, 0, len(c.entries))
+	c.candScratch = c.candScratch[:0]
 	for i := range c.entries {
-		if exclude != nil && exclude[c.entries[i].ID] {
+		id := c.entries[i].ID
+		if id == self || containsSorted(excludeIDs, id) {
 			continue
 		}
-		candidates = append(candidates, i)
+		c.candScratch = append(c.candScratch, i)
 	}
+	candidates := c.candScratch
 	c.rng.Shuffle(len(candidates), func(i, j int) {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 	})
 	if n > len(candidates) {
 		n = len(candidates)
 	}
-	out := make([]Entry, n)
-	for i := 0; i < n; i++ {
-		out[i] = c.entries[candidates[i]]
+	if n == 0 {
+		return nil
 	}
-	return out
+	c.outScratch = c.outScratch[:0]
+	for i := 0; i < n; i++ {
+		c.outScratch = append(c.outScratch, c.entries[candidates[i]])
+	}
+	return c.outScratch
+}
+
+// containsSorted reports whether id occurs in the ascending slice ids.
+func containsSorted(ids []int, id int) bool {
+	i := sort.SearchInts(ids, id)
+	return i < len(ids) && ids[i] == id
 }
 
 // Snapshot returns a copy of all entries sorted by peer ID (for

@@ -118,7 +118,7 @@ func TestMCacheSample(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		c.Insert(entry(i), 0)
 	}
-	s := c.Sample(5, nil)
+	s := c.Sample(5, -1, nil)
 	if len(s) != 5 {
 		t.Fatalf("sample size %d", len(s))
 	}
@@ -129,20 +129,29 @@ func TestMCacheSample(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	// Exclusion respected.
-	excl := map[int]bool{0: true, 1: true, 2: true}
-	s = c.Sample(10, excl)
+	// Exclusion respected: self plus a sorted exclude slice.
+	excl := []int{1, 2}
+	s = c.Sample(10, 0, excl)
 	if len(s) != 7 {
 		t.Fatalf("excluded sample size %d, want 7", len(s))
 	}
 	for _, e := range s {
-		if excl[e.ID] {
+		if e.ID == 0 || e.ID == 1 || e.ID == 2 {
 			t.Fatal("sample included excluded peer")
 		}
 	}
-	if c.Sample(0, nil) != nil {
+	if c.Sample(0, -1, nil) != nil {
 		t.Fatal("zero sample not nil")
 	}
+	// The result is scratch reused by the next call: copy what must
+	// survive. Two back-to-back samples must still be internally valid.
+	a := c.Sample(3, -1, nil)
+	ids := []int{a[0].ID, a[1].ID, a[2].ID}
+	b := c.Sample(3, -1, nil)
+	if len(b) != 3 {
+		t.Fatalf("second sample size %d", len(b))
+	}
+	_ = ids
 }
 
 func TestStabilityAwareEvictsYoungest(t *testing.T) {

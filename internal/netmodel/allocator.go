@@ -1,6 +1,6 @@
 package netmodel
 
-import "sort"
+import "slices"
 
 // Demand is one child sub-stream transmission competing for a parent's
 // upload capacity.
@@ -15,6 +15,61 @@ type Demand struct {
 	Weight float64
 }
 
+// wfEntry orders one demand by the water level at which it saturates.
+type wfEntry struct {
+	idx   int
+	level float64 // Need/Weight
+}
+
+// Filler holds reusable scratch for repeated water-filling, so the
+// per-tick allocator performs no allocations at steady state. The
+// zero value is ready to use. Not safe for concurrent use; the tick
+// engine keeps one per node, owned by the shard that owns the node.
+type Filler struct {
+	entries []wfEntry
+	rates   []float64
+	// last holds the previous call's demand list (and lastCap its
+	// capacity). Steady-state demand lists are nearly always identical
+	// tick over tick — children and their Need ceilings change on
+	// overlay adaptation timescales, not tick timescales — so when the
+	// inputs match exactly the previous rates are returned as-is,
+	// skipping the sort and the fill sweep entirely. Exact float
+	// equality keeps this a pure memoisation: identical inputs would
+	// have produced bit-identical outputs anyway.
+	last    []Demand
+	lastCap float64
+	warm    bool
+}
+
+// Fill computes the same allocation as WaterFill into an internal
+// slice, valid only until the next Fill call on this Filler.
+func (f *Filler) Fill(capacity float64, demands []Demand) []float64 {
+	if f.warm && capacity == f.lastCap && len(demands) == len(f.last) {
+		same := true
+		for i, d := range demands {
+			if d != f.last[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return f.rates[:len(demands)]
+		}
+	}
+	if cap(f.rates) < len(demands) {
+		f.rates = make([]float64, len(demands))
+	}
+	rates := f.rates[:len(demands)]
+	for i := range rates {
+		rates[i] = 0
+	}
+	f.entries = waterFill(rates, f.entries[:0], capacity, demands)
+	f.last = append(f.last[:0], demands...)
+	f.lastCap = capacity
+	f.warm = true
+	return rates
+}
+
 // WaterFill divides capacity among demands by progressive filling
 // (max-min fairness): every demand grows at rate proportional to its
 // weight until it hits its Need, and freed capacity is redistributed
@@ -23,28 +78,42 @@ type Demand struct {
 //
 // This generalises the paper's Eq. (5): with D equal unweighted
 // demands all needing more than capacity/D, every child receives
-// exactly capacity/D.
+// exactly capacity/D. Allocation-sensitive callers should keep a
+// Filler instead.
 func WaterFill(capacity float64, demands []Demand) []float64 {
 	rates := make([]float64, len(demands))
+	waterFill(rates, nil, capacity, demands)
+	return rates
+}
+
+// waterFill writes the allocation into rates (len(demands), zeroed)
+// using entries as scratch, and returns the grown scratch for reuse.
+func waterFill(rates []float64, entries []wfEntry, capacity float64, demands []Demand) []wfEntry {
 	if capacity <= 0 || len(demands) == 0 {
-		return rates
+		return entries
 	}
 	// Order demand indices by Need/Weight, the level at which each
-	// demand saturates.
-	type entry struct {
-		idx   int
-		level float64 // Need/Weight
-	}
-	entries := make([]entry, 0, len(demands))
+	// demand saturates; ties break by index so the fill order — and
+	// hence the floating-point rounding of `remaining` — is a pure
+	// function of the demand list.
 	totalWeight := 0.0
 	for i, d := range demands {
 		if d.Need <= 0 || d.Weight <= 0 {
 			continue
 		}
-		entries = append(entries, entry{idx: i, level: d.Need / d.Weight})
+		entries = append(entries, wfEntry{idx: i, level: d.Need / d.Weight})
 		totalWeight += d.Weight
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].level < entries[j].level })
+	slices.SortFunc(entries, func(a, b wfEntry) int {
+		switch {
+		case a.level < b.level:
+			return -1
+		case a.level > b.level:
+			return 1
+		default:
+			return a.idx - b.idx
+		}
+	})
 
 	remaining := capacity
 	for k, e := range entries {
@@ -63,9 +132,9 @@ func WaterFill(capacity float64, demands []Demand) []float64 {
 			d2 := demands[e2.idx]
 			rates[e2.idx] = remaining * d2.Weight / totalWeight
 		}
-		return rates
+		return entries
 	}
-	return rates
+	return entries
 }
 
 // EqualSplit is the paper's literal Eq. (5) allocation: capacity/D per

@@ -9,6 +9,86 @@ import (
 	"coolstream/internal/sim"
 )
 
+// benchWorld builds a world with nPeers long-lived peers, settles the
+// overlay, and returns it ready for per-tick measurement.
+func benchWorld(b *testing.B, nPeers int, churnFree bool) (*World, *sim.Engine) {
+	b.Helper()
+	p := DefaultParams()
+	engine := sim.NewEngine(sim.Second)
+	w, err := NewWorld(p, engine, logsys.NopSink{}, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if churnFree {
+		// Fixed topology: no stall-abandons, no crashes, infinite watches.
+		w.StallAbandonProb = 0
+		w.CrashProb = 0
+	}
+	for i := 0; i < 4+nPeers/100; i++ {
+		w.AddServer(20 * 768e3)
+	}
+	engine.Run(30 * sim.Second)
+	prof := netmodel.DefaultCapacityProfile(768e3)
+	rng := w.rng.SplitLabeled("bench")
+	for i := 0; i < nPeers; i++ {
+		i := i
+		at := 30*sim.Second + sim.Time(i%60)*sim.Second
+		engine.Schedule(at, func() {
+			class := netmodel.UserClass(i % 4)
+			// Effectively infinite watch time so the population cannot
+			// drain no matter how many virtual seconds b.N covers.
+			w.Join(1000+i, prof.Draw(class, rng), 1000*sim.Hour, 0, 0)
+		})
+	}
+	engine.Run(4 * sim.Minute) // let the overlay settle
+	return w, engine
+}
+
+// BenchmarkTickSteadyState measures one control tick over a settled
+// 1k-peer overlay with a fixed topology (no churn, no adaptation
+// pressure) — the hot path the topology-epoch cache targets. The
+// allocs/op figure is the PR's zero-allocation acceptance metric.
+func BenchmarkTickSteadyState(b *testing.B) {
+	w, engine := benchWorld(b, 1000, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Run(engine.Now() + sim.Second)
+	}
+	b.ReportMetric(float64(w.ActivePeerCount()), "active_peers")
+}
+
+// BenchmarkTickChurn measures ticks under heavy adaptation: a steady
+// arrival stream of short-watch peers keeps the overlay re-wiring, so
+// the topology cache is invalidated nearly every tick.
+func BenchmarkTickChurn(b *testing.B) {
+	w, engine := benchWorld(b, 600, false)
+	prof := netmodel.DefaultCapacityProfile(768e3)
+	rng := w.rng.SplitLabeled("bench-churn")
+	next := 2000
+	// Self-rescheduling arrival process: four short-lived joins per
+	// virtual second keep churn going for any b.N.
+	var arrive func()
+	arrive = func() {
+		for k := 0; k < 4; k++ {
+			id := next
+			next++
+			class := netmodel.UserClass(id % 4)
+			watch := sim.Time(20+rng.Intn(90)) * sim.Second
+			w.Join(id, prof.Draw(class, rng), watch, 1, 0)
+		}
+		engine.After(sim.Second, arrive)
+	}
+	engine.After(sim.Second, arrive)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Run(engine.Now() + sim.Second)
+	}
+	b.ReportMetric(float64(w.ActivePeerCount()), "active_peers")
+}
+
 // BenchmarkWorldTick measures the steady-state cost of advancing a
 // ~150-peer overlay by one control tick (all five phases).
 func BenchmarkWorldTick(b *testing.B) {

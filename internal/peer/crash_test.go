@@ -18,8 +18,8 @@ func TestCrashLeavesDanglingStateThatHeals(t *testing.T) {
 	// Wire the child's sub-stream 0 under the parent (white box).
 	now := engine.Now()
 	if _, ok := child.Partners[parent.ID]; !ok {
-		child.Partners[parent.ID] = &Partner{Outgoing: true, BM: parent.BufferMap(child.ID), BMAt: now, EstablishedAt: now}
-		parent.Partners[child.ID] = &Partner{Outgoing: false, BM: child.BufferMap(parent.ID), BMAt: now, EstablishedAt: now}
+		child.setPartner(parent.ID, &Partner{Outgoing: true, BM: parent.BufferMap(child.ID), BMAt: now, EstablishedAt: now})
+		parent.setPartner(child.ID, &Partner{Outgoing: false, BM: child.BufferMap(parent.ID), BMAt: now, EstablishedAt: now})
 	}
 	if old := child.Subs[0].Parent; old != NoParent {
 		w.Node(old).removeChild(0, child.ID)
@@ -63,8 +63,8 @@ func TestCrashFreezesSubtreeUntilDetection(t *testing.T) {
 	engine.Run(60 * sim.Second)
 	now := engine.Now()
 	if _, ok := leaf.Partners[mid.ID]; !ok {
-		leaf.Partners[mid.ID] = &Partner{Outgoing: true, BM: mid.BufferMap(leaf.ID), BMAt: now, EstablishedAt: now}
-		mid.Partners[leaf.ID] = &Partner{Outgoing: false, BM: leaf.BufferMap(mid.ID), BMAt: now, EstablishedAt: now}
+		leaf.setPartner(mid.ID, &Partner{Outgoing: true, BM: mid.BufferMap(leaf.ID), BMAt: now, EstablishedAt: now})
+		mid.setPartner(leaf.ID, &Partner{Outgoing: false, BM: leaf.BufferMap(mid.ID), BMAt: now, EstablishedAt: now})
 	}
 	for j := range leaf.Subs {
 		if old := leaf.Subs[j].Parent; old != NoParent {

@@ -1,0 +1,114 @@
+package peer
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// worldDigest folds every emitted log record plus the final fluid
+// state (per-node, per-sub-stream H, parent and byte counters) into a
+// single FNV-1a hash. Two runs with the same digest behaved
+// identically in every externally observable way.
+func worldDigest(w *World, sink *logsys.MemorySink) uint64 {
+	h := fnv.New64a()
+	for _, rec := range sink.Records() {
+		fmt.Fprintln(h, rec.LogString())
+	}
+	for _, n := range w.Nodes() {
+		fmt.Fprintf(h, "node %d state %d\n", n.ID, n.State)
+		for j := range n.Subs {
+			fmt.Fprintf(h, " sub %d parent %d H %x rate %x\n",
+				j, n.Subs[j].Parent, math.Float64bits(n.Subs[j].H),
+				math.Float64bits(n.Subs[j].RateBps))
+		}
+		fmt.Fprintf(h, " up %x down %x\n",
+			math.Float64bits(n.CumUploadB), math.Float64bits(n.CumDownloadB))
+	}
+	return h.Sum64()
+}
+
+// digestScenario runs a fixed mixed-churn scenario (joins, crashes,
+// retries, stall-abandons, a program-end cliff) and returns its digest.
+func digestScenario(t *testing.T, controlLoss float64) uint64 {
+	t.Helper()
+	p := DefaultParams()
+	p.ReportPeriod = 30 * sim.Second
+	p.ControlLossProb = controlLoss
+	engine := sim.NewEngine(sim.Second)
+	sink := &logsys.MemorySink{}
+	w, err := NewWorld(p, engine, sink, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AddServer(15 * testRate)
+	w.AddServer(15 * testRate)
+	engine.Run(30 * sim.Second)
+	prof := netmodel.DefaultCapacityProfile(testRate)
+	rng := w.rng.SplitLabeled("digest")
+	for i := 0; i < 80; i++ {
+		i := i
+		at := 30*sim.Second + sim.Time(i%40)*2*sim.Second
+		engine.Schedule(at, func() {
+			class := netmodel.UserClass(i % 4)
+			watch := sim.Time(30+(i*13)%200) * sim.Second
+			w.Join(600+i, prof.Draw(class, rng), watch, 1, 0)
+		})
+	}
+	engine.Run(4 * sim.Minute)
+	w.DepartAllPeers("program-end")
+	engine.Run(engine.Now() + 10*sim.Second)
+	return worldDigest(w, sink)
+}
+
+// goldenRunDigest is the digest of digestScenario(0) captured on the
+// pre-optimisation engine (recursive advance walk, per-call sorting,
+// goroutine-per-phase parallelism). The topology-epoch cache, the
+// sorted partner slices and the persistent worker pool must reproduce
+// the seed behaviour bit-for-bit, so this constant locks them to it.
+const goldenRunDigest = 0x69f13e37ed3614b0
+
+// TestRunDigestMatchesGolden locks the loss-free RNG-draw order and
+// fluid arithmetic across the perf refactors.
+func TestRunDigestMatchesGolden(t *testing.T) {
+	got := digestScenario(t, 0)
+	t.Logf("digest = %#x", got)
+	if goldenRunDigest != 0 && got != goldenRunDigest {
+		t.Fatalf("run digest %#x differs from pre-optimisation golden %#x", got, goldenRunDigest)
+	}
+}
+
+// TestRunDigestIndependentOfGOMAXPROCS pins the shard-ownership
+// contract of the persistent worker pool: the same scenario must
+// produce bit-identical results serial (GOMAXPROCS=1, every shard runs
+// inline) and parallel (GOMAXPROCS=8, shards hand off to pool workers).
+func TestRunDigestIndependentOfGOMAXPROCS(t *testing.T) {
+	orig := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(orig)
+	serial := digestScenario(t, 0.1)
+	runtime.GOMAXPROCS(8)
+	parallel := digestScenario(t, 0.1)
+	if serial != parallel {
+		t.Fatalf("digest differs across GOMAXPROCS: serial %#x vs parallel %#x", serial, parallel)
+	}
+}
+
+// TestControlLossRunsAreReproducible is the regression test for the
+// refreshBMs determinism bug: with ControlLossProb > 0 the seed code
+// drew n.rng.Bool inside a map-ordered loop, making whole runs depend
+// on Go's randomized map iteration. Two same-seed runs must now agree.
+func TestControlLossRunsAreReproducible(t *testing.T) {
+	a := digestScenario(t, 0.2)
+	b := digestScenario(t, 0.2)
+	if a != b {
+		t.Fatalf("same-seed runs with ControlLossProb>0 diverged: %#x vs %#x", a, b)
+	}
+}

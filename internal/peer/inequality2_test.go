@@ -31,12 +31,12 @@ func TestInequality2SwitchesFromLaggingParent(t *testing.T) {
 	// a partner so bestPartnerH tracks the live edge.
 	now := engine.Now()
 	if _, ok := child.Partners[laggard.ID]; !ok {
-		child.Partners[laggard.ID] = &Partner{Outgoing: true, BM: laggard.BufferMap(child.ID), BMAt: now, EstablishedAt: now}
-		laggard.Partners[child.ID] = &Partner{Outgoing: false, BM: child.BufferMap(laggard.ID), BMAt: now, EstablishedAt: now}
+		child.setPartner(laggard.ID, &Partner{Outgoing: true, BM: laggard.BufferMap(child.ID), BMAt: now, EstablishedAt: now})
+		laggard.setPartner(child.ID, &Partner{Outgoing: false, BM: child.BufferMap(laggard.ID), BMAt: now, EstablishedAt: now})
 	}
 	if _, ok := child.Partners[srv.ID]; !ok {
-		child.Partners[srv.ID] = &Partner{Outgoing: true, BM: srv.BufferMap(child.ID), BMAt: now, EstablishedAt: now}
-		srv.Partners[child.ID] = &Partner{Outgoing: false, BM: child.BufferMap(srv.ID), BMAt: now, EstablishedAt: now}
+		child.setPartner(srv.ID, &Partner{Outgoing: true, BM: srv.BufferMap(child.ID), BMAt: now, EstablishedAt: now})
+		srv.setPartner(child.ID, &Partner{Outgoing: false, BM: child.BufferMap(srv.ID), BMAt: now, EstablishedAt: now})
 	}
 	for j := range child.Subs {
 		if old := child.Subs[j].Parent; old != NoParent {

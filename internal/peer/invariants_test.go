@@ -39,7 +39,7 @@ func checkInvariants(t *testing.T, w *World) {
 			// crash departures its *children list* may stay populated
 			// until the orphans detect the loss, but the entries must
 			// then point back at it.
-			if len(n.Partners) != 0 {
+			if len(n.Partners) != 0 || len(n.partnerIDs) != 0 {
 				t.Fatalf("departed node %d still has partners", n.ID)
 			}
 			for j := range n.Subs {
@@ -91,6 +91,19 @@ func checkInvariants(t *testing.T, w *World) {
 				}
 				seen[cur] = true
 				cur = w.nodes[cur].Subs[j].Parent
+			}
+		}
+		// partnerIDs mirrors the Partners keys, sorted ascending.
+		if len(n.partnerIDs) != len(n.Partners) {
+			t.Fatalf("node %d partnerIDs len %d vs Partners len %d",
+				n.ID, len(n.partnerIDs), len(n.Partners))
+		}
+		for i, pid := range n.partnerIDs {
+			if _, ok := n.Partners[pid]; !ok {
+				t.Fatalf("node %d partnerIDs has %d not in Partners", n.ID, pid)
+			}
+			if i > 0 && n.partnerIDs[i-1] >= pid {
+				t.Fatalf("node %d partnerIDs not strictly sorted: %v", n.ID, n.partnerIDs)
 			}
 		}
 		// Partnership symmetry (dangling links to crashed partners are

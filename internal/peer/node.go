@@ -90,9 +90,23 @@ type Node struct {
 	// Retries is how many failed sessions this user had before this one.
 	Retries int
 
-	// Membership and partnership state.
+	// Membership and partnership state. Partners must be mutated only
+	// through setPartner/delPartner/clearPartners so partnerIDs stays
+	// in sync.
 	MCache   *gossip.MCache
 	Partners map[int]*Partner
+	// partnerIDs mirrors the keys of Partners in ascending order,
+	// maintained incrementally so the hot control paths (BM refresh,
+	// gossip, subscribe, adaptation) iterate partners deterministically
+	// without a per-call map→slice→sort round trip. partnerList holds
+	// the matching values at the same positions, sparing those paths a
+	// map lookup per partner per tick.
+	partnerIDs  []int
+	partnerList []*Partner
+	// bmDue is a conservative lower bound on the next time any partner
+	// BM refresh (or failure detection) can be due; refreshBMs skips its
+	// scan entirely before then. Zero means "scan now".
+	bmDue sim.Time
 
 	// Subs has one entry per sub-stream.
 	Subs []Subscription
@@ -132,7 +146,59 @@ type Node struct {
 	// the overlay-stability metric (§V-E's third scalability factor).
 	partnerChanges int
 
+	// topo points at the owning World's topology cache so the child
+	// registry mutators can bump sub-stream epochs; nil for detached
+	// nodes built in unit tests.
+	topo *topoCache
+
+	// Per-node scratch reused across ticks so the steady-state hot
+	// paths allocate nothing: the allocation phase's demand/slot
+	// vectors and water-filler, and subscribe's candidate list.
+	allocDemands []netmodel.Demand
+	allocSlots   []allocSlot
+	filler       netmodel.Filler
+	candScratch  []int
+
 	rng *xrand.RNG
+}
+
+// allocSlot addresses one (child, sub-stream) transmission in the
+// allocation phase.
+type allocSlot struct{ child, sub int }
+
+// setPartner installs or replaces a partnership, keeping partnerIDs
+// sorted and partnerList aligned with it.
+func (n *Node) setPartner(pid int, p *Partner) {
+	i := sort.SearchInts(n.partnerIDs, pid)
+	if _, ok := n.Partners[pid]; !ok {
+		n.partnerIDs = append(n.partnerIDs, 0)
+		copy(n.partnerIDs[i+1:], n.partnerIDs[i:])
+		n.partnerIDs[i] = pid
+		n.partnerList = append(n.partnerList, nil)
+		copy(n.partnerList[i+1:], n.partnerList[i:])
+	}
+	n.partnerList[i] = p
+	n.Partners[pid] = p
+	n.bmDue = 0 // the new partner's refresh schedule starts fresh
+}
+
+// delPartner removes a partnership if present, keeping partnerIDs
+// sorted and partnerList aligned.
+func (n *Node) delPartner(pid int) {
+	if _, ok := n.Partners[pid]; !ok {
+		return
+	}
+	delete(n.Partners, pid)
+	i := sort.SearchInts(n.partnerIDs, pid)
+	n.partnerIDs = append(n.partnerIDs[:i], n.partnerIDs[i+1:]...)
+	n.partnerList = append(n.partnerList[:i], n.partnerList[i+1:]...)
+}
+
+// clearPartners drops every partnership (departure teardown).
+func (n *Node) clearPartners() {
+	n.Partners = make(map[int]*Partner)
+	n.partnerIDs = n.partnerIDs[:0]
+	n.partnerList = n.partnerList[:0]
 }
 
 // IsServer reports whether the node is part of the source/server tier.
@@ -186,15 +252,25 @@ func (n *Node) MinH() float64 {
 // latest sequence per sub-stream, plus which sub-streams the node
 // pulls from the given partner.
 func (n *Node) BufferMap(towards int) buffer.BufferMap {
-	bm := buffer.NewBufferMap(len(n.Subs))
-	for i, s := range n.Subs {
-		bm.Latest[i] = int64(s.H)
-		bm.Subscribed[i] = s.Parent == towards
-	}
+	var bm buffer.BufferMap
+	n.fillBufferMap(&bm, towards)
 	return bm
 }
 
-// addChild registers a child on sub-stream j, keeping order sorted.
+// fillBufferMap writes the node's current BM into bm in place,
+// reusing bm's storage — the allocation-free path of the periodic BM
+// refresh.
+func (n *Node) fillBufferMap(bm *buffer.BufferMap, towards int) {
+	bm.Reset(len(n.Subs))
+	for i := range n.Subs {
+		s := &n.Subs[i]
+		bm.Latest[i] = int64(s.H)
+		bm.Subscribed[i] = s.Parent == towards
+	}
+}
+
+// addChild registers a child on sub-stream j, keeping order sorted,
+// and invalidates the sub-stream's cached traversal order.
 func (n *Node) addChild(j, child int) {
 	cs := n.children[j]
 	i := sort.SearchInts(cs, child)
@@ -205,14 +281,21 @@ func (n *Node) addChild(j, child int) {
 	copy(cs[i+1:], cs[i:])
 	cs[i] = child
 	n.children[j] = cs
+	if n.topo != nil {
+		n.topo.bump(j)
+	}
 }
 
-// removeChild deregisters a child on sub-stream j.
+// removeChild deregisters a child on sub-stream j and invalidates the
+// sub-stream's cached traversal order.
 func (n *Node) removeChild(j, child int) {
 	cs := n.children[j]
 	i := sort.SearchInts(cs, child)
 	if i < len(cs) && cs[i] == child {
 		n.children[j] = append(cs[:i], cs[i+1:]...)
+		if n.topo != nil {
+			n.topo.bump(j)
+		}
 	}
 }
 

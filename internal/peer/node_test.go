@@ -47,12 +47,24 @@ func TestAddRemoveChildSorted(t *testing.T) {
 
 func TestPartnerCounts(t *testing.T) {
 	n := testNode(2)
-	n.Partners[2] = &Partner{Outgoing: true}
-	n.Partners[3] = &Partner{Outgoing: true}
-	n.Partners[4] = &Partner{Outgoing: false}
+	n.setPartner(4, &Partner{Outgoing: false})
+	n.setPartner(2, &Partner{Outgoing: true})
+	n.setPartner(3, &Partner{Outgoing: true})
 	in, out := n.PartnerCounts()
 	if in != 1 || out != 2 {
 		t.Fatalf("in=%d out=%d", in, out)
+	}
+	if len(n.partnerIDs) != 3 || n.partnerIDs[0] != 2 || n.partnerIDs[1] != 3 || n.partnerIDs[2] != 4 {
+		t.Fatalf("partnerIDs not sorted: %v", n.partnerIDs)
+	}
+	n.delPartner(3)
+	n.delPartner(99) // absent: no-op
+	if len(n.partnerIDs) != 2 || n.partnerIDs[0] != 2 || n.partnerIDs[1] != 4 {
+		t.Fatalf("partnerIDs after delete: %v", n.partnerIDs)
+	}
+	n.clearPartners()
+	if len(n.Partners) != 0 || len(n.partnerIDs) != 0 {
+		t.Fatalf("clearPartners left state: %v %v", n.Partners, n.partnerIDs)
 	}
 }
 

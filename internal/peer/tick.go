@@ -11,163 +11,165 @@ import (
 //
 //  1. allocation  — parents divide upload capacity (parallel, per node)
 //  2. advance     — H values move along each sub-stream forest
-//     (parallel, per sub-stream, topological)
+//     (parallel, per sub-stream, cached topological order)
 //  3. playback    — deadlines, continuity integration, media-ready
 //     (parallel, per node)
 //  4. accounting  — byte counters (sequential, deterministic)
 //  5. control     — BM exchange, gossip, adaptation, recruiting,
 //     status reports (sequential, ID order)
+//
+// The parallel phases run on sim's persistent worker pool through
+// shard functions bound once at construction, with all per-tick
+// parameters staged in World scratch fields — a steady-state tick
+// allocates nothing and spawns no goroutines.
 func (w *World) tick(prev, now sim.Time) {
 	dt := (now - prev).Seconds()
 	if dt <= 0 {
 		return
 	}
-	ids := w.active // snapshot: phases 1-4 do not change membership
-	w.allocate(ids)
-	w.advance(ids, now, dt)
-	w.playback(ids, dt)
-	w.account(ids)
-	w.control(ids, now)
+	w.tickIDs = w.active // snapshot: phases 1-4 do not change membership
+	w.tickDt = dt
+	w.tickLive = w.liveEdge(now)
+	w.allocate()
+	w.advance()
+	w.playback()
+	w.account(w.tickIDs)
+	w.control(w.tickIDs, now)
 }
 
 // allocate runs the water-filling allocator on every serving node.
 // Each parent writes the allocated rate into its children's
 // subscription slots; a (child, sub-stream) slot has exactly one
 // parent, so the parallel writes never collide.
-func (w *World) allocate(ids []int) {
+func (w *World) allocate() {
+	sim.Parallel(len(w.tickIDs), w.allocateFn)
+}
+
+func (w *World) allocateShard(lo, hi int) {
 	subRate := w.P.Layout.SubRateBps()
 	k := w.P.Layout.K
 	equalSplit := w.P.EqualSplitAllocator()
-	sim.Parallel(len(ids), func(lo, hi int) {
-		demands := make([]netmodel.Demand, 0, 32)
-		type slot struct{ child, sub int }
-		slots := make([]slot, 0, 32)
-		for idx := lo; idx < hi; idx++ {
-			n := w.nodes[ids[idx]]
-			demands = demands[:0]
-			slots = slots[:0]
-			for j := 0; j < k; j++ {
-				for _, c := range n.children[j] {
-					child := w.nodes[c]
-					// The child's downlink bounds what it can absorb on
-					// any lane; a caught-up child additionally only
-					// needs the live sub-stream rate.
-					need := child.EP.DownloadBps / float64(k)
-					if child.Subs[j].H >= n.Subs[j].H-1 && need > subRate {
-						need = subRate
-					}
-					demands = append(demands, netmodel.Demand{Need: need, Weight: 1})
-					slots = append(slots, slot{child: c, sub: j})
+	for idx := lo; idx < hi; idx++ {
+		n := w.nodes[w.tickIDs[idx]]
+		demands := n.allocDemands[:0]
+		slots := n.allocSlots[:0]
+		for j := 0; j < k; j++ {
+			for _, c := range n.children[j] {
+				child := w.nodes[c]
+				// The child's downlink bounds what it can absorb on
+				// any lane; a caught-up child additionally only
+				// needs the live sub-stream rate.
+				need := child.EP.DownloadBps / float64(k)
+				if child.Subs[j].H >= n.Subs[j].H-1 && need > subRate {
+					need = subRate
 				}
-			}
-			if len(demands) == 0 {
-				continue
-			}
-			if equalSplit {
-				// Paper Eq. (5) literally: capacity/D per transmission,
-				// wasting any surplus a caught-up child cannot absorb.
-				rate := netmodel.EqualSplit(n.EP.UploadBps, len(demands))
-				for i, s := range slots {
-					r := rate
-					if r > demands[i].Need {
-						r = demands[i].Need
-					}
-					w.nodes[s.child].Subs[s.sub].RateBps = r
-				}
-				continue
-			}
-			rates := netmodel.WaterFill(n.EP.UploadBps, demands)
-			for i, s := range slots {
-				w.nodes[s.child].Subs[s.sub].RateBps = rates[i]
+				demands = append(demands, netmodel.Demand{Need: need, Weight: 1})
+				slots = append(slots, allocSlot{child: c, sub: j})
 			}
 		}
-	})
+		n.allocDemands = demands
+		n.allocSlots = slots
+		if len(demands) == 0 {
+			continue
+		}
+		if equalSplit {
+			// Paper Eq. (5) literally: capacity/D per transmission,
+			// wasting any surplus a caught-up child cannot absorb.
+			rate := netmodel.EqualSplit(n.EP.UploadBps, len(demands))
+			for i, s := range slots {
+				r := rate
+				if r > demands[i].Need {
+					r = demands[i].Need
+				}
+				w.nodes[s.child].Subs[s.sub].RateBps = r
+			}
+			continue
+		}
+		rates := n.filler.Fill(n.EP.UploadBps, demands)
+		for i, s := range slots {
+			w.nodes[s.child].Subs[s.sub].RateBps = rates[i]
+		}
+	}
 }
 
 // advance moves every H value forward by dt along the per-sub-stream
-// parent forests, top-down so a child is clamped by its parent's
-// already-advanced position. Sub-streams are independent, so the loop
-// parallelises across them.
-func (w *World) advance(ids []int, now sim.Time, dt float64) {
-	live := w.liveEdge(now)
+// parent forests. The seed engine re-walked each forest recursively
+// with per-node closures every tick; here the walk order is a cached
+// flattened edge array (see topo.go) rebuilt only when a sub-stream's
+// topology epoch moved, so the steady-state sweep is linear,
+// branch-light and allocation-free. Sub-streams are independent, so
+// the loop parallelises across them at grain 1.
+func (w *World) advance() {
+	w.ensureTopo()
+	sim.ParallelGrain(w.P.Layout.K, 1, w.advanceFn)
+}
+
+func (w *World) advanceShard(lo, hi int) {
+	live := w.tickLive
+	dt := w.tickDt
 	blockBits := 8 * float64(w.P.Layout.BlockBytes)
-	sim.Parallel(w.P.Layout.K, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			// Roots: servers (pinned to the live edge) and stalled
-			// nodes (frozen H). Then walk children depth-first.
-			var walk func(id int)
-			walk = func(id int) {
-				n := w.nodes[id]
-				for _, c := range n.children[j] {
-					child := w.nodes[c]
-					s := &child.Subs[j]
-					moved := s.RateBps * dt / blockBits
-					newH := s.H + moved
-					if parentH := n.Subs[j].H; newH > parentH {
-						newH = parentH
-					}
-					if newH > live {
-						newH = live
-					}
-					if newH < s.H {
-						newH = s.H
-					}
-					s.movedBlocks += newH - s.H
-					s.H = newH
-					walk(c)
-				}
-			}
-			for _, id := range ids {
-				n := w.nodes[id]
-				if n.IsServer() {
-					n.Subs[j].H = live
-					walk(id)
-					continue
-				}
-				// Roots: no parent, or a parent that crashed without
-				// notification (its subtree freezes until the children
-				// detect the loss and re-select).
-				if p := n.Subs[j].Parent; p == NoParent || w.nodes[p].State == StateDeparted {
-					walk(id)
-				}
-			}
+	nodes := w.nodes
+	for j := lo; j < hi; j++ {
+		// Servers sit pinned at the live edge before their subtrees
+		// advance (they lead every cached edge list they appear in).
+		for _, sid := range w.servers {
+			nodes[sid].Subs[j].H = live
 		}
-	})
+		for _, e := range w.topo.order[j] {
+			s := &nodes[e.child].Subs[j]
+			moved := s.RateBps * dt / blockBits
+			newH := s.H + moved
+			if parentH := nodes[e.parent].Subs[j].H; newH > parentH {
+				newH = parentH
+			}
+			if newH > live {
+				newH = live
+			}
+			if newH < s.H {
+				newH = s.H
+			}
+			s.movedBlocks += newH - s.H
+			s.H = newH
+		}
+	}
 }
 
 // playback advances deadlines, integrates missed blocks, and detects
 // media-ready transitions. Each node touches only its own state.
-func (w *World) playback(ids []int, dt float64) {
+func (w *World) playback() {
+	sim.Parallel(len(w.tickIDs), w.playbackFn)
+}
+
+func (w *World) playbackShard(lo, hi int) {
+	dt := w.tickDt
 	beta := w.P.Layout.SubBlocksPerSecond()
 	readyBlocks := w.P.ReadyBlocks()
-	sim.Parallel(len(ids), func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			n := w.nodes[ids[idx]]
-			if n.IsServer() {
-				continue
-			}
-			switch n.State {
-			case StateSubscribing:
-				if n.MinH() >= n.startPos+readyBlocks {
-					n.State = StateReady
-					n.ReadyAt = w.Engine.Now()
-					n.playDeadline = n.startPos
-					n.readyPending = true
-				}
-			case StateReady:
-				d0 := n.playDeadline
-				d1 := d0 + beta*dt
-				for j := range n.Subs {
-					s := &n.Subs[j]
-					h0 := s.H - s.movedBlocks
-					rho := s.movedBlocks / dt
-					n.missedBlocks += missedSeq(h0, rho, d0, d1, beta)
-					n.totalBlocks += d1 - d0
-				}
-				n.playDeadline = d1
-			}
+	for idx := lo; idx < hi; idx++ {
+		n := w.nodes[w.tickIDs[idx]]
+		if n.IsServer() {
+			continue
 		}
-	})
+		switch n.State {
+		case StateSubscribing:
+			if n.MinH() >= n.startPos+readyBlocks {
+				n.State = StateReady
+				n.ReadyAt = w.Engine.Now()
+				n.playDeadline = n.startPos
+				n.readyPending = true
+			}
+		case StateReady:
+			d0 := n.playDeadline
+			d1 := d0 + beta*dt
+			for j := range n.Subs {
+				s := &n.Subs[j]
+				h0 := s.H - s.movedBlocks
+				rho := s.movedBlocks / dt
+				n.missedBlocks += missedSeq(h0, rho, d0, d1, beta)
+				n.totalBlocks += d1 - d0
+			}
+			n.playDeadline = d1
+		}
+	}
 }
 
 // account drains per-subscription movedBlocks into the byte counters
@@ -196,10 +198,10 @@ func (w *World) account(ids []int) {
 
 // control runs the per-node protocol logic in deterministic ID order.
 // Nodes may depart (stall-abandon) or change subscriptions here, so it
-// iterates a snapshot and re-checks liveness.
+// iterates a reusable snapshot and re-checks liveness.
 func (w *World) control(ids []int, now sim.Time) {
-	snapshot := append([]int(nil), ids...)
-	for _, id := range snapshot {
+	w.controlIDs = append(w.controlIDs[:0], ids...)
+	for _, id := range w.controlIDs {
 		n := w.nodes[id]
 		if n.State == StateDeparted || n.IsServer() {
 			continue
@@ -230,17 +232,37 @@ func (w *World) control(ids []int, now sim.Time) {
 // refreshBMs updates cached partner buffer maps that are due. With
 // control loss enabled, a due refresh may be skipped, leaving the view
 // one period staler.
+//
+// Iteration follows the sorted partner-ID slice: the seed ranged over
+// the Partners map while drawing from n.rng inside the loop, so with
+// control loss enabled the RNG stream — and hence the whole run —
+// depended on Go's randomized map iteration order.
 func (w *World) refreshBMs(n *Node, now sim.Time) {
-	for pid, p := range n.Partners {
+	if now < n.bmDue {
+		// Nothing can be due yet (bmDue is a conservative lower bound
+		// maintained below and reset on partner establishment), so the
+		// whole scan — including its failure-detection side effects,
+		// which only ever fire on due entries — is a provable no-op.
+		return
+	}
+	due := sim.Time(0)
+	for i := 0; i < len(n.partnerIDs); {
+		pid := n.partnerIDs[i]
+		p := n.partnerList[i]
 		if now-p.BMAt < w.P.BMPeriod {
+			if next := p.BMAt + w.P.BMPeriod; due == 0 || next < due {
+				due = next
+			}
+			i++
 			continue
 		}
 		partner := w.nodes[pid]
 		if partner.State == StateDeparted {
 			// Crash detection: the BM exchange fails, the partnership
 			// is torn down, and any sub-stream served by the corpse is
-			// marked stalled.
-			delete(n.Partners, pid)
+			// marked stalled. delPartner shifts the slice left, so i
+			// stays put.
+			n.delPartner(pid)
 			n.partnerChanges++
 			for j := range n.Subs {
 				if n.Subs[j].Parent == pid {
@@ -253,11 +275,21 @@ func (w *World) refreshBMs(n *Node, now sim.Time) {
 		}
 		if w.P.ControlLossProb > 0 && n.rng.Bool(w.P.ControlLossProb) {
 			p.BMAt = now // the exchange round happened but was lost
-			continue
+		} else {
+			partner.fillBufferMap(&p.BM, n.ID)
+			p.BMAt = now
 		}
-		p.BM = partner.BufferMap(n.ID)
-		p.BMAt = now
+		if next := p.BMAt + w.P.BMPeriod; due == 0 || next < due {
+			due = next
+		}
+		i++
 	}
+	if due == 0 {
+		// No partners left: any future partner resets bmDue to zero at
+		// establishment, so this bound can be a full period out.
+		due = now + w.P.BMPeriod
+	}
+	n.bmDue = due
 }
 
 // gossipStep merges membership knowledge with one random partner.
@@ -271,30 +303,16 @@ func (w *World) gossipStep(n *Node, now sim.Time) {
 	if partner.State == StateDeparted {
 		return // detected and torn down at the next BM refresh
 	}
-	for _, e := range partner.MCache.Sample(4, map[int]bool{n.ID: true}) {
+	for _, e := range partner.MCache.Sample(4, n.ID, nil) {
 		n.MCache.Insert(e, now)
 	}
 	partner.MCache.Insert(w.bootEntry(n), now)
 }
 
 func (n *Node) pickRandomPartner() int {
-	// Deterministic choice: collect IDs in sorted order, then draw.
-	ids := make([]int, 0, len(n.Partners))
-	for pid := range n.Partners {
-		ids = append(ids, pid)
-	}
-	sortInts(ids)
-	return ids[n.rng.Intn(len(ids))]
-}
-
-func sortInts(xs []int) {
-	// Insertion sort: partner sets are tiny and this avoids pulling in
-	// sort for a hot path.
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
+	// partnerIDs is maintained sorted, so the draw is deterministic
+	// with no per-call collect-and-sort.
+	return n.partnerIDs[n.rng.Intn(len(n.partnerIDs))]
 }
 
 // bestPartnerH returns the max of max-latest over all partners' cached
@@ -302,7 +320,7 @@ func sortInts(xs []int) {
 func (n *Node) bestPartnerH() (int64, bool) {
 	var best int64
 	found := false
-	for _, p := range n.Partners {
+	for _, p := range n.partnerList {
 		if m := p.BM.MaxLatest(); !found || m > best {
 			best = m
 			found = true
@@ -340,6 +358,16 @@ func (w *World) tryInitialSubscription(n *Node, now sim.Time) {
 // fillStalledSubstreams re-subscribes sub-streams without a parent;
 // this is not rate-limited by Ta (there is nothing to disrupt).
 func (w *World) fillStalledSubstreams(n *Node) {
+	stalled := false
+	for j := range n.Subs {
+		if n.Subs[j].Parent == NoParent {
+			stalled = true
+			break
+		}
+	}
+	if !stalled {
+		return // the common case: skip the partner-BM max scan entirely
+	}
 	best, ok := n.bestPartnerH()
 	if !ok {
 		return
@@ -357,14 +385,9 @@ func (w *World) fillStalledSubstreams(n *Node) {
 // and not create a cycle. Among several eligible partners the choice
 // is random (the paper's randomized selection).
 func (w *World) subscribe(n *Node, j int, best int64) bool {
-	cands := make([]int, 0, len(n.Partners))
-	ids := make([]int, 0, len(n.Partners))
-	for pid := range n.Partners {
-		ids = append(ids, pid)
-	}
-	sortInts(ids)
-	for _, pid := range ids {
-		p := n.Partners[pid]
+	cands := n.candScratch[:0]
+	for i, pid := range n.partnerIDs {
+		p := n.partnerList[i]
 		if p.BM.K() != w.P.Layout.K {
 			continue
 		}
@@ -383,6 +406,7 @@ func (w *World) subscribe(n *Node, j int, best int64) bool {
 		}
 		cands = append(cands, pid)
 	}
+	n.candScratch = cands
 	if len(cands) == 0 {
 		return false
 	}

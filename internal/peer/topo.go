@@ -1,0 +1,110 @@
+package peer
+
+// The fluid data plane advances H values along the per-sub-stream
+// parent forests every tick, but the forests themselves change orders
+// of magnitude more slowly — overlay adaptation is rate-limited by Ta,
+// BM periods and churn, while the tick clock runs every second. The
+// topology cache exploits that separation: each sub-stream carries an
+// epoch counter bumped by every structural mutation (child add/remove,
+// departures, crash teardown), and the advance phase consumes a
+// flattened parent→child edge array in topological (pre-)order that is
+// rebuilt lazily only when the epoch moved. At steady state the
+// recursive forest walk of the seed engine becomes a branch-light
+// linear sweep over a cached array, with zero closure allocations, and
+// sub-streams parallelise over the persistent worker pool.
+//
+// Determinism contract: epochs are bumped and orders rebuilt only in
+// sequential phases (control, discrete events); the parallel advance
+// phase is read-only on the cache. Any topological order yields
+// bit-identical H values because each edge's update depends only on
+// the child's state and its parent's already-advanced position.
+
+// edge is one parent→child link of a sub-stream forest. IDs are int32
+// to halve the cache footprint of the hot sweep; the simulator would
+// exhaust memory long before node IDs overflow 31 bits.
+type edge struct {
+	parent, child int32
+}
+
+// topoCache holds the per-sub-stream epoch counters and the cached
+// flattened traversal orders. It is owned by the World; every Node
+// keeps a pointer so the child-registry mutators can bump epochs
+// without reaching through the World.
+type topoCache struct {
+	// epoch[j] counts structural mutations of sub-stream j's forest.
+	// Starts at 1 so a zeroed builtEpoch is always stale.
+	epoch []uint64
+	// builtEpoch[j] is the epoch order[j] was flattened at.
+	builtEpoch []uint64
+	// order[j] is the parent→child edge list of sub-stream j in
+	// pre-order from the forest roots: a valid topological order.
+	order [][]edge
+}
+
+func newTopoCache(k int) *topoCache {
+	t := &topoCache{
+		epoch:      make([]uint64, k),
+		builtEpoch: make([]uint64, k),
+		order:      make([][]edge, k),
+	}
+	for j := range t.epoch {
+		t.epoch[j] = 1
+	}
+	return t
+}
+
+// bump invalidates sub-stream j's cached order.
+func (t *topoCache) bump(j int) { t.epoch[j]++ }
+
+// bumpAll invalidates every sub-stream (node departure: the active
+// set and root determination change for all forests at once).
+func (t *topoCache) bumpAll() {
+	for j := range t.epoch {
+		t.epoch[j]++
+	}
+}
+
+// ensureTopo rebuilds every stale flattened order. Called sequentially
+// at the top of the advance phase.
+func (w *World) ensureTopo() {
+	for j := range w.topo.epoch {
+		if w.topo.builtEpoch[j] != w.topo.epoch[j] {
+			w.rebuildTopo(j)
+		}
+	}
+}
+
+// rebuildTopo re-flattens sub-stream j's forests into pre-order edge
+// lists, reusing the previous array's storage. Roots are servers
+// (pinned to the live edge each tick), parentless nodes, and nodes
+// whose parent crashed without notification (their subtrees freeze
+// until adaptation re-selects) — exactly the roots the seed engine's
+// recursive walk started from.
+func (w *World) rebuildTopo(j int) {
+	order := w.topo.order[j][:0]
+	for _, id := range w.active {
+		n := w.nodes[id]
+		root := n.IsServer()
+		if !root {
+			p := n.Subs[j].Parent
+			root = p == NoParent || w.nodes[p].State == StateDeparted
+		}
+		if root {
+			order = appendSubtree(order, w.nodes, j, id)
+		}
+	}
+	w.topo.order[j] = order
+	w.topo.builtEpoch[j] = w.topo.epoch[j]
+}
+
+// appendSubtree emits id's sub-stream-j subtree edges in pre-order.
+// Active nodes' child registries are exact (only departed nodes keep
+// dangling lists, and those are never roots nor reachable), so every
+// attached node is visited exactly once.
+func appendSubtree(order []edge, nodes []*Node, j, id int) []edge {
+	for _, c := range nodes[id].children[j] {
+		order = append(order, edge{int32(id), int32(c)})
+		order = appendSubtree(order, nodes, j, c)
+	}
+	return order
+}

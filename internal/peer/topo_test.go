@@ -1,0 +1,144 @@
+package peer
+
+import (
+	"testing"
+
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// referenceTopo recomputes sub-stream j's flattened pre-order edge list
+// from scratch with an independent recursive walk — the oracle the
+// cached incremental order must always match.
+func referenceTopo(w *World, j int) []edge {
+	var order []edge
+	var walk func(id int)
+	walk = func(id int) {
+		for _, c := range w.nodes[id].children[j] {
+			order = append(order, edge{int32(id), int32(c)})
+			walk(c)
+		}
+	}
+	for _, id := range w.active {
+		n := w.nodes[id]
+		root := n.IsServer()
+		if !root {
+			p := n.Subs[j].Parent
+			root = p == NoParent || w.nodes[p].State == StateDeparted
+		}
+		if root {
+			walk(id)
+		}
+	}
+	return order
+}
+
+func checkTopoCache(t *testing.T, w *World) {
+	t.Helper()
+	w.ensureTopo()
+	for j := 0; j < w.P.Layout.K; j++ {
+		want := referenceTopo(w, j)
+		got := w.topo.order[j]
+		if len(got) != len(want) {
+			t.Fatalf("sub %d: cached order has %d edges, reference %d\ncached: %v\nref: %v",
+				j, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sub %d edge %d: cached %v, reference %v", j, i, got[i], want[i])
+			}
+		}
+		// Topological-order property: every parent is a server or was
+		// emitted as a child earlier in the list.
+		seen := make(map[int32]bool)
+		for i, e := range got {
+			if !w.nodes[e.parent].IsServer() && !seen[e.parent] {
+				// Non-server roots (parentless / crashed-parent nodes)
+				// are also legal sweep anchors: their own H does not
+				// advance, matching the reference walk's root set.
+				n := w.nodes[e.parent]
+				p := n.Subs[j].Parent
+				if p != NoParent && w.nodes[p].State != StateDeparted {
+					t.Fatalf("sub %d edge %d: parent %d appears before being reached", j, i, e.parent)
+				}
+			}
+			seen[e.child] = true
+		}
+	}
+}
+
+// TestTopoCacheMatchesRecursiveWalk interleaves the full mutation
+// vocabulary — joins, subscriptions, adaptation, graceful departures,
+// crashes, stall-abandons — and after every tick compares each
+// sub-stream's cached flattened order against a freshly recomputed
+// recursive reference walk.
+func TestTopoCacheMatchesRecursiveWalk(t *testing.T) {
+	w, engine, _ := testWorld(t, 909)
+	w.CrashProb = 0.5 // plenty of no-notification teardowns
+	for i := 0; i < 3; i++ {
+		w.AddServer(10 * testRate)
+	}
+	engine.Run(20 * sim.Second)
+	prof := netmodel.DefaultCapacityProfile(testRate)
+	rng := w.rng.SplitLabeled("topo-test")
+	for i := 0; i < 80; i++ {
+		i := i
+		at := 20*sim.Second + sim.Time(i%25)*2*sim.Second
+		engine.Schedule(at, func() {
+			class := netmodel.UserClass(rng.Intn(4))
+			watch := sim.Time(15+rng.Intn(150)) * sim.Second
+			w.Join(5000+i, prof.Draw(class, rng), watch, 2, 0)
+		})
+	}
+	engine.OnTick(func(_, _ sim.Time) { checkTopoCache(t, w) })
+	engine.Run(4 * sim.Minute)
+	if w.JoinedSessions < 80 {
+		t.Fatalf("only %d sessions", w.JoinedSessions)
+	}
+	departed := 0
+	for _, n := range w.Nodes() {
+		if n.State == StateDeparted {
+			departed++
+		}
+	}
+	if departed < 30 {
+		t.Fatalf("churn too weak to exercise teardown rebuilds: %d departed", departed)
+	}
+}
+
+// TestTopoCacheReuseAcrossQuietTicks pins the core caching property:
+// when no structural mutation happens between ticks, ensureTopo must
+// not rebuild (epochs unchanged ⟹ builtEpoch untouched).
+func TestTopoCacheReuseAcrossQuietTicks(t *testing.T) {
+	w, engine, _ := testWorld(t, 910)
+	w.AddServer(10 * testRate)
+	prof := netmodel.DefaultCapacityProfile(testRate)
+	rng := w.rng.SplitLabeled("quiet")
+	for i := 0; i < 10; i++ {
+		i := i
+		engine.Schedule(sim.Time(i)*sim.Second, func() {
+			w.Join(6000+i, prof.Draw(netmodel.Direct, rng), sim.Hour, 1, 0)
+		})
+	}
+	// Long settle: the overlay converges, adaptation goes quiet.
+	engine.Run(3 * sim.Minute)
+	w.ensureTopo()
+	before := append([]uint64(nil), w.topo.builtEpoch...)
+	rebuilds := 0
+	engine.OnTick(func(_, _ sim.Time) {
+		for j, e := range w.topo.builtEpoch {
+			if e != before[j] {
+				rebuilds++
+				before[j] = e
+			}
+		}
+	})
+	engine.Run(3*sim.Minute + 30*sim.Second)
+	// A converged overlay with hour-long watches must coast on the
+	// cache nearly every tick; allow a handful of rebuilds for late
+	// adaptation, but 30 ticks × K sub-streams of rebuilds means the
+	// epochs are being bumped spuriously.
+	if rebuilds > 3*w.P.Layout.K {
+		t.Fatalf("cache thrashing: %d rebuilds in 30 quiet seconds", rebuilds)
+	}
+}

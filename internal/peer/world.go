@@ -27,7 +27,23 @@ type World struct {
 	rng      *xrand.RNG
 	nodes    []*Node
 	active   []int // sorted IDs of active nodes (servers included)
+	servers  []int // IDs of the server tier, in creation order (never departs)
 	sessions int
+
+	// topo caches the flattened per-sub-stream traversal orders the
+	// advance phase sweeps; see topo.go for the epoch contract.
+	topo *topoCache
+
+	// Persistent per-phase shard functions and per-tick scratch: the
+	// parallel phases hand the same closures to the worker pool every
+	// tick, so steady-state ticks allocate nothing.
+	allocateFn func(lo, hi int)
+	advanceFn  func(lo, hi int)
+	playbackFn func(lo, hi int)
+	tickIDs    []int
+	controlIDs []int
+	tickDt     float64
+	tickLive   float64
 
 	// leaveEv and timeoutEv track cancellable per-node events.
 	leaveEv   map[int]*sim.Event
@@ -77,7 +93,11 @@ func NewWorld(p Params, engine *sim.Engine, sink logsys.Sink, latency netmodel.L
 		StallContinuity:  0.85,
 		StallAbandonProb: 0.7,
 		CrashProb:        0.3,
+		topo:             newTopoCache(p.Layout.K),
 	}
+	w.allocateFn = w.allocateShard
+	w.advanceFn = w.advanceShard
+	w.playbackFn = w.playbackShard
 	engine.OnTick(w.tick)
 	return w, nil
 }
@@ -119,6 +139,7 @@ func (w *World) newNode(ep netmodel.Endpoint, userID int) *Node {
 		Partners: make(map[int]*Partner),
 		Subs:     make([]Subscription, w.P.Layout.K),
 		children: make([][]int, w.P.Layout.K),
+		topo:     w.topo,
 		rng:      w.rng.SplitLabeled(fmt.Sprintf("node-%d", id)),
 	}
 	for j := range n.Subs {
@@ -161,6 +182,7 @@ func (w *World) AddServer(uploadBps float64) *Node {
 	for j := range n.Subs {
 		n.Subs[j].H = live
 	}
+	w.servers = append(w.servers, n.ID)
 	w.Boot.Join(w.bootEntry(n), w.Engine.Now())
 	w.Boot.RegisterServer(n.ID)
 	return n
@@ -304,15 +326,20 @@ func (w *World) departMode(n *Node, reason string, graceful bool) {
 			}
 			n.children[j] = nil
 		}
-		// Partners drop the link.
-		for pid := range n.Partners {
-			delete(w.nodes[pid].Partners, n.ID)
+		// Partners drop the link (ascending ID order; the seed ranged
+		// over the map, but no randomness is drawn here so the log
+		// stream is unchanged).
+		for _, pid := range n.partnerIDs {
+			w.nodes[pid].delPartner(n.ID)
 			w.nodes[pid].partnerChanges++
 		}
 	}
 	// On a crash, children and partner back-pointers stay dangling;
 	// refreshBMs and the adaptation inequalities clean them up lazily.
-	n.Partners = make(map[int]*Partner)
+	n.clearPartners()
+	// Every forest changes shape at once: the node's own edges are
+	// gone (graceful) or frozen out of the active root set (crash).
+	w.topo.bumpAll()
 	w.log(n, logsys.Record{Kind: logsys.KindLeave, Reason: reason})
 }
 
@@ -356,11 +383,9 @@ func (w *World) recruit(n *Node) {
 	if want <= 0 {
 		return
 	}
-	exclude := map[int]bool{n.ID: true}
-	for pid := range n.Partners {
-		exclude[pid] = true
-	}
-	for _, e := range n.MCache.Sample(want, exclude) {
+	// The sorted partner-ID slice doubles as the exclusion set — no
+	// per-call map needed.
+	for _, e := range n.MCache.Sample(want, n.ID, n.partnerIDs) {
 		w.attemptPartnership(n, e.ID)
 	}
 }
@@ -399,18 +424,18 @@ func (w *World) attemptPartnership(n *Node, targetID int) {
 			return
 		}
 		now := w.Engine.Now()
-		n.Partners[targetID] = &Partner{
+		n.setPartner(targetID, &Partner{
 			Outgoing:      true,
 			BM:            target.BufferMap(n.ID),
 			BMAt:          now,
 			EstablishedAt: now,
-		}
-		target.Partners[n.ID] = &Partner{
+		})
+		target.setPartner(n.ID, &Partner{
 			Outgoing:      false,
 			BM:            n.BufferMap(targetID),
 			BMAt:          now,
 			EstablishedAt: now,
-		}
+		})
 		n.partnerChanges++
 		target.partnerChanges++
 		// Membership gossip piggybacks on establishment.

@@ -154,8 +154,8 @@ func TestAdaptationSwitchesAwayFromWeakParent(t *testing.T) {
 	// ensure they are partners first.
 	now := engine.Now()
 	if _, ok := child.Partners[weak.ID]; !ok {
-		child.Partners[weak.ID] = &Partner{Outgoing: true, BM: weak.BufferMap(child.ID), BMAt: now, EstablishedAt: now}
-		weak.Partners[child.ID] = &Partner{Outgoing: false, BM: child.BufferMap(weak.ID), BMAt: now, EstablishedAt: now}
+		child.setPartner(weak.ID, &Partner{Outgoing: true, BM: weak.BufferMap(child.ID), BMAt: now, EstablishedAt: now})
+		weak.setPartner(child.ID, &Partner{Outgoing: false, BM: child.BufferMap(weak.ID), BMAt: now, EstablishedAt: now})
 	}
 	if old := child.Subs[0].Parent; old != NoParent {
 		w.Node(old).removeChild(0, child.ID)
@@ -188,8 +188,8 @@ func TestDepartStallsChildrenThenTheyRecover(t *testing.T) {
 	// Rewire child sub 0 under parent.
 	now := engine.Now()
 	if _, ok := child.Partners[parent.ID]; !ok {
-		child.Partners[parent.ID] = &Partner{Outgoing: true, BM: parent.BufferMap(child.ID), BMAt: now, EstablishedAt: now}
-		parent.Partners[child.ID] = &Partner{Outgoing: false, BM: child.BufferMap(parent.ID), BMAt: now, EstablishedAt: now}
+		child.setPartner(parent.ID, &Partner{Outgoing: true, BM: parent.BufferMap(child.ID), BMAt: now, EstablishedAt: now})
+		parent.setPartner(child.ID, &Partner{Outgoing: false, BM: child.BufferMap(parent.ID), BMAt: now, EstablishedAt: now})
 	}
 	if old := child.Subs[0].Parent; old != NoParent {
 		w.Node(old).removeChild(0, child.ID)

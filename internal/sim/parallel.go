@@ -3,16 +3,122 @@ package sim
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Parallel partitions [0, n) into contiguous shards and runs fn on
-// each shard from a pool of GOMAXPROCS workers, then waits for all of
-// them. fn(lo, hi) must touch only state owned by indices [lo, hi), so
-// the result is independent of scheduling — the simulator stays
-// deterministic at any GOMAXPROCS.
+// The package keeps one persistent, lazily-started worker pool shared
+// by all Parallel/ParallelReduce callers. Steady-state ticks therefore
+// spawn zero goroutines: shards are handed to parked workers over an
+// unbuffered channel, and the submitting goroutine always executes the
+// first shard itself. Determinism is unaffected — shard boundaries
+// depend only on (n, GOMAXPROCS), and the contract that fn(lo, hi)
+// touches only state owned by [lo, hi) makes results independent of
+// which worker runs which shard.
 //
-// For small n the call runs inline to avoid goroutine overhead.
+// Submission is non-blocking: a shard is handed off only to a worker
+// that is already parked in receive; otherwise the caller runs it
+// inline. This keeps nested or concurrent Parallel calls deadlock-free
+// (a fixed-size pool with blocking submission could have every worker
+// waiting on a sub-call's shards).
+
+type shardTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	done   chan<- struct{}
+}
+
+var (
+	poolMu   sync.Mutex
+	poolCh   chan shardTask
+	poolSize atomic.Int64
+)
+
+// donePool recycles completion channels so a steady-state Parallel
+// call performs no allocations. The buffer bounds how far workers can
+// run ahead of the caller's drain loop; a smaller buffer would still
+// be correct (workers would briefly block on the send), just slower.
+var donePool = sync.Pool{New: func() any { return make(chan struct{}, 256) }}
+
+func poolWorker(ch chan shardTask) {
+	for t := range ch {
+		t.fn(t.lo, t.hi)
+		t.done <- struct{}{}
+	}
+}
+
+// ensurePool grows the worker pool to at least `workers` goroutines
+// and returns the submission channel. Workers are never torn down;
+// they park on channel receive between ticks.
+func ensurePool(workers int) chan shardTask {
+	if int(poolSize.Load()) >= workers && poolCh != nil {
+		return poolCh
+	}
+	poolMu.Lock()
+	if poolCh == nil {
+		poolCh = make(chan shardTask)
+	}
+	for int(poolSize.Load()) < workers {
+		go poolWorker(poolCh)
+		poolSize.Add(1)
+	}
+	ch := poolCh
+	poolMu.Unlock()
+	return ch
+}
+
+// runShards executes fn over the chunked shards of [0, n) using the
+// persistent pool. The caller's goroutine always runs shard 0 (and any
+// shard no worker was free to take) so at least one shard never pays a
+// handoff.
+func runShards(n, chunk int, fn func(lo, hi int)) {
+	nShards := (n + chunk - 1) / chunk
+	ch := ensurePool(nShards - 1)
+	done := donePool.Get().(chan struct{})
+	submitted := 0
+	for s := 1; s < nShards; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		select {
+		case ch <- shardTask{fn: fn, lo: lo, hi: hi, done: done}:
+			submitted++
+		default:
+			// No parked worker (cold pool, nested call, or contention):
+			// degrade gracefully by running the shard inline.
+			fn(lo, hi)
+		}
+	}
+	fn(0, chunk)
+	for i := 0; i < submitted; i++ {
+		<-done
+	}
+	donePool.Put(done)
+}
+
+// minShard is the default grain: slices shorter than two grains run
+// inline, since per-item work in the simulator's per-node phases is
+// too small to amortise a handoff.
+const minShard = 64
+
+// Parallel partitions [0, n) into contiguous shards and runs fn on
+// each shard from the persistent worker pool sized to GOMAXPROCS, then
+// waits for all of them. fn(lo, hi) must touch only state owned by
+// indices [lo, hi), so the result is independent of scheduling — the
+// simulator stays deterministic at any GOMAXPROCS.
+//
+// For small n the call runs inline to avoid handoff overhead.
 func Parallel(n int, fn func(lo, hi int)) {
+	ParallelGrain(n, minShard, fn)
+}
+
+// ParallelGrain is Parallel with an explicit inline threshold: the
+// call fans out only when n >= 2*grain (and more than one worker is
+// available). Use grain 1 for phases whose per-item work is large —
+// e.g. one item per sub-stream forest — where even n = 2 is worth a
+// handoff.
+func ParallelGrain(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -20,25 +126,12 @@ func Parallel(n int, fn func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
-	const minShard = 64
-	if workers == 1 || n < 2*minShard {
+	if workers == 1 || n < 2*grain {
 		fn(0, n)
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	runShards(n, chunk, fn)
 }
 
 // ParallelReduce runs fn over shards like Parallel, collecting one
@@ -53,27 +146,15 @@ func ParallelReduce[T any](n int, fn func(lo, hi int) T, merge func(a, b T) T) T
 	if workers > n {
 		workers = n
 	}
-	const minShard = 64
 	if workers == 1 || n < 2*minShard {
 		return fn(0, n)
 	}
 	chunk := (n + workers - 1) / workers
 	nShards := (n + chunk - 1) / chunk
 	partials := make([]T, nShards)
-	var wg sync.WaitGroup
-	for s := 0; s < nShards; s++ {
-		lo := s * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(s, lo, hi int) {
-			defer wg.Done()
-			partials[s] = fn(lo, hi)
-		}(s, lo, hi)
-	}
-	wg.Wait()
+	runShards(n, chunk, func(lo, hi int) {
+		partials[lo/chunk] = fn(lo, hi)
+	})
 	acc := partials[0]
 	for _, p := range partials[1:] {
 		acc = merge(acc, p)
