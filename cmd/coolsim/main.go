@@ -36,7 +36,7 @@ func main() {
 
 func run() error {
 	var (
-		scenario = flag.String("scenario", "steady", "scenario: steady | day | flash")
+		scenario = flag.String("scenario", "steady", "scenario: steady | day | flash | chaos")
 		day      = flag.Duration("day", 30*time.Minute, "compressed day length (day scenario)")
 		rate     = flag.Float64("rate", 0.4, "arrival rate per second (steady) or diurnal base rate (day)")
 		horizon  = flag.Duration("horizon", 10*time.Minute, "workload horizon (steady scenario)")
@@ -53,6 +53,7 @@ func run() error {
 		loadScen = flag.String("load-scenario", "", "run a scenario file (workload.WriteScenario format) instead of generating arrivals")
 		saveScen = flag.String("save-scenario", "", "save the run's materialised scenario to this file")
 		quiet    = flag.Bool("q", false, "suppress figure tables on stdout")
+		digest   = flag.Bool("digest", false, "print the run digest (reproducibility check)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,8 @@ func run() error {
 		cfg = core.DayConfig(sim.Time((*day).Milliseconds()), *rate, *seed)
 	case "flash":
 		cfg = core.FlashCrowdConfig(3*sim.Minute, sim.Minute, 0.15, *burst, *seed)
+	case "chaos":
+		cfg = core.ChaosConfig(*seed)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -166,6 +169,12 @@ func run() error {
 	if !*quiet {
 		res.Fig6().Render(os.Stdout)
 		res.Fig8(30 * sim.Second).Render(os.Stdout)
+		if *scenario == "chaos" {
+			res.Fig10c().Render(os.Stdout)
+		}
+	}
+	if *digest {
+		fmt.Printf("digest %016x\n", res.Digest())
 	}
 	fmt.Printf("artifacts: %s.log %s.jsonl %s.sessions.csv\n", *out, *out, *out)
 	if *artDir != "" {

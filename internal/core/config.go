@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"coolstream/internal/faults"
 	"coolstream/internal/gossip"
 	"coolstream/internal/netmodel"
 	"coolstream/internal/peer"
@@ -59,6 +60,16 @@ type Config struct {
 	// CrashProb is the fraction of user departures that are ungraceful
 	// (no teardown; partners detect via failed BM exchanges).
 	CrashProb float64
+	// Faults is the deterministic fault-injection plan; the zero value
+	// is fault-free (see internal/faults).
+	Faults faults.Config
+	// Retry is the capped-exponential join/re-contact backoff with
+	// deterministic jitter; the zero value keeps the fixed
+	// Params.RetryDelay.
+	Retry faults.Backoff
+	// LogBufferCap bounds the client-side report buffer used during
+	// log-server outage windows (0 selects logsys.DefaultLogBuffer).
+	LogBufferCap int
 }
 
 // ScaledCutoff converts a real-time duration to the workload's
@@ -92,6 +103,15 @@ func (c Config) Validate() error {
 	}
 	if c.Warmup < 0 || c.Drain < 0 {
 		return fmt.Errorf("core: negative warmup/drain")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if c.LogBufferCap < 0 {
+		return fmt.Errorf("core: LogBufferCap %d", c.LogBufferCap)
 	}
 	if c.PresetScenario != nil {
 		if c.PresetScenario.Horizon <= 0 {
@@ -199,6 +219,36 @@ func FlashCrowdConfig(warm, burst sim.Time, quietRate, burstRate float64, seed u
 	c.Seed = seed
 	c.Workload.Profile = workload.FlashCrowd(warm, burst, quietRate, burstRate)
 	c.Workload.Horizon = warm + burst + warm
+	return c
+}
+
+// ChaosConfig returns the fault-injection scenario: a steady arrival
+// stream hit by a mid-run tracker outage, a log-server outage, NAT
+// refusals, mid-session partner kills and a burst-loss window, with
+// capped-exponential join backoff. Sized so users joining inside the
+// tracker outage fail and retry several times (a non-degenerate
+// Fig. 10-style retry histogram) while earlier joiners succeed at once.
+func ChaosConfig(seed uint64) Config {
+	c := DefaultConfig()
+	c.Seed = seed
+	c.Workload.Profile = workload.Constant(0.8)
+	c.Workload.Horizon = 5 * sim.Minute
+	c.Drain = sim.Minute
+	// A short join timeout makes each tracker-outage failure cheap, so
+	// one outage window produces multi-failure users.
+	c.Params.JoinTimeout = 15 * sim.Second
+	c.Retry = faults.Backoff{Base: 2 * sim.Second, Cap: 20 * sim.Second, JitterFrac: 0.5}
+	c.Faults = faults.Config{
+		// Warmup is 30s, so arrivals span [30s, 330s): the outage
+		// catches roughly a quarter of them mid-join.
+		TrackerOutages:  []faults.Window{{Start: 70 * sim.Second, End: 160 * sim.Second}},
+		LogOutages:      []faults.Window{{Start: 3 * sim.Minute, End: 210 * sim.Second}},
+		NATRefusalProb:  0.02,
+		PartnerKillRate: 0.2,
+		BurstLoss: []faults.LossWindow{
+			{Window: faults.Window{Start: 220 * sim.Second, End: 250 * sim.Second}, Frac: 0.5},
+		},
+	}
 	return c
 }
 

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"hash/fnv"
+
+	"coolstream/internal/faults"
 	"coolstream/internal/logsys"
 	"coolstream/internal/metrics"
 	"coolstream/internal/netmodel"
@@ -29,6 +33,33 @@ type Result struct {
 	Adaptations     int
 	// PeakConcurrent is the largest observed active peer count.
 	PeakConcurrent int
+
+	// FaultStats counts fault firings when a fault plan was configured.
+	FaultStats faults.Stats
+	// DroppedLogs counts reports lost to log-buffer overflow during
+	// log-server outages; FlushedLogs counts reports delivered late at
+	// run teardown (still pending when the horizon was reached).
+	DroppedLogs int
+	FlushedLogs int
+}
+
+// Digest folds every emitted log record, the run counters and the
+// fault firing counters into one FNV-1a hash: two runs with equal
+// digests behaved identically in every externally observable way,
+// *including* which faults fired. This is the reproducibility check of
+// the fault-injection contract (same seed + same plan ⇒ same digest).
+func (r *Result) Digest() uint64 {
+	h := fnv.New64a()
+	for _, rec := range r.Records {
+		fmt.Fprintln(h, rec.LogString())
+	}
+	fmt.Fprintf(h, "joined %d failed %d ready %d abandoned %d adapt %d peak %d\n",
+		r.JoinedSessions, r.FailedSessions, r.ReadySessions,
+		r.AbandonSessions, r.Adaptations, r.PeakConcurrent)
+	fmt.Fprintf(h, "faults tracker %d nat %d kills %d dropped %d flushed %d\n",
+		r.FaultStats.TrackerRefusals, r.FaultStats.NATRefusals,
+		r.FaultStats.PartnerKills, r.DroppedLogs, r.FlushedLogs)
+	return h.Sum64()
 }
 
 // Horizon returns the run's total virtual duration.
@@ -46,11 +77,33 @@ func Run(cfg Config) (*Result, error) {
 	}
 	engine := sim.NewEngine(cfg.Tick)
 	sink := &logsys.MemorySink{}
+
+	// Fault plan: the world consumes the schedule directly; log-server
+	// outages additionally interpose the client-side report buffer
+	// between the peers and the collecting sink.
+	var schedule *faults.Schedule
+	var buffered *logsys.BufferedSink
+	worldSink := logsys.Sink(sink)
+	if cfg.Faults.Enabled() {
+		schedule, err = faults.NewSchedule(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		if len(cfg.Faults.LogOutages) > 0 {
+			buffered = logsys.NewBufferedSink(sink, cfg.LogBufferCap, func(rec logsys.Record) bool {
+				return schedule.LogDown(rec.At)
+			})
+			worldSink = buffered
+		}
+	}
+
 	latency := netmodel.UniformLatency{Min: cfg.LatencyMin, Max: cfg.LatencyMax, Seed: cfg.Seed ^ 0x1a7e9c3}
-	world, err := peer.NewWorld(cfg.Params, engine, sink, latency, policy, cfg.Seed)
+	world, err := peer.NewWorld(cfg.Params, engine, worldSink, latency, policy, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
+	world.Faults = schedule
+	world.Retry = cfg.Retry
 	if cfg.StallContinuity > 0 {
 		world.StallContinuity = cfg.StallContinuity
 		world.StallAbandonProb = cfg.StallAbandonProb
@@ -99,6 +152,16 @@ func Run(cfg Config) (*Result, error) {
 
 	engine.Run(cfg.Horizon())
 
+	if buffered != nil {
+		// Reports still queued when the run ends are delivered late at
+		// teardown (the deployed reporter flushes on unload); overflow
+		// losses stay lost and are surfaced as a counter.
+		res.FlushedLogs = buffered.Flush()
+		res.DroppedLogs = buffered.Dropped()
+	}
+	if schedule != nil {
+		res.FaultStats = schedule.Stats
+	}
 	res.Records = sink.Records()
 	res.Analysis = metrics.Analyze(res.Records)
 	res.JoinedSessions = world.JoinedSessions

@@ -242,6 +242,34 @@ func (r *Result) Fig10b() *metrics.Table {
 	return t
 }
 
+// Fig10c builds the retry-under-faults table: the Fig. 10b per-user
+// failed-attempt histogram re-measured with fault injection active,
+// alongside the fault firing counters and the log-pipeline losses that
+// produced it. The paper's Fig. 10b retry tail is driven by exactly
+// these failure classes (unreachable trackers, refused connections);
+// this artifact ties the reproduced distribution to its causes.
+func (r *Result) Fig10c() *metrics.Table {
+	dist := r.Analysis.RetryDistribution(6)
+	t := &metrics.Table{
+		Title:  "Fig. 10c — join re-tries under fault injection",
+		Header: []string{"metric", "value"},
+	}
+	for k, frac := range dist {
+		label := fmt.Sprintf("failed_attempts[%d]", k)
+		if k == len(dist)-1 {
+			label = fmt.Sprintf("failed_attempts[>=%d]", k)
+		}
+		t.AddRowf("%s\t%.4f", label, frac)
+	}
+	t.AddRowf("tracker_refusals\t%d", r.FaultStats.TrackerRefusals)
+	t.AddRowf("nat_refusals\t%d", r.FaultStats.NATRefusals)
+	t.AddRowf("partner_kills\t%d", r.FaultStats.PartnerKills)
+	t.AddRowf("logs_dropped\t%d", r.DroppedLogs)
+	t.AddRowf("logs_flushed_late\t%d", r.FlushedLogs)
+	t.AddRowf("sessions_failed\t%d", r.FailedSessions)
+	return t
+}
+
 // Summary builds the run-level counter table.
 func (r *Result) Summary() *metrics.Table {
 	t := &metrics.Table{

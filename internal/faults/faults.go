@@ -1,0 +1,250 @@
+// Package faults is the deterministic fault-injection layer of the
+// reproduction. The paper measures a system living under constant
+// failure — users retry joins dozens of times (Fig. 10b), partner
+// departures and NAT-blocked connections interrupt playback (§V) —
+// so the engines need a fault substrate that is *schedulable* and
+// *reproducible*: the same seed and fault plan must fire the same
+// faults at the same virtual times, at any GOMAXPROCS.
+//
+// The package has three parts:
+//
+//   - Config/Schedule: a declarative fault plan (tracker and log-server
+//     outage windows, NAT-class connection refusal probability, a
+//     mid-session partner-kill hazard, burst packet-loss windows) and
+//     its queryable clock. Window and loss queries are pure functions
+//     of virtual time; probabilistic faults draw from the consumer's
+//     deterministic RNG streams in sequential simulation phases only,
+//     so fault firings fold into the run digest like any other draw.
+//   - Backoff: capped exponential retry backoff with *deterministic*
+//     jitter — the jitter is a pure hash of (attempt, key), not an RNG
+//     stream, so a retry schedule is a function of identity alone and
+//     re-ordering retries across peers cannot perturb each other.
+//   - Injector (netinject.go): a dialer/transport wrapper carrying the
+//     same plan onto the live-socket engine (internal/netpeer,
+//     internal/netboot).
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"coolstream/internal/sim"
+)
+
+// Window is one outage interval [Start, End) in virtual time.
+type Window struct {
+	Start, End sim.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t sim.Time) bool { return w.Start <= t && t < w.End }
+
+// Validate reports malformed windows.
+func (w Window) Validate() error {
+	if w.End <= w.Start || w.Start < 0 {
+		return fmt.Errorf("faults: window [%v,%v)", w.Start, w.End)
+	}
+	return nil
+}
+
+// LossWindow is a burst packet-loss interval: during the window a
+// fraction Frac of the fluid transfer rate (or of pushed blocks, in
+// the live engine) is lost.
+type LossWindow struct {
+	Window
+	Frac float64
+}
+
+// Config is a declarative fault plan for one run. The zero value is
+// fault-free.
+type Config struct {
+	// TrackerOutages are windows during which the bootstrap/tracker
+	// answers nothing: joins stall and nodes re-contact with backoff.
+	TrackerOutages []Window
+	// LogOutages are windows during which the log server is down;
+	// reports are buffered client-side (see logsys.BufferedSink) and
+	// dropped once the buffer overflows.
+	LogOutages []Window
+	// NATRefusalProb is the probability that a partnership attempt
+	// involving a NAT-class endpoint is refused (the paper's
+	// NAT-blocked connections, §V-B).
+	NATRefusalProb float64
+	// PartnerKillRate is the expected number of mid-session partnership
+	// kills per second of virtual time: an established partner link is
+	// severed on both sides, stalling any sub-streams it served.
+	PartnerKillRate float64
+	// BurstLoss are packet-loss windows applied to data transfer.
+	BurstLoss []LossWindow
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (c Config) Enabled() bool {
+	return len(c.TrackerOutages) > 0 || len(c.LogOutages) > 0 ||
+		c.NATRefusalProb > 0 || c.PartnerKillRate > 0 || len(c.BurstLoss) > 0
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, w := range c.TrackerOutages {
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("tracker %w", err)
+		}
+	}
+	for _, w := range c.LogOutages {
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("log %w", err)
+		}
+	}
+	if c.NATRefusalProb < 0 || c.NATRefusalProb > 1 {
+		return fmt.Errorf("faults: NATRefusalProb %v", c.NATRefusalProb)
+	}
+	if c.PartnerKillRate < 0 {
+		return fmt.Errorf("faults: PartnerKillRate %v", c.PartnerKillRate)
+	}
+	for _, lw := range c.BurstLoss {
+		if err := lw.Validate(); err != nil {
+			return fmt.Errorf("loss %w", err)
+		}
+		if lw.Frac <= 0 || lw.Frac > 1 {
+			return fmt.Errorf("faults: loss fraction %v", lw.Frac)
+		}
+	}
+	return nil
+}
+
+// Stats counts fault firings. The consuming engine increments the
+// fields from sequential phases only, so the counts are deterministic
+// and are folded into the run digest.
+type Stats struct {
+	// TrackerRefusals counts bootstrap contacts that hit an outage.
+	TrackerRefusals int
+	// NATRefusals counts partnership attempts refused by the NAT fault.
+	NATRefusals int
+	// PartnerKills counts severed mid-session partnerships.
+	PartnerKills int
+}
+
+// Schedule is the queryable fault clock built from a Config. All
+// window queries are pure functions of virtual time; the Stats block
+// accumulates firings as consumers report them.
+type Schedule struct {
+	Cfg   Config
+	Stats Stats
+}
+
+// NewSchedule validates cfg and wraps it.
+func NewSchedule(cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Schedule{Cfg: cfg}, nil
+}
+
+// TrackerDown reports whether the bootstrap/tracker is down at t.
+func (s *Schedule) TrackerDown(t sim.Time) bool {
+	for _, w := range s.Cfg.TrackerOutages {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// LogDown reports whether the log server is down at t.
+func (s *Schedule) LogDown(t sim.Time) bool {
+	for _, w := range s.Cfg.LogOutages {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// LossFrac returns the burst-loss fraction active at t (0 outside all
+// loss windows; overlapping windows take the max).
+func (s *Schedule) LossFrac(t sim.Time) float64 {
+	frac := 0.0
+	for _, lw := range s.Cfg.BurstLoss {
+		if lw.Contains(t) && lw.Frac > frac {
+			frac = lw.Frac
+		}
+	}
+	return frac
+}
+
+// hash64 is splitmix64's finalizer (Steele et al., OOPSLA 2014): a
+// bijective avalanche mix used to derive deterministic jitter from an
+// (attempt, key) identity without consuming any RNG stream.
+func hash64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Backoff is capped exponential retry backoff with deterministic
+// jitter. The zero value is disabled (consumers fall back to their
+// legacy fixed delay).
+type Backoff struct {
+	// Base is the nominal first-retry delay.
+	Base sim.Time
+	// Cap bounds the exponential growth.
+	Cap sim.Time
+	// JitterFrac spreads each delay uniformly over
+	// [1-JitterFrac/2, 1+JitterFrac/2] × nominal, keeping the mean at
+	// the nominal delay. Must be in [0, 1].
+	JitterFrac float64
+}
+
+// Enabled reports whether the backoff is configured.
+func (b Backoff) Enabled() bool { return b.Base > 0 }
+
+// Validate reports configuration errors.
+func (b Backoff) Validate() error {
+	if !b.Enabled() {
+		return nil
+	}
+	if b.Cap < b.Base {
+		return fmt.Errorf("faults: backoff cap %v < base %v", b.Cap, b.Base)
+	}
+	if b.JitterFrac < 0 || b.JitterFrac > 1 {
+		return fmt.Errorf("faults: backoff jitter %v", b.JitterFrac)
+	}
+	return nil
+}
+
+// Delay returns the delay before retry number `attempt` (1-based) for
+// the retrying identity `key` (a peer/user ID). The nominal delay is
+// min(Cap, Base·2^(attempt-1)); jitter multiplies it by a factor drawn
+// deterministically from hash64(key, attempt), so the same identity
+// retrying for the same time produces the same schedule in every run,
+// while distinct identities de-synchronise (no retry thundering herd).
+func (b Backoff) Delay(attempt int, key uint64) sim.Time {
+	if !b.Enabled() {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := b.Base
+	// Shift with saturation: attempts beyond ~40 would overflow.
+	for i := 1; i < attempt && d < b.Cap; i++ {
+		d *= 2
+	}
+	if d > b.Cap {
+		d = b.Cap
+	}
+	if b.JitterFrac > 0 {
+		u := float64(hash64(key^uint64(attempt)*0x9e3779b97f4a7c15)>>11) / (1 << 53)
+		d = sim.Time(float64(d) * (1 - b.JitterFrac/2 + b.JitterFrac*u))
+	}
+	if d < sim.Millisecond {
+		d = sim.Millisecond
+	}
+	return d
+}
+
+// Duration is Delay converted to wall-clock time for the live-socket
+// engine.
+func (b Backoff) Duration(attempt int, key uint64) time.Duration {
+	return b.Delay(attempt, key).Duration()
+}

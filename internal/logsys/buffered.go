@@ -1,0 +1,88 @@
+package logsys
+
+import "sync"
+
+// BufferedSink models the client-side report queue of the deployed
+// reporter under log-server outages: while the server is down (as
+// judged by the Down predicate, typically a fault schedule's outage
+// windows over the record's virtual timestamp), records queue in a
+// bounded buffer; the first record logged after the outage flushes the
+// queue in arrival order. When the buffer overflows, the *oldest*
+// queued record is dropped and counted — the most recent reports are
+// the ones worth delivering late.
+//
+// Determinism: Down is a pure function of the record (virtual time),
+// and buffering/flushing follow arrival order, so wrapping a
+// deterministic sink keeps the run's record stream deterministic.
+type BufferedSink struct {
+	mu      sync.Mutex
+	inner   Sink
+	down    func(Record) bool
+	cap     int
+	buf     []Record
+	dropped int
+}
+
+// DefaultLogBuffer is the buffer capacity used when none is given.
+const DefaultLogBuffer = 1024
+
+// NewBufferedSink wraps inner. capacity <= 0 selects DefaultLogBuffer;
+// a nil down predicate means the server is always up (the sink then
+// degrades to a pass-through).
+func NewBufferedSink(inner Sink, capacity int, down func(Record) bool) *BufferedSink {
+	if inner == nil {
+		panic("logsys: nil inner sink")
+	}
+	if capacity <= 0 {
+		capacity = DefaultLogBuffer
+	}
+	return &BufferedSink{inner: inner, down: down, cap: capacity}
+}
+
+// Log implements Sink.
+func (s *BufferedSink) Log(rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down != nil && s.down(rec) {
+		if len(s.buf) >= s.cap {
+			s.buf = s.buf[1:]
+			s.dropped++
+		}
+		s.buf = append(s.buf, rec)
+		return
+	}
+	s.flushLocked()
+	s.inner.Log(rec)
+}
+
+func (s *BufferedSink) flushLocked() {
+	for _, r := range s.buf {
+		s.inner.Log(r)
+	}
+	s.buf = s.buf[:0]
+}
+
+// Flush delivers any queued records regardless of server state (e.g.
+// run teardown once the outage analysis is done). It returns how many
+// records it delivered.
+func (s *BufferedSink) Flush() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.buf)
+	s.flushLocked()
+	return n
+}
+
+// Dropped returns how many records were lost to buffer overflow.
+func (s *BufferedSink) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Pending returns how many records are queued awaiting recovery.
+func (s *BufferedSink) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}

@@ -1,0 +1,78 @@
+package logsys
+
+import (
+	"testing"
+
+	"coolstream/internal/sim"
+)
+
+// outage marks [10s, 20s) as down.
+func outage(rec Record) bool {
+	return rec.At >= 10*sim.Second && rec.At < 20*sim.Second
+}
+
+func rec(at sim.Time, peer int) Record {
+	return Record{Kind: KindJoin, At: at, Peer: peer}
+}
+
+func TestBufferedSinkBuffersAndFlushes(t *testing.T) {
+	mem := &MemorySink{}
+	bs := NewBufferedSink(mem, 10, outage)
+
+	bs.Log(rec(5*sim.Second, 1)) // up: passes through
+	if mem.Len() != 1 {
+		t.Fatalf("pass-through failed: %d records", mem.Len())
+	}
+	bs.Log(rec(12*sim.Second, 2)) // down: buffered
+	bs.Log(rec(15*sim.Second, 3))
+	if mem.Len() != 1 || bs.Pending() != 2 {
+		t.Fatalf("buffering failed: inner %d, pending %d", mem.Len(), bs.Pending())
+	}
+	bs.Log(rec(25*sim.Second, 4)) // up again: flush then log
+	if mem.Len() != 4 || bs.Pending() != 0 {
+		t.Fatalf("flush failed: inner %d, pending %d", mem.Len(), bs.Pending())
+	}
+	// Arrival order survives the outage.
+	got := mem.Records()
+	for i, want := range []int{1, 2, 3, 4} {
+		if got[i].Peer != want {
+			t.Fatalf("record %d: peer %d, want %d", i, got[i].Peer, want)
+		}
+	}
+	if bs.Dropped() != 0 {
+		t.Fatalf("dropped %d, want 0", bs.Dropped())
+	}
+}
+
+func TestBufferedSinkOverflowDropsOldest(t *testing.T) {
+	mem := &MemorySink{}
+	bs := NewBufferedSink(mem, 3, outage)
+	for i := 0; i < 5; i++ {
+		bs.Log(rec(11*sim.Second, 100+i))
+	}
+	if bs.Dropped() != 2 || bs.Pending() != 3 {
+		t.Fatalf("dropped %d pending %d, want 2/3", bs.Dropped(), bs.Pending())
+	}
+	if n := bs.Flush(); n != 3 {
+		t.Fatalf("flush delivered %d, want 3", n)
+	}
+	got := mem.Records()
+	if len(got) != 3 {
+		t.Fatalf("%d records after flush", len(got))
+	}
+	// The oldest two (100, 101) were dropped.
+	for i, want := range []int{102, 103, 104} {
+		if got[i].Peer != want {
+			t.Fatalf("record %d: peer %d, want %d", i, got[i].Peer, want)
+		}
+	}
+}
+
+func TestBufferedSinkNilPredicatePassesThrough(t *testing.T) {
+	mem := &MemorySink{}
+	bs := NewBufferedSink(mem, 0, nil)
+	bs.Log(rec(12*sim.Second, 1))
+	if mem.Len() != 1 || bs.Pending() != 0 {
+		t.Fatalf("nil predicate: inner %d pending %d", mem.Len(), bs.Pending())
+	}
+}

@@ -13,7 +13,9 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
+	"coolstream/internal/faults"
 	"coolstream/internal/xrand"
 )
 
@@ -127,10 +129,25 @@ func (s *Server) Count() int {
 	return len(s.peers)
 }
 
-// Client talks to a bootstrap server.
+// Client talks to a bootstrap server. With SetBackoff configured, a
+// failed request (connection error, injected outage, 5xx) is retried
+// up to the attempt limit with capped-exponential, deterministically
+// jittered pauses — the recovery half of the tracker-outage fault.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	backoff     faults.Backoff
+	maxAttempts int
+	// retryKey salts the deterministic jitter so distinct clients
+	// retrying through the same outage de-synchronise.
+	retryKey uint64
+	// Retried counts requests that needed at least one retry; Attempts
+	// counts every retry sleep taken (observability for tests and the
+	// chaos harness).
+	mu       sync.Mutex
+	retried  int
+	attempts int
 }
 
 // NewClient wraps the server at base (e.g. "http://127.0.0.1:7000").
@@ -138,19 +155,57 @@ func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: base, hc: hc}
+	return &Client{base: base, hc: hc, maxAttempts: 1}
+}
+
+// SetBackoff enables request retries: up to maxAttempts total tries
+// per request, pausing per b's schedule between them. key seeds the
+// deterministic jitter (use the peer's ID).
+func (c *Client) SetBackoff(b faults.Backoff, maxAttempts int, key uint64) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	c.backoff = b
+	c.maxAttempts = maxAttempts
+	c.retryKey = key
+}
+
+// RetryStats returns (requests that needed a retry, total retry sleeps).
+func (c *Client) RetryStats() (retried, attempts int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retried, c.attempts
 }
 
 func (c *Client) get(path string) (*http.Response, error) {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := c.hc.Get(c.base + path)
+		if err == nil && resp.StatusCode < 500 {
+			if resp.StatusCode >= 300 {
+				// 4xx is a caller bug; retrying cannot help.
+				resp.Body.Close()
+				return nil, fmt.Errorf("netboot: %s: %s", path, resp.Status)
+			}
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("netboot: %s: %s", path, resp.Status)
+		}
+		if attempt >= c.maxAttempts || !c.backoff.Enabled() {
+			return nil, lastErr
+		}
+		c.mu.Lock()
+		if attempt == 1 {
+			c.retried++
+		}
+		c.attempts++
+		c.mu.Unlock()
+		time.Sleep(c.backoff.Duration(attempt, c.retryKey))
 	}
-	if resp.StatusCode >= 300 {
-		resp.Body.Close()
-		return nil, fmt.Errorf("netboot: %s: %s", path, resp.Status)
-	}
-	return resp, nil
 }
 
 // Register announces a peer's listen address.

@@ -3,7 +3,11 @@ package netboot
 import (
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+
+	"coolstream/internal/faults"
+	"coolstream/internal/sim"
 )
 
 func newPair(t *testing.T) (*Server, *Client) {
@@ -135,4 +139,71 @@ func TestCandidatesVary(t *testing.T) {
 		t.Fatal("candidate sampling is constant")
 	}
 	_ = srv
+}
+
+// flakyHandler fails the first `failures` requests with 503, then
+// delegates to the real registry — a log/tracker server recovering
+// from an outage.
+type flakyHandler struct {
+	mu       sync.Mutex
+	failures int
+	seen     int
+	inner    http.Handler
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.seen++
+	fail := f.seen <= f.failures
+	f.mu.Unlock()
+	if fail {
+		http.Error(w, "outage", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func TestClientRetriesThroughOutage(t *testing.T) {
+	srv := NewServer(9)
+	flaky := &flakyHandler{failures: 3, inner: srv}
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	c.SetBackoff(faults.Backoff{Base: sim.Millisecond, Cap: 4 * sim.Millisecond, JitterFrac: 0.5}, 5, 42)
+	if err := c.Register(1, "127.0.0.1:9001"); err != nil {
+		t.Fatalf("register through outage failed: %v", err)
+	}
+	if srv.Count() != 1 {
+		t.Fatalf("registry count %d after retried register", srv.Count())
+	}
+	retried, attempts := c.RetryStats()
+	if retried != 1 || attempts != 3 {
+		t.Fatalf("retry stats retried=%d attempts=%d, want 1/3", retried, attempts)
+	}
+
+	// Outage longer than the attempt budget: the error surfaces.
+	flaky2 := &flakyHandler{failures: 100, inner: srv}
+	ts2 := httptest.NewServer(flaky2)
+	defer ts2.Close()
+	c2 := NewClient(ts2.URL, nil)
+	c2.SetBackoff(faults.Backoff{Base: sim.Millisecond, Cap: 2 * sim.Millisecond}, 3, 7)
+	if err := c2.Register(2, "x:1"); err == nil {
+		t.Fatal("register through permanent outage succeeded")
+	}
+	if flaky2.seen != 3 {
+		t.Fatalf("attempt-limited client made %d requests, want 3", flaky2.seen)
+	}
+
+	// Without SetBackoff a failure is immediate (one request).
+	flaky3 := &flakyHandler{failures: 100, inner: srv}
+	ts3 := httptest.NewServer(flaky3)
+	defer ts3.Close()
+	c3 := NewClient(ts3.URL, nil)
+	if err := c3.Register(3, "x:1"); err == nil {
+		t.Fatal("no-backoff client retried its way through")
+	}
+	if flaky3.seen != 1 {
+		t.Fatalf("no-backoff client made %d requests, want 1", flaky3.seen)
+	}
 }

@@ -39,7 +39,15 @@ func (n *Node) EnableAdaptation(cfg AdaptConfig) {
 		ticker := time.NewTicker(cfg.Check)
 		defer ticker.Stop()
 		var lastSwitch time.Time
-		for range ticker.C {
+		for {
+			// Select the close signal alongside the ticker: Close must
+			// not block for up to a full Check interval waiting for the
+			// next tick to observe n.closed.
+			select {
+			case <-ticker.C:
+			case <-n.done:
+				return
+			}
 			n.mu.Lock()
 			if n.closed {
 				n.mu.Unlock()

@@ -25,7 +25,18 @@ type Config struct {
 	BufferBlocks int64
 	// ReadyBlocks is the startup buffer in per-sub-stream blocks.
 	ReadyBlocks int64
+	// WriteTimeout bounds every frame write towards a partner (0
+	// selects DefaultWriteTimeout; negative is a configuration error).
+	WriteTimeout time.Duration
+	// Dialer overrides the outbound connection function (nil =
+	// net.DialTimeout). Fault-injection wrappers hook in here (see
+	// internal/faults.Injector.WrapDial).
+	Dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
 }
+
+// DefaultWriteTimeout is the per-frame write deadline used when
+// Config.WriteTimeout is zero.
+const DefaultWriteTimeout = 10 * time.Second
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
@@ -38,20 +49,29 @@ func (c Config) Validate() error {
 	if c.BufferBlocks <= 0 || c.ReadyBlocks <= 0 {
 		return fmt.Errorf("netpeer: buffer %d / ready %d blocks", c.BufferBlocks, c.ReadyBlocks)
 	}
+	if c.WriteTimeout < 0 {
+		return fmt.Errorf("netpeer: WriteTimeout %v", c.WriteTimeout)
+	}
 	return nil
 }
 
 // conn is one partnership's TCP connection.
 type conn struct {
 	peer int32
-	c    net.Conn
-	wmu  sync.Mutex
+	// outgoing records which end dialed: the duplicate-connection
+	// tie-break in register relies on it being true on exactly one end.
+	outgoing bool
+	wt       time.Duration
+	c        net.Conn
+	wmu      sync.Mutex
 }
 
 func (cn *conn) send(m protocol.Message) error {
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
-	cn.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if err := cn.c.SetWriteDeadline(time.Now().Add(cn.wt)); err != nil {
+		return fmt.Errorf("netpeer: set write deadline: %w", err)
+	}
 	return protocol.WriteFrame(cn.c, m)
 }
 
@@ -87,6 +107,10 @@ type Node struct {
 	onTime     int64
 	total      int64
 	closed     bool
+	// done is closed exactly once by Close so ticker-driven loops (BM
+	// exchange, adaptation monitor) observe shutdown immediately instead
+	// of on their next tick.
+	done chan struct{}
 
 	wg sync.WaitGroup
 }
@@ -97,6 +121,9 @@ func New(cfg Config) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
 	n := &Node{
 		cfg:        cfg,
 		bkt:        newBucket(cfg.UploadBps),
@@ -105,6 +132,7 @@ func New(cfg Config) (*Node, error) {
 		pushers:    make(map[pushKey]*pusherState),
 		lastBM:     make(map[int32]buffer.BufferMap),
 		laneParent: make([]int32, cfg.Layout.K),
+		done:       make(chan struct{}),
 	}
 	for j := range n.laneParent {
 		n.laneParent[j] = -1
@@ -186,13 +214,22 @@ func (n *Node) handleInbound(c net.Conn) {
 		c.Close()
 		return
 	}
-	cn := &conn{peer: req.From, c: c}
+	cn := &conn{peer: req.From, wt: n.cfg.WriteTimeout, c: c}
+	if req.From == n.cfg.ID {
+		// A request claiming our own ID (self-dial through a tracker
+		// echo, or an impersonating peer) must not reach the conns map:
+		// registering it would record a self-partnership and evict any
+		// legitimate conn keyed on our ID.
+		cn.send(protocol.Message{Type: protocol.TypePartnerReject, From: n.cfg.ID, To: req.From})
+		c.Close()
+		return
+	}
 	if err := cn.send(protocol.Message{Type: protocol.TypePartnerAccept, From: n.cfg.ID, To: req.From}); err != nil {
 		c.Close()
 		return
 	}
 	c.SetReadDeadline(time.Time{})
-	if !n.register(cn) {
+	if n.register(cn) != regLive {
 		c.Close()
 		return
 	}
@@ -200,13 +237,19 @@ func (n *Node) handleInbound(c net.Conn) {
 }
 
 // Connect establishes a partnership towards addr and returns the
-// remote node's ID.
+// remote node's ID. When a concurrent inbound connection from the same
+// peer already won the duplicate tie-break, Connect reports success
+// over that surviving connection.
 func (n *Node) Connect(addr string) (int32, error) {
-	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	dial := n.cfg.Dialer
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	c, err := dial("tcp", addr, 5*time.Second)
 	if err != nil {
 		return 0, err
 	}
-	cn := &conn{c: c}
+	cn := &conn{outgoing: true, wt: n.cfg.WriteTimeout, c: c}
 	if err := cn.send(protocol.Message{Type: protocol.TypePartnerRequest, From: n.cfg.ID, To: -1}); err != nil {
 		c.Close()
 		return 0, err
@@ -214,15 +257,28 @@ func (n *Node) Connect(addr string) (int32, error) {
 	c.SetReadDeadline(time.Now().Add(5 * time.Second))
 	fr := protocol.NewFrameReader(c)
 	resp, err := fr.Read()
-	if err != nil || resp.Type != protocol.TypePartnerAccept {
+	if err != nil {
+		// I/O failure: the peer vanished or sent a malformed frame.
 		c.Close()
-		return 0, fmt.Errorf("netpeer: handshake rejected: %v", err)
+		return 0, fmt.Errorf("netpeer: handshake read: %w", err)
+	}
+	if resp.Type != protocol.TypePartnerAccept {
+		// The peer answered but declined (or spoke out of protocol) —
+		// a different failure from the read error above.
+		c.Close()
+		return 0, fmt.Errorf("netpeer: handshake rejected: got %v from %d", resp.Type, resp.From)
 	}
 	c.SetReadDeadline(time.Time{})
 	cn.peer = resp.From
-	if !n.register(cn) {
+	switch n.register(cn) {
+	case regClosed:
 		c.Close()
 		return 0, fmt.Errorf("netpeer: node closed")
+	case regDuplicate:
+		// A simultaneous inbound conn from this peer won the tie-break;
+		// the partnership is live on that conn.
+		c.Close()
+		return resp.From, nil
 	}
 	n.wg.Add(1)
 	go func() {
@@ -232,17 +288,42 @@ func (n *Node) Connect(addr string) (int32, error) {
 	return resp.From, nil
 }
 
-func (n *Node) register(cn *conn) bool {
+// regStatus is register's outcome.
+type regStatus int
+
+const (
+	// regLive means cn is now the partnership's connection.
+	regLive regStatus = iota
+	// regDuplicate means an existing connection won the tie-break and
+	// cn must be discarded by the caller.
+	regDuplicate
+	// regClosed means the node is shut down.
+	regClosed
+)
+
+// register installs cn as the connection towards cn.peer. When both
+// ends dial each other concurrently, each end briefly holds two conns
+// for the same partnership; keeping an arbitrary one lets the two ends
+// evict opposite conns and close both. The tie-break is therefore
+// direction-based and identical on both ends: the connection dialed by
+// the lower-ID node survives (the dialer sees it as outgoing, the
+// acceptor as incoming, so both resolve to the same TCP connection). A
+// same-direction duplicate is a reconnect and supersedes the stale conn.
+func (n *Node) register(cn *conn) regStatus {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		return false
+		return regClosed
 	}
-	if old, dup := n.conns[cn.peer]; dup {
+	old, dup := n.conns[cn.peer]
+	if dup && old.outgoing != cn.outgoing && cn.outgoing != (n.cfg.ID < cn.peer) {
+		return regDuplicate
+	}
+	if dup {
 		old.c.Close()
 	}
 	n.conns[cn.peer] = cn
-	return true
+	return regLive
 }
 
 // readLoop dispatches inbound messages until the connection dies.
@@ -251,7 +332,17 @@ func (n *Node) readLoop(cn *conn, fr *protocol.FrameReader) {
 		cn.c.Close()
 		n.mu.Lock()
 		if n.conns[cn.peer] == cn {
+			// Partner death: drop the conn, forget its stale buffer map
+			// (it must not keep feeding the adaptation inequalities),
+			// and orphan any lane it was serving so the monitor's next
+			// pass re-subscribes it elsewhere.
 			delete(n.conns, cn.peer)
+			delete(n.lastBM, cn.peer)
+			for j, p := range n.laneParent {
+				if p == cn.peer {
+					n.laneParent[j] = -1
+				}
+			}
 		}
 		n.mu.Unlock()
 	}()
@@ -430,7 +521,12 @@ func (n *Node) bmLoop() {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.cfg.BMPeriod)
 	defer ticker.Stop()
-	for range ticker.C {
+	for {
+		select {
+		case <-ticker.C:
+		case <-n.done:
+			return
+		}
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
@@ -525,6 +621,7 @@ func (n *Node) Close() {
 		return
 	}
 	n.closed = true
+	close(n.done)
 	n.cond.Broadcast()
 	conns := make([]*conn, 0, len(n.conns))
 	for _, cn := range n.conns {

@@ -134,6 +134,9 @@ type Node struct {
 	lastAdaptAt   sim.Time
 	lastGossipAt  sim.Time
 	recruitingDue sim.Time
+	// bootAttempts counts consecutive failed bootstrap contacts (tracker
+	// outage), driving the re-contact backoff; reset on first success.
+	bootAttempts int
 
 	// watch and patience carry the user's intent: how long they mean
 	// to stay and how many failed joins they will retry.

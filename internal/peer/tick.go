@@ -30,10 +30,15 @@ func (w *World) tick(prev, now sim.Time) {
 	w.tickIDs = w.active // snapshot: phases 1-4 do not change membership
 	w.tickDt = dt
 	w.tickLive = w.liveEdge(now)
+	w.tickLoss = 0
+	if w.Faults != nil {
+		w.tickLoss = w.Faults.LossFrac(now)
+	}
 	w.allocate()
 	w.advance()
 	w.playback()
 	w.account(w.tickIDs)
+	w.faultStep(dt)
 	w.control(w.tickIDs, now)
 }
 
@@ -107,6 +112,10 @@ func (w *World) advance() {
 func (w *World) advanceShard(lo, hi int) {
 	live := w.tickLive
 	dt := w.tickDt
+	// Burst loss thins every transfer by the staged fraction. With no
+	// active loss window lossKeep is exactly 1.0, an exact float
+	// identity, so fault-free runs move bit-identical H values.
+	lossKeep := 1 - w.tickLoss
 	blockBits := 8 * float64(w.P.Layout.BlockBytes)
 	nodes := w.nodes
 	for j := lo; j < hi; j++ {
@@ -117,7 +126,7 @@ func (w *World) advanceShard(lo, hi int) {
 		}
 		for _, e := range w.topo.order[j] {
 			s := &nodes[e.child].Subs[j]
-			moved := s.RateBps * dt / blockBits
+			moved := s.RateBps * dt * lossKeep / blockBits
 			newH := s.H + moved
 			if parentH := nodes[e.parent].Subs[j].H; newH > parentH {
 				newH = parentH

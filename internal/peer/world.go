@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"coolstream/internal/faults"
 	"coolstream/internal/gossip"
 	"coolstream/internal/logsys"
 	"coolstream/internal/netmodel"
@@ -30,6 +31,24 @@ type World struct {
 	servers  []int // IDs of the server tier, in creation order (never departs)
 	sessions int
 
+	// Faults is the injected fault schedule (nil = fault-free). All
+	// probabilistic fault draws happen in sequential phases (events,
+	// control, the per-tick fault step), so fault firings are part of
+	// the deterministic run and fold into the run digest.
+	Faults *faults.Schedule
+	// Retry is the capped-exponential join/re-contact backoff with
+	// deterministic jitter; the zero value keeps the legacy fixed
+	// Params.RetryDelay.
+	Retry faults.Backoff
+	// faultRNG drives the world-level fault draws (partner kills) on
+	// its own labeled stream so enabling faults never perturbs node or
+	// scenario streams.
+	faultRNG *xrand.RNG
+	// retrySalt folds the run seed into the deterministic retry jitter.
+	retrySalt uint64
+	// killScratch is the candidate buffer of the partner-kill step.
+	killScratch []int
+
 	// topo caches the flattened per-sub-stream traversal orders the
 	// advance phase sweeps; see topo.go for the epoch contract.
 	topo *topoCache
@@ -44,6 +63,10 @@ type World struct {
 	controlIDs []int
 	tickDt     float64
 	tickLive   float64
+	// tickLoss is this tick's burst-loss fraction, staged once per tick
+	// from the fault schedule so the parallel advance shards read a
+	// plain float. Zero whenever faults are off or no window is active.
+	tickLoss float64
 
 	// leaveEv and timeoutEv track cancellable per-node events.
 	leaveEv   map[int]*sim.Event
@@ -87,6 +110,8 @@ func NewWorld(p Params, engine *sim.Engine, sink logsys.Sink, latency netmodel.L
 		Reach:            netmodel.Reachability{TraversalProb: p.TraversalProb},
 		Policy:           policy,
 		rng:              root.SplitLabeled("world"),
+		faultRNG:         root.SplitLabeled("faults"),
+		retrySalt:        seed,
 		Boot:             gossip.NewBootstrap(root.SplitLabeled("bootstrap")),
 		leaveEv:          make(map[int]*sim.Event),
 		timeoutEv:        make(map[int]*sim.Event),
@@ -242,14 +267,28 @@ func (w *World) Join(userID int, ep netmodel.Endpoint, watch sim.Time, patience,
 	return n
 }
 
+// retryDelay returns the pause before retry number `attempt` (1-based)
+// for the retrying identity `key`: the configured capped-exponential
+// backoff with deterministic jitter, or the legacy fixed RetryDelay
+// when no backoff is configured.
+func (w *World) retryDelay(attempt int, key uint64) sim.Time {
+	if w.Retry.Enabled() {
+		return w.Retry.Delay(attempt, key^w.retrySalt)
+	}
+	return w.P.RetryDelay
+}
+
 // failSession aborts a session that never reached media-ready and
-// schedules the user's retry if patience remains.
+// schedules the user's retry if patience remains. Successive failures
+// by the same user back off exponentially (capped, deterministically
+// jittered) when a Retry policy is configured.
 func (w *World) failSession(n *Node) {
 	w.FailedSessions++
 	userID, ep, watch, patience, retries := n.UserID, n.EP, n.watch, n.patience, n.Retries
 	w.depart(n, "join-timeout")
 	if patience > 0 {
-		w.Engine.After(w.P.RetryDelay, func() {
+		delay := w.retryDelay(retries+1, uint64(userID))
+		w.Engine.After(delay, func() {
 			w.Join(userID, ep, watch, patience-1, retries+1)
 		})
 	}
@@ -361,12 +400,22 @@ func (w *World) DepartAllPeers(reason string) int {
 }
 
 // bootstrapReply fills the joiner's mCache with the bootstrap's
-// candidate list and starts partner recruitment.
+// candidate list and starts partner recruitment. During a tracker
+// outage the contact fails: the node's next re-contact (driven by
+// maintainPartners) is pushed out by the capped backoff, attempt by
+// attempt, until the tracker answers again.
 func (w *World) bootstrapReply(n *Node) {
 	if n.State == StateDeparted {
 		return
 	}
 	now := w.Engine.Now()
+	if w.Faults != nil && w.Faults.TrackerDown(now) {
+		w.Faults.Stats.TrackerRefusals++
+		n.bootAttempts++
+		n.recruitingDue = now + w.retryDelay(n.bootAttempts, uint64(n.ID))
+		return
+	}
+	n.bootAttempts = 0
 	for _, e := range w.Boot.Candidates(n.ID, w.P.BootstrapCandidates) {
 		n.MCache.Insert(e, now)
 	}
@@ -391,8 +440,21 @@ func (w *World) recruit(n *Node) {
 }
 
 // attemptPartnership models the TCP partnership handshake with the
-// latency model and the NAT/firewall reachability rules.
+// latency model and the NAT/firewall reachability rules. With faults
+// enabled, attempts involving a NAT-class endpoint are refused with
+// the scheduled probability before the handshake is even sent (the
+// paper's NAT-blocked connections).
 func (w *World) attemptPartnership(n *Node, targetID int) {
+	if w.Faults != nil && w.Faults.Cfg.NATRefusalProb > 0 {
+		target := w.Node(targetID)
+		natSide := n.EP.Class == netmodel.NAT ||
+			(target != nil && target.EP.Class == netmodel.NAT)
+		if natSide && n.rng.Bool(w.Faults.Cfg.NATRefusalProb) {
+			w.Faults.Stats.NATRefusals++
+			n.MCache.Remove(targetID)
+			return
+		}
+	}
 	rtt := 2 * w.Latency.Delay(n.ID, targetID)
 	u := n.rng.Float64() // drawn now so event ordering cannot disturb streams
 	if w.P.ControlLossProb > 0 && n.rng.Bool(w.P.ControlLossProb) {
