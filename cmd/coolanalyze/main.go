@@ -56,34 +56,49 @@ func run() error {
 			fm = "log"
 		}
 	}
-	var recs []logsys.Record
+	// The raw log format streams: records flow straight from the
+	// scanner into the sessionizer, so a multi-gigabyte log never
+	// materializes as a []Record. The horizon default (last record
+	// time) and the emptiness check ride along on the same pass.
+	var (
+		count int
+		maxAt sim.Time
+	)
+	an := metrics.NewAnalyzer(0)
+	feed := func(rec logsys.Record) error {
+		count++
+		if rec.At > maxAt {
+			maxAt = rec.At
+		}
+		an.Feed(rec)
+		return nil
+	}
 	switch fm {
 	case "log":
-		recs, err = logsys.ReadLog(f)
+		err = logsys.ScanLog(f, feed)
 	case "jsonl":
+		var recs []logsys.Record
 		recs, err = trace.ReadRecords(f)
+		for _, rec := range recs {
+			feed(rec)
+		}
 	default:
 		return fmt.Errorf("unknown format %q", fm)
 	}
 	if err != nil {
 		return err
 	}
-	if len(recs) == 0 {
+	if count == 0 {
 		return fmt.Errorf("no records in %s", *in)
 	}
 
 	h := sim.Time((*horizon).Milliseconds())
 	if h <= 0 {
-		for _, rec := range recs {
-			if rec.At > h {
-				h = rec.At
-			}
-		}
-		h += sim.Minute
+		h = maxAt + sim.Minute
 	}
 	bkt := sim.Time((*bucket).Milliseconds())
 
-	a := metrics.Analyze(recs)
+	a := an.Finish()
 	render := func(t *metrics.Table) {
 		if *asCSV {
 			t.RenderCSV(os.Stdout)

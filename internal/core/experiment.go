@@ -76,7 +76,11 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	engine := sim.NewEngine(cfg.Tick)
-	sink := &logsys.MemorySink{}
+	// The collecting sink is sharded: sequential phases log through the
+	// mutex-guarded shared lane, parallel phases log lock-free into
+	// per-shard lanes, and the end-of-run drain merges deterministically
+	// by (time, peer, kind) — the same order MemorySink produced.
+	sink := logsys.NewShardedSink(0)
 
 	// Fault plan: the world consumes the schedule directly; log-server
 	// outages additionally interpose the client-side report buffer
@@ -162,7 +166,7 @@ func Run(cfg Config) (*Result, error) {
 	if schedule != nil {
 		res.FaultStats = schedule.Stats
 	}
-	res.Records = sink.Records()
+	res.Records = sink.Drain()
 	res.Analysis = metrics.Analyze(res.Records)
 	res.JoinedSessions = world.JoinedSessions
 	res.FailedSessions = world.FailedSessions

@@ -1,33 +1,142 @@
 package logsys
 
 import (
+	"io"
 	"testing"
 
 	"coolstream/internal/sim"
 )
 
-func BenchmarkLogStringEncode(b *testing.B) {
+// benchRecord returns a representative, fully-populated record of the
+// given kind so the codec benchmarks cover every field family.
+func benchRecord(kind EventKind) Record {
 	rec := Record{
-		Kind: KindPartner, At: 300 * sim.Second, Peer: 12345, Session: 67890,
-		User: 12345, PrivateAddr: true, InPartners: 3, OutPartners: 5,
-		ParentReachable: 3, ParentTotal: 4, NATParentLinks: 1, PartnerChanges: 2,
+		Kind: kind, At: 300 * sim.Second, Peer: 12345, Session: 67890,
+		User: 12345, PrivateAddr: true,
 	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = rec.LogString()
+	switch kind {
+	case KindLeave:
+		rec.Reason = "watch-done"
+	case KindQoS:
+		rec.Continuity = 0.987654
+	case KindTraffic:
+		rec.UploadBytes = 123456789
+		rec.DownloadBytes = 987654321
+	case KindPartner:
+		rec.InPartners = 3
+		rec.OutPartners = 5
+		rec.ParentReachable = 3
+		rec.ParentTotal = 4
+		rec.NATParentLinks = 1
+		rec.PartnerChanges = 2
+	}
+	return rec
+}
+
+// BenchmarkLogStringEncode measures the zero-allocation appender on
+// every record kind: the buffer is reused across iterations, so
+// steady-state encoding allocates nothing.
+func BenchmarkLogStringEncode(b *testing.B) {
+	for _, kind := range allKinds {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			rec := benchRecord(kind)
+			buf := rec.AppendLogString(nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = rec.AppendLogString(buf[:0])
+			}
+			_ = buf
+		})
 	}
 }
 
+// BenchmarkLogStringParse measures the scanning parser on every kind.
+// Values without escapes are substring-referenced in place, so parsing
+// allocates nothing.
 func BenchmarkLogStringParse(b *testing.B) {
-	s := Record{
-		Kind: KindQoS, At: 300 * sim.Second, Peer: 12345, Session: 67890,
-		User: 12345, Continuity: 0.987654,
-	}.LogString()
+	for _, kind := range allKinds {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			s := benchRecord(kind).LogString()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ParseLogString(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSinkLog compares the three collection paths a simulation
+// phase can log through: the global-mutex MemorySink, the ShardedSink
+// interface path (shared lane under the sink lock), and a ShardedSink
+// lane owned by the calling worker (no locking). Each op logs a fixed
+// batch into a fresh sink so slice-growth amortization is identical
+// across paths and the per-record lock cost stays visible.
+func BenchmarkSinkLog(b *testing.B) {
+	const batch = 4096
+	rec := benchRecord(KindQoS)
+	b.Run("memory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var s MemorySink
+			for j := 0; j < batch; j++ {
+				s.Log(rec)
+			}
+		}
+	})
+	b.Run("sharded-shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewShardedSink(1)
+			for j := 0; j < batch; j++ {
+				s.Log(rec)
+			}
+		}
+	})
+	b.Run("sharded-lane", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lane := NewShardedSink(1).Lane(0)
+			for j := 0; j < batch; j++ {
+				lane.Log(rec)
+			}
+		}
+	})
+}
+
+// BenchmarkWriterSink measures the streaming encode path of artifact
+// dumps: one buffered single-write log string per record.
+func BenchmarkWriterSink(b *testing.B) {
+	s := NewWriterSink(io.Discard)
+	rec := benchRecord(KindPartner)
 	b.ReportAllocs()
-	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ParseLogString(s); err != nil {
-			b.Fatal(err)
+		s.Log(rec)
+	}
+}
+
+// BenchmarkShardedDrain measures the end-of-run merge: 8 lanes of
+// presorted-by-time records merged and sorted into the analysis order.
+func BenchmarkShardedDrain(b *testing.B) {
+	const lanes, perLane = 8, 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := NewShardedSink(lanes)
+		for l := 0; l < lanes; l++ {
+			lane := s.Lane(l)
+			for j := 0; j < perLane; j++ {
+				lane.Log(Record{Kind: KindQoS, At: sim.Time(j), Peer: l*perLane + j})
+			}
+		}
+		b.StartTimer()
+		if got := s.Drain(); len(got) != lanes*perLane {
+			b.Fatal("short drain")
 		}
 	}
 }

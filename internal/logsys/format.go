@@ -16,8 +16,8 @@ package logsys
 
 import (
 	"fmt"
-	"net/url"
 	"strconv"
+	"strings"
 
 	"coolstream/internal/netmodel"
 	"coolstream/internal/sim"
@@ -92,105 +92,314 @@ type Record struct {
 	HasTruth  bool
 }
 
-// LogString renders the record as the paper's wire format: an HTTP
-// request path with a URL-encoded query string.
-func (rec Record) LogString() string {
-	v := url.Values{}
-	v.Set("ev", string(rec.Kind))
-	v.Set("t", strconv.FormatInt(int64(rec.At), 10))
-	v.Set("peer", strconv.Itoa(rec.Peer))
-	v.Set("sess", strconv.Itoa(rec.Session))
-	v.Set("user", strconv.Itoa(rec.User))
-	v.Set("priv", boolStr(rec.PrivateAddr))
+// AppendLogString appends the record's wire form to dst and returns
+// the extended slice. The output is byte-identical to the historical
+// url.Values implementation ("/log?" + Values.Encode()): keys are
+// emitted in canonical sorted order
+//
+//	ci down ev in natlinks out pchg peer preach priv ptotal reason
+//	sess t up user xclass
+//
+// (each key present only for the kinds that carry it), and values are
+// query-escaped exactly as net/url's QueryEscape does. A steady-state
+// caller reusing dst performs zero allocations.
+func (rec Record) AppendLogString(dst []byte) []byte {
+	dst = append(dst, "/log?"...)
 	switch rec.Kind {
-	case KindLeave:
-		if rec.Reason != "" {
-			v.Set("reason", rec.Reason)
-		}
 	case KindQoS:
-		v.Set("ci", strconv.FormatFloat(rec.Continuity, 'f', 6, 64))
+		dst = append(dst, "ci="...)
+		dst = appendEscapedFloat(dst, rec.Continuity)
+		dst = append(dst, "&ev="...)
 	case KindTraffic:
-		v.Set("up", strconv.FormatInt(rec.UploadBytes, 10))
-		v.Set("down", strconv.FormatInt(rec.DownloadBytes, 10))
-	case KindPartner:
-		v.Set("in", strconv.Itoa(rec.InPartners))
-		v.Set("out", strconv.Itoa(rec.OutPartners))
-		v.Set("preach", strconv.Itoa(rec.ParentReachable))
-		v.Set("ptotal", strconv.Itoa(rec.ParentTotal))
-		v.Set("natlinks", strconv.Itoa(rec.NATParentLinks))
-		v.Set("pchg", strconv.Itoa(rec.PartnerChanges))
+		dst = append(dst, "down="...)
+		dst = strconv.AppendInt(dst, rec.DownloadBytes, 10)
+		dst = append(dst, "&ev="...)
+	default:
+		dst = append(dst, "ev="...)
 	}
+	dst = appendQueryEscaped(dst, string(rec.Kind))
+	if rec.Kind == KindPartner {
+		dst = append(dst, "&in="...)
+		dst = strconv.AppendInt(dst, int64(rec.InPartners), 10)
+		dst = append(dst, "&natlinks="...)
+		dst = strconv.AppendInt(dst, int64(rec.NATParentLinks), 10)
+		dst = append(dst, "&out="...)
+		dst = strconv.AppendInt(dst, int64(rec.OutPartners), 10)
+		dst = append(dst, "&pchg="...)
+		dst = strconv.AppendInt(dst, int64(rec.PartnerChanges), 10)
+	}
+	dst = append(dst, "&peer="...)
+	dst = strconv.AppendInt(dst, int64(rec.Peer), 10)
+	if rec.Kind == KindPartner {
+		dst = append(dst, "&preach="...)
+		dst = strconv.AppendInt(dst, int64(rec.ParentReachable), 10)
+	}
+	dst = append(dst, "&priv="...)
+	if rec.PrivateAddr {
+		dst = append(dst, '1')
+	} else {
+		dst = append(dst, '0')
+	}
+	if rec.Kind == KindPartner {
+		dst = append(dst, "&ptotal="...)
+		dst = strconv.AppendInt(dst, int64(rec.ParentTotal), 10)
+	}
+	if rec.Kind == KindLeave && rec.Reason != "" {
+		dst = append(dst, "&reason="...)
+		dst = appendQueryEscaped(dst, rec.Reason)
+	}
+	dst = append(dst, "&sess="...)
+	dst = strconv.AppendInt(dst, int64(rec.Session), 10)
+	dst = append(dst, "&t="...)
+	dst = strconv.AppendInt(dst, int64(rec.At), 10)
+	if rec.Kind == KindTraffic {
+		dst = append(dst, "&up="...)
+		dst = strconv.AppendInt(dst, rec.UploadBytes, 10)
+	}
+	dst = append(dst, "&user="...)
+	dst = strconv.AppendInt(dst, int64(rec.User), 10)
 	if rec.HasTruth {
-		v.Set("xclass", rec.TrueClass.String())
+		dst = append(dst, "&xclass="...)
+		dst = appendQueryEscaped(dst, rec.TrueClass.String())
 	}
-	return "/log?" + v.Encode()
+	return dst
 }
 
-func boolStr(b bool) string {
-	if b {
-		return "1"
+// LogString renders the record as the paper's wire format: an HTTP
+// request path with a URL-encoded query string. It is a convenience
+// wrapper over AppendLogString.
+func (rec Record) LogString() string {
+	return string(rec.AppendLogString(nil))
+}
+
+const upperhex = "0123456789ABCDEF"
+
+// appendQueryEscaped appends s query-escaped per net/url's QueryEscape:
+// unreserved bytes (alphanumerics and -_.~) pass through, space becomes
+// '+', everything else becomes %XX with uppercase hex.
+func appendQueryEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ':
+			dst = append(dst, '+')
+		case unreservedQuery(c):
+			dst = append(dst, c)
+		default:
+			dst = append(dst, '%', upperhex[c>>4], upperhex[c&0xf])
+		}
 	}
-	return "0"
+	return dst
+}
+
+func unreservedQuery(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' ||
+		c == '-' || c == '_' || c == '.' || c == '~'
+}
+
+// appendEscapedFloat appends the 'f'/prec-6 rendering of v,
+// query-escaped (only ±Inf renderings contain a byte that needs it).
+func appendEscapedFloat(dst []byte, v float64) []byte {
+	var tmp [32]byte
+	s := strconv.AppendFloat(tmp[:0], v, 'f', 6, 64)
+	for _, c := range s {
+		switch {
+		case c == ' ':
+			dst = append(dst, '+')
+		case unreservedQuery(c):
+			dst = append(dst, c)
+		default:
+			dst = append(dst, '%', upperhex[c>>4], upperhex[c&0xf])
+		}
+	}
+	return dst
+}
+
+// Field indices of the scanning parser's raw-value table. One slot per
+// known key; unknown keys are ignored exactly as the url.Values
+// implementation ignored them.
+const (
+	fEv = iota
+	fT
+	fPeer
+	fSess
+	fUser
+	fPriv
+	fReason
+	fCI
+	fUp
+	fDown
+	fIn
+	fOut
+	fPreach
+	fPtotal
+	fNatlinks
+	fPchg
+	fXclass
+	numFields
+)
+
+// keyField maps a query key to its field slot, or -1.
+func keyField(k string) int {
+	switch k {
+	case "ev":
+		return fEv
+	case "t":
+		return fT
+	case "peer":
+		return fPeer
+	case "sess":
+		return fSess
+	case "user":
+		return fUser
+	case "priv":
+		return fPriv
+	case "reason":
+		return fReason
+	case "ci":
+		return fCI
+	case "up":
+		return fUp
+	case "down":
+		return fDown
+	case "in":
+		return fIn
+	case "out":
+		return fOut
+	case "preach":
+		return fPreach
+	case "ptotal":
+		return fPtotal
+	case "natlinks":
+		return fNatlinks
+	case "pchg":
+		return fPchg
+	case "xclass":
+		return fXclass
+	}
+	return -1
+}
+
+// partnerFields lists the partner-report integer fields in fixed
+// declaration order, so a malformed report deterministically names the
+// first bad field (the url.Values-era map iteration made the reported
+// field vary run-to-run).
+var partnerFields = [...]struct {
+	key  string
+	slot int
+}{
+	{"in", fIn}, {"out", fOut}, {"preach", fPreach},
+	{"ptotal", fPtotal}, {"natlinks", fNatlinks}, {"pchg", fPchg},
 }
 
 // ParseLogString parses a log string produced by LogString (or by the
-// HTTP log server's request handler).
+// HTTP log server's request handler). It is a map-free single-pass
+// scanner: query pairs are walked in place, known keys land in a
+// fixed-size raw-value table (first occurrence wins, matching
+// url.Values.Get), and values are taken as sub-strings of the input
+// unless they actually contain escapes. Parsing a status report
+// allocates nothing.
 func ParseLogString(s string) (Record, error) {
 	var rec Record
-	u, err := url.Parse(s)
-	if err != nil {
-		return rec, fmt.Errorf("logsys: bad log string: %w", err)
+	var vals [numFields]string
+	var seen uint32
+
+	// Isolate the raw query: everything between the first '?' and the
+	// fragment, as url.Parse would have.
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
 	}
-	v := u.Query()
-	kind := EventKind(v.Get("ev"))
+	if i := strings.IndexByte(s, '?'); i >= 0 {
+		s = s[i+1:]
+	} else {
+		s = ""
+	}
+	// Walk the pairs. Mirroring net/url's query parser: empty pairs and
+	// pairs containing ';' or an invalid escape are skipped.
+	for len(s) > 0 {
+		pair := s
+		if i := strings.IndexByte(s, '&'); i >= 0 {
+			pair, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
+		if pair == "" || strings.IndexByte(pair, ';') >= 0 {
+			continue
+		}
+		key, val := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			key, val = pair[:i], pair[i+1:]
+		}
+		if needsUnescape(key) {
+			k, ok := queryUnescape(key)
+			if !ok {
+				continue
+			}
+			key = k
+		}
+		f := keyField(key)
+		if f < 0 || seen&(1<<f) != 0 {
+			continue // unknown key, or a repeat (first occurrence wins)
+		}
+		if needsUnescape(val) {
+			v, ok := queryUnescape(val)
+			if !ok {
+				continue
+			}
+			val = v
+		}
+		seen |= 1 << f
+		vals[f] = val
+	}
+
+	kind := EventKind(vals[fEv])
 	switch kind {
 	case KindJoin, KindStartSub, KindMediaReady, KindLeave, KindQoS, KindTraffic, KindPartner:
 	default:
-		return rec, fmt.Errorf("logsys: unknown event kind %q", v.Get("ev"))
+		return rec, fmt.Errorf("logsys: unknown event kind %q", vals[fEv])
 	}
 	rec.Kind = kind
-	at, err := strconv.ParseInt(v.Get("t"), 10, 64)
+	at, err := strconv.ParseInt(vals[fT], 10, 64)
 	if err != nil {
 		return rec, fmt.Errorf("logsys: bad timestamp: %w", err)
 	}
 	rec.At = sim.Time(at)
-	if rec.Peer, err = strconv.Atoi(v.Get("peer")); err != nil {
+	if rec.Peer, err = strconv.Atoi(vals[fPeer]); err != nil {
 		return rec, fmt.Errorf("logsys: bad peer id: %w", err)
 	}
-	if rec.Session, err = strconv.Atoi(v.Get("sess")); err != nil {
+	if rec.Session, err = strconv.Atoi(vals[fSess]); err != nil {
 		return rec, fmt.Errorf("logsys: bad session id: %w", err)
 	}
-	if rec.User, err = strconv.Atoi(v.Get("user")); err != nil {
+	if rec.User, err = strconv.Atoi(vals[fUser]); err != nil {
 		return rec, fmt.Errorf("logsys: bad user id: %w", err)
 	}
-	rec.PrivateAddr = v.Get("priv") == "1"
+	rec.PrivateAddr = vals[fPriv] == "1"
 	switch kind {
 	case KindLeave:
-		rec.Reason = v.Get("reason")
+		rec.Reason = vals[fReason]
 	case KindQoS:
-		if rec.Continuity, err = strconv.ParseFloat(v.Get("ci"), 64); err != nil {
+		if rec.Continuity, err = strconv.ParseFloat(vals[fCI], 64); err != nil {
 			return rec, fmt.Errorf("logsys: bad continuity: %w", err)
 		}
 	case KindTraffic:
-		if rec.UploadBytes, err = strconv.ParseInt(v.Get("up"), 10, 64); err != nil {
+		if rec.UploadBytes, err = strconv.ParseInt(vals[fUp], 10, 64); err != nil {
 			return rec, fmt.Errorf("logsys: bad upload bytes: %w", err)
 		}
-		if rec.DownloadBytes, err = strconv.ParseInt(v.Get("down"), 10, 64); err != nil {
+		if rec.DownloadBytes, err = strconv.ParseInt(vals[fDown], 10, 64); err != nil {
 			return rec, fmt.Errorf("logsys: bad download bytes: %w", err)
 		}
 	case KindPartner:
-		ints := map[string]*int{
-			"in": &rec.InPartners, "out": &rec.OutPartners,
-			"preach": &rec.ParentReachable, "ptotal": &rec.ParentTotal,
-			"natlinks": &rec.NATParentLinks, "pchg": &rec.PartnerChanges,
+		dsts := [...]*int{
+			&rec.InPartners, &rec.OutPartners, &rec.ParentReachable,
+			&rec.ParentTotal, &rec.NATParentLinks, &rec.PartnerChanges,
 		}
-		for key, dst := range ints {
-			if *dst, err = strconv.Atoi(v.Get(key)); err != nil {
-				return rec, fmt.Errorf("logsys: bad partner field %s: %w", key, err)
+		for i, pf := range partnerFields {
+			if *dsts[i], err = strconv.Atoi(vals[pf.slot]); err != nil {
+				return rec, fmt.Errorf("logsys: bad partner field %s: %w", pf.key, err)
 			}
 		}
 	}
-	if x := v.Get("xclass"); x != "" {
+	if x := vals[fXclass]; x != "" {
 		c, err := netmodel.ParseUserClass(x)
 		if err != nil {
 			return rec, err
@@ -199,4 +408,56 @@ func ParseLogString(s string) (Record, error) {
 		rec.HasTruth = true
 	}
 	return rec, nil
+}
+
+// needsUnescape reports whether s contains query-escape syntax ('%' or
+// '+'); the common simulator-generated log string contains neither, so
+// values stay zero-copy sub-strings of the input.
+func needsUnescape(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' || s[i] == '+' {
+			return true
+		}
+	}
+	return false
+}
+
+// queryUnescape decodes %XX escapes and '+' (query mode). It returns
+// ok=false on a malformed escape, matching net/url, whose query parser
+// then drops the whole pair.
+func queryUnescape(s string) (string, bool) {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '%':
+			if i+2 >= len(s) {
+				return "", false
+			}
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if !ok1 || !ok2 {
+				return "", false
+			}
+			b.WriteByte(hi<<4 | lo)
+			i += 2
+		case '+':
+			b.WriteByte(' ')
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String(), true
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
 }

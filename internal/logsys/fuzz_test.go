@@ -1,10 +1,247 @@
 package logsys
 
 import (
+	"fmt"
+	"net/url"
+	"strconv"
 	"testing"
 
+	"coolstream/internal/netmodel"
 	"coolstream/internal/sim"
+	"coolstream/internal/xrand"
 )
+
+// urlValuesLogString is the historical url.Values-based encoder, kept
+// verbatim as the reference the zero-allocation appender must match
+// byte for byte.
+func urlValuesLogString(rec Record) string {
+	v := url.Values{}
+	v.Set("ev", string(rec.Kind))
+	v.Set("t", strconv.FormatInt(int64(rec.At), 10))
+	v.Set("peer", strconv.Itoa(rec.Peer))
+	v.Set("sess", strconv.Itoa(rec.Session))
+	v.Set("user", strconv.Itoa(rec.User))
+	if rec.PrivateAddr {
+		v.Set("priv", "1")
+	} else {
+		v.Set("priv", "0")
+	}
+	switch rec.Kind {
+	case KindLeave:
+		if rec.Reason != "" {
+			v.Set("reason", rec.Reason)
+		}
+	case KindQoS:
+		v.Set("ci", strconv.FormatFloat(rec.Continuity, 'f', 6, 64))
+	case KindTraffic:
+		v.Set("up", strconv.FormatInt(rec.UploadBytes, 10))
+		v.Set("down", strconv.FormatInt(rec.DownloadBytes, 10))
+	case KindPartner:
+		v.Set("in", strconv.Itoa(rec.InPartners))
+		v.Set("out", strconv.Itoa(rec.OutPartners))
+		v.Set("preach", strconv.Itoa(rec.ParentReachable))
+		v.Set("ptotal", strconv.Itoa(rec.ParentTotal))
+		v.Set("natlinks", strconv.Itoa(rec.NATParentLinks))
+		v.Set("pchg", strconv.Itoa(rec.PartnerChanges))
+	}
+	if rec.HasTruth {
+		v.Set("xclass", rec.TrueClass.String())
+	}
+	return "/log?" + v.Encode()
+}
+
+// urlValuesParseLogString is the historical url.Values-based parser,
+// kept as the reference the scanning parser is differenced against.
+// (The partner-field loop uses the fixed order of the new parser; the
+// original ranged a map, which only changed *which* error a malformed
+// report surfaced, never whether it errored.)
+func urlValuesParseLogString(s string) (Record, error) {
+	var rec Record
+	u, err := url.Parse(s)
+	if err != nil {
+		return rec, fmt.Errorf("logsys: bad log string: %w", err)
+	}
+	v := u.Query()
+	kind := EventKind(v.Get("ev"))
+	switch kind {
+	case KindJoin, KindStartSub, KindMediaReady, KindLeave, KindQoS, KindTraffic, KindPartner:
+	default:
+		return rec, fmt.Errorf("logsys: unknown event kind %q", v.Get("ev"))
+	}
+	rec.Kind = kind
+	at, err := strconv.ParseInt(v.Get("t"), 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("logsys: bad timestamp: %w", err)
+	}
+	rec.At = sim.Time(at)
+	if rec.Peer, err = strconv.Atoi(v.Get("peer")); err != nil {
+		return rec, fmt.Errorf("logsys: bad peer id: %w", err)
+	}
+	if rec.Session, err = strconv.Atoi(v.Get("sess")); err != nil {
+		return rec, fmt.Errorf("logsys: bad session id: %w", err)
+	}
+	if rec.User, err = strconv.Atoi(v.Get("user")); err != nil {
+		return rec, fmt.Errorf("logsys: bad user id: %w", err)
+	}
+	rec.PrivateAddr = v.Get("priv") == "1"
+	switch kind {
+	case KindLeave:
+		rec.Reason = v.Get("reason")
+	case KindQoS:
+		if rec.Continuity, err = strconv.ParseFloat(v.Get("ci"), 64); err != nil {
+			return rec, fmt.Errorf("logsys: bad continuity: %w", err)
+		}
+	case KindTraffic:
+		if rec.UploadBytes, err = strconv.ParseInt(v.Get("up"), 10, 64); err != nil {
+			return rec, fmt.Errorf("logsys: bad upload bytes: %w", err)
+		}
+		if rec.DownloadBytes, err = strconv.ParseInt(v.Get("down"), 10, 64); err != nil {
+			return rec, fmt.Errorf("logsys: bad download bytes: %w", err)
+		}
+	case KindPartner:
+		dsts := [...]*int{
+			&rec.InPartners, &rec.OutPartners, &rec.ParentReachable,
+			&rec.ParentTotal, &rec.NATParentLinks, &rec.PartnerChanges,
+		}
+		for i, pf := range partnerFields {
+			if *dsts[i], err = strconv.Atoi(v.Get(pf.key)); err != nil {
+				return rec, fmt.Errorf("logsys: bad partner field %s: %w", pf.key, err)
+			}
+		}
+	}
+	if x := v.Get("xclass"); x != "" {
+		c, err := netmodel.ParseUserClass(x)
+		if err != nil {
+			return rec, err
+		}
+		rec.TrueClass = c
+		rec.HasTruth = true
+	}
+	return rec, nil
+}
+
+// allKinds covers the full record-kind alphabet.
+var allKinds = []EventKind{
+	KindJoin, KindStartSub, KindMediaReady, KindLeave,
+	KindQoS, KindTraffic, KindPartner,
+}
+
+// recordFromSeed derives an arbitrary-but-deterministic record from
+// fuzz/quick primitives, exercising every kind and the optional fields,
+// including reasons that need query escaping.
+func recordFromSeed(seed uint64, reason string) Record {
+	r := xrand.New(seed)
+	rec := Record{
+		Kind:        allKinds[r.Intn(len(allKinds))],
+		At:          sim.Time(r.Int63n(1<<50) - 1<<20),
+		Peer:        r.Intn(1<<24) - 1<<10,
+		Session:     r.Intn(1<<24) - 1<<10,
+		User:        r.Intn(1<<24) - 1<<10,
+		PrivateAddr: r.Bool(0.5),
+	}
+	switch rec.Kind {
+	case KindLeave:
+		rec.Reason = reason
+	case KindQoS:
+		rec.Continuity = float64(r.Int63n(2000001)-1000000) / 1000000
+	case KindTraffic:
+		rec.UploadBytes = r.Int63n(1<<50) - 1<<20
+		rec.DownloadBytes = r.Int63n(1<<50) - 1<<20
+	case KindPartner:
+		rec.InPartners = r.Intn(100)
+		rec.OutPartners = r.Intn(100)
+		rec.ParentTotal = r.Intn(16)
+		rec.ParentReachable = r.Intn(rec.ParentTotal + 1)
+		rec.NATParentLinks = r.Intn(8)
+		rec.PartnerChanges = r.Intn(64)
+	}
+	if r.Bool(0.4) {
+		rec.TrueClass = netmodel.UserClass(r.Intn(netmodel.NumClasses))
+		rec.HasTruth = true
+	}
+	return rec
+}
+
+// checkCodecDifferential asserts the three-way contract on one record:
+// the appender's bytes equal the url.Values encoder's bytes, the
+// scanning parser and the url.Values parser agree on them, and the
+// record round-trips exactly.
+func checkCodecDifferential(t *testing.T, rec Record) {
+	t.Helper()
+	back := checkCodecAgreement(t, rec)
+	if back != rec {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", rec, back)
+	}
+}
+
+// checkCodecAgreement asserts encoder byte-equality and parser
+// agreement with the url.Values reference, and returns the parsed
+// record. Unlike checkCodecDifferential it does not require the exact
+// input back — the wire format's 6-decimal continuity is inherently
+// lossy for values off that grid (true of the url.Values codec too).
+func checkCodecAgreement(t *testing.T, rec Record) Record {
+	t.Helper()
+	want := urlValuesLogString(rec)
+	got := string(rec.AppendLogString(nil))
+	if got != want {
+		t.Fatalf("encoder diverged from url.Values reference:\n new: %q\n ref: %q\n rec: %+v", got, want, rec)
+	}
+	back, err := ParseLogString(got)
+	if err != nil {
+		t.Fatalf("scanning parser rejected own encoding %q: %v", got, err)
+	}
+	ref, refErr := urlValuesParseLogString(got)
+	if refErr != nil {
+		t.Fatalf("reference parser rejected encoding %q: %v", got, refErr)
+	}
+	if back != ref {
+		t.Fatalf("parsers disagree on %q:\n new: %+v\n ref: %+v", got, back, ref)
+	}
+	// The parsed record must be a fixed point: re-encoding it agrees on
+	// both encoders and parses back to itself.
+	if again := string(back.AppendLogString(nil)); again != urlValuesLogString(back) {
+		t.Fatalf("re-encoders diverge on %+v", back)
+	} else if twice, err := ParseLogString(again); err != nil || twice != back {
+		t.Fatalf("round trip not idempotent (%v):\n%+v\n%+v", err, back, twice)
+	}
+	return back
+}
+
+// FuzzCodecDifferential drives the differential contract from fuzzed
+// primitives, letting the engine explore reasons with every byte value
+// (exercising the query-escape paths on both sides).
+func FuzzCodecDifferential(f *testing.F) {
+	f.Add(uint64(1), "user")
+	f.Add(uint64(2), "program-end")
+	f.Add(uint64(3), "")
+	f.Add(uint64(4), "stall re-enter & rejoin")
+	f.Add(uint64(5), "100%+\x00\xff")
+	f.Fuzz(func(t *testing.T, seed uint64, reason string) {
+		checkCodecDifferential(t, recordFromSeed(seed, reason))
+	})
+}
+
+// TestCodecDifferential runs the same differential contract over a
+// broad deterministic sweep (all kinds, escaped reasons, negative and
+// huge numerics) so the guarantee is enforced by plain `go test`, not
+// only under -fuzz.
+func TestCodecDifferential(t *testing.T) {
+	reasons := []string{
+		"", "user", "program-end", "join-timeout", "stall-reenter",
+		"with space", "pct%41", "amp&eq=", "plus+plus", "unicode-é™",
+		"ctrl\x01\x1f", "semi;colon", "slash/?#frag",
+	}
+	for seed := uint64(0); seed < 3000; seed++ {
+		checkCodecDifferential(t, recordFromSeed(seed, reasons[seed%uint64(len(reasons))]))
+	}
+	// Extreme continuity values hit the float escape and slow-growth
+	// paths; off-grid values (1e-12) are lossy under the format's fixed
+	// 6-decimal precision, so only codec agreement is required.
+	for _, ci := range []float64{0, 1, -1, 0.5, 1e308, -1e308, 1e-12, 123456.789e-4} {
+		rec := Record{Kind: KindQoS, At: 1, Peer: 2, Session: 3, User: 4, Continuity: ci}
+		checkCodecAgreement(t, rec)
+	}
+}
 
 // FuzzParseLogString asserts the parser never panics and that every
 // accepted record re-encodes to a string the parser accepts again with
@@ -23,6 +260,8 @@ func FuzzParseLogString(f *testing.F) {
 	f.Add("/log?ev=join")
 	f.Add("garbage")
 	f.Add("")
+	f.Add("/log?ev=leave&t=0&peer=1&sess=1&user=1&reason=%2Bspace+pct%25")
+	f.Add("/log?ev=join&ev=leave&t=0&t=9&peer=1&sess=1&user=1#frag")
 	f.Fuzz(func(t *testing.T, s string) {
 		rec, err := ParseLogString(s)
 		if err != nil {

@@ -3,6 +3,7 @@ package logsys
 import (
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"coolstream/internal/sim"
@@ -81,6 +82,53 @@ func TestNewServerPanicsOnNilSink(t *testing.T) {
 		}
 	}()
 	NewServer(nil)
+}
+
+// TestServerConcurrentReporters hammers the server from many client
+// goroutines at once — the deployed shape, where thousands of peers
+// report independently. Every record must land intact and parseable.
+func TestServerConcurrentReporters(t *testing.T) {
+	var sink MemorySink
+	ts := httptest.NewServer(NewServer(&sink))
+	defer ts.Close()
+
+	const reporters, reports = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, reporters)
+	for g := 0; g < reporters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewClient(ts.URL, nil)
+			for i := 0; i < reports; i++ {
+				rec := Record{Kind: KindQoS, At: sim.Time(i) * sim.Second,
+					Peer: g, Session: g*1000 + i, User: g, Continuity: 0.5}
+				if err := c.Report(rec); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	recs := sink.Records()
+	if len(recs) != reporters*reports {
+		t.Fatalf("stored %d of %d", len(recs), reporters*reports)
+	}
+	seen := make(map[int]bool, len(recs))
+	for _, rec := range recs {
+		if seen[rec.Session] {
+			t.Fatalf("duplicate session %d", rec.Session)
+		}
+		seen[rec.Session] = true
+		if rec.Continuity != 0.5 || rec.Session != rec.Peer*1000+int(rec.At/sim.Second) {
+			t.Fatalf("record corrupted in transit: %+v", rec)
+		}
+	}
 }
 
 func TestEndToEndManyReports(t *testing.T) {

@@ -1,0 +1,142 @@
+package logsys
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ShardedSink collects records into per-worker append-only lanes so
+// parallel simulation phases can log without serializing on a global
+// mutex. Each Lane is a single-producer buffer: a worker that owns a
+// lane appends with no locking at all. The Sink interface path
+// (ShardedSink.Log) remains safe for arbitrary concurrent callers; it
+// serializes on a dedicated shared lane, preserving arrival order for
+// sequential phases exactly as MemorySink did.
+//
+// Determinism contract: Drain/Records merge every lane and stable-sort
+// by (time, peer, kind) — the same order MemorySink.Records() returns.
+// Records that tie on all three keys keep (shared lane, lane 0, lane
+// 1, …; in-lane arrival) order; the simulator never emits such ties
+// (a peer reports at most one record of a kind per virtual instant),
+// so the merged stream is independent of how work was sharded — the
+// run digest is identical at any GOMAXPROCS.
+type ShardedSink struct {
+	mu     sync.Mutex
+	shared Lane // Sink-interface path, guarded by mu
+	lanes  []*Lane
+}
+
+// Lane is one single-producer append buffer of a ShardedSink. The
+// owner may call Log with no synchronization as long as no other
+// goroutine uses the same lane concurrently and no Drain/Records call
+// overlaps the producing phase (the simulator's phase barriers
+// guarantee both).
+type Lane struct {
+	recs []Record
+	// Pad lanes apart so adjacent lanes' slice headers never share a
+	// cache line under concurrent append.
+	_ [40]byte
+}
+
+// Log implements Sink for the lane's owning worker, with no locking.
+func (l *Lane) Log(rec Record) { l.recs = append(l.recs, rec) }
+
+// NewShardedSink creates a sink with n pre-allocated lanes (n <= 0
+// selects GOMAXPROCS). Lane grows the set on demand.
+func NewShardedSink(n int) *ShardedSink {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &ShardedSink{}
+	s.grow(n)
+	return s
+}
+
+func (s *ShardedSink) grow(n int) {
+	for len(s.lanes) < n {
+		s.lanes = append(s.lanes, &Lane{})
+	}
+}
+
+// Lane returns worker i's lane, growing the lane set if needed. Lane
+// pointers are stable across growth. Callers should fetch lanes from a
+// sequential section (growth takes the sink lock) and hand them to
+// workers.
+func (s *ShardedSink) Lane(i int) *Lane {
+	s.mu.Lock()
+	s.grow(i + 1)
+	l := s.lanes[i]
+	s.mu.Unlock()
+	return l
+}
+
+// Lanes returns the current number of lanes.
+func (s *ShardedSink) Lanes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lanes)
+}
+
+// Log implements Sink for arbitrary concurrent callers: records land
+// in the shared lane under the sink lock, in arrival order.
+func (s *ShardedSink) Log(rec Record) {
+	s.mu.Lock()
+	s.shared.recs = append(s.shared.recs, rec)
+	s.mu.Unlock()
+}
+
+// Len returns the number of records across every lane.
+func (s *ShardedSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.shared.recs)
+	for _, l := range s.lanes {
+		n += len(l.recs)
+	}
+	return n
+}
+
+// Drain merges all lanes into one slice sorted by (time, peer, kind)
+// and resets the sink. The returned slice reuses the largest lane's
+// backing array where possible; no per-record copy beyond the merge
+// itself is made. Must not overlap a producing phase.
+func (s *ShardedSink) Drain() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.shared.recs
+	s.shared.recs = nil
+	for _, l := range s.lanes {
+		out = append(out, l.recs...)
+		l.recs = nil
+	}
+	sortRecords(out)
+	return out
+}
+
+// Records returns a merged sorted copy without resetting the sink.
+func (s *ShardedSink) Records() []Record {
+	s.mu.Lock()
+	out := make([]Record, 0, len(s.shared.recs))
+	out = append(out, s.shared.recs...)
+	for _, l := range s.lanes {
+		out = append(out, l.recs...)
+	}
+	s.mu.Unlock()
+	sortRecords(out)
+	return out
+}
+
+// sortRecords orders records by (time, peer, kind), the canonical
+// analysis order shared by MemorySink.Records and ShardedSink.Drain.
+func sortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].At != recs[j].At {
+			return recs[i].At < recs[j].At
+		}
+		if recs[i].Peer != recs[j].Peer {
+			return recs[i].Peer < recs[j].Peer
+		}
+		return recs[i].Kind < recs[j].Kind
+	})
+}

@@ -1,0 +1,123 @@
+package logsys
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"coolstream/internal/sim"
+)
+
+// interleavedWorkload spreads the same records across a MemorySink
+// (arrival order) and a ShardedSink's lanes (round-robin, so merge
+// order is exercised) and returns both.
+func interleavedWorkload(lanes int) (*MemorySink, *ShardedSink) {
+	mem := &MemorySink{}
+	sh := NewShardedSink(lanes)
+	for i := 0; i < 500; i++ {
+		rec := Record{
+			Kind:    allKinds[i%len(allKinds)],
+			At:      sim.Time((i * 37) % 97),
+			Peer:    (i * 13) % 29,
+			Session: i,
+			User:    i % 7,
+		}
+		mem.Log(rec)
+		if i%5 == 0 {
+			sh.Log(rec) // interface path → shared lane
+		} else {
+			sh.Lane(i % lanes).Log(rec)
+		}
+	}
+	return mem, sh
+}
+
+// TestShardedSinkMatchesMemorySinkOrder is the determinism contract:
+// however records are spread across lanes, the merged sorted stream
+// must equal what a MemorySink would have produced.
+func TestShardedSinkMatchesMemorySinkOrder(t *testing.T) {
+	for _, lanes := range []int{1, 3, 8} {
+		mem, sh := interleavedWorkload(lanes)
+		want := mem.Records()
+		got := sh.Records()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("lanes=%d: merged order differs from MemorySink", lanes)
+		}
+		// Drain must yield the same stream and then reset the sink.
+		drained := sh.Drain()
+		if !reflect.DeepEqual(drained, want) {
+			t.Fatalf("lanes=%d: Drain order differs from MemorySink", lanes)
+		}
+		if sh.Len() != 0 || len(sh.Drain()) != 0 {
+			t.Fatalf("lanes=%d: sink not empty after Drain", lanes)
+		}
+	}
+}
+
+func TestShardedSinkLaneGrowth(t *testing.T) {
+	s := NewShardedSink(2)
+	if s.Lanes() != 2 {
+		t.Fatalf("initial lanes = %d", s.Lanes())
+	}
+	l5 := s.Lane(5)
+	if s.Lanes() != 6 {
+		t.Fatalf("lanes after growth = %d", s.Lanes())
+	}
+	// Lane pointers must be stable across further growth.
+	l5.Log(Record{Kind: KindJoin, Peer: 42})
+	s.Lane(11)
+	if s.Lane(5) != l5 {
+		t.Fatal("lane pointer not stable across growth")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// TestShardedSinkConcurrentInterfacePath checks that the Sink
+// interface path stays safe for arbitrary concurrent callers (run
+// under -race in CI).
+func TestShardedSinkConcurrentInterfacePath(t *testing.T) {
+	s := NewShardedSink(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Log(Record{Kind: KindQoS, At: sim.Time(i), Peer: g})
+			}
+		}(g)
+	}
+	// Lane owners may append concurrently with each other and with the
+	// interface path, as long as each lane has one producer.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lane := s.Lane(g)
+			for i := 0; i < 200; i++ {
+				lane.Log(Record{Kind: KindTraffic, At: sim.Time(i), Peer: 100 + g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200+4*200 {
+		t.Fatalf("lost records: %d", s.Len())
+	}
+}
+
+// TestShardedSinkSharedLaneKeepsArrivalOrder: ties on (time, peer,
+// kind) keep shared-lane arrival order, matching MemorySink's stable
+// sort of its arrival log.
+func TestShardedSinkSharedLaneKeepsArrivalOrder(t *testing.T) {
+	s := NewShardedSink(1)
+	a := Record{Kind: KindQoS, At: 10, Peer: 1, Continuity: 0.25}
+	b := Record{Kind: KindQoS, At: 10, Peer: 1, Continuity: 0.75}
+	s.Log(a)
+	s.Log(b)
+	got := s.Drain()
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("tie order not preserved: %+v", got)
+	}
+}

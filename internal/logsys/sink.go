@@ -3,7 +3,7 @@ package logsys
 import (
 	"bufio"
 	"io"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -19,30 +19,44 @@ type Sink interface {
 type MemorySink struct {
 	mu   sync.Mutex
 	recs []Record
+	// sorted caches the (time, peer, kind)-ordered view so repeated
+	// Records() calls skip the O(n log n) re-sort; Log invalidates it.
+	sorted []Record
 }
 
 // Log implements Sink.
 func (s *MemorySink) Log(rec Record) {
 	s.mu.Lock()
 	s.recs = append(s.recs, rec)
+	s.sorted = nil
 	s.mu.Unlock()
 }
 
-// Records returns all records sorted by (time, peer, kind) for
-// deterministic analysis.
+// Records returns a copy of all records sorted by (time, peer, kind)
+// for deterministic analysis. The sorted view is cached: only the
+// first call after a Log pays the sort.
 func (s *MemorySink) Records() []Record {
 	s.mu.Lock()
-	out := append([]Record(nil), s.recs...)
-	s.mu.Unlock()
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].At != out[j].At {
-			return out[i].At < out[j].At
-		}
-		if out[i].Peer != out[j].Peer {
-			return out[i].Peer < out[j].Peer
-		}
-		return out[i].Kind < out[j].Kind
-	})
+	defer s.mu.Unlock()
+	if s.sorted == nil && len(s.recs) > 0 {
+		s.sorted = append([]Record(nil), s.recs...)
+		sortRecords(s.sorted)
+	}
+	return append([]Record(nil), s.sorted...)
+}
+
+// Drain returns all records sorted by (time, peer, kind), handing off
+// the backing slice without copying, and resets the sink. It is the
+// end-of-run path: the caller takes ownership of the slice.
+func (s *MemorySink) Drain() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.sorted
+	if out == nil {
+		out = s.recs
+		sortRecords(out)
+	}
+	s.recs, s.sorted = nil, nil
 	return out
 }
 
@@ -54,10 +68,13 @@ func (s *MemorySink) Len() int {
 }
 
 // WriterSink streams each record as one log string per line, the
-// on-disk format of the deployed log server.
+// on-disk format of the deployed log server. Each record is encoded
+// into a reused buffer with the zero-allocation appender and delivered
+// to the writer in a single Write call.
 type WriterSink struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
 }
 
 // NewWriterSink wraps w.
@@ -67,8 +84,9 @@ func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
 func (s *WriterSink) Log(rec Record) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	io.WriteString(s.w, rec.LogString())
-	io.WriteString(s.w, "\n")
+	s.buf = rec.AppendLogString(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	s.w.Write(s.buf)
 }
 
 // MultiSink fans records out to several sinks.
@@ -88,11 +106,11 @@ type NopSink struct{}
 // Log implements Sink.
 func (NopSink) Log(Record) {}
 
-// ReadLog parses a stream of newline-separated log strings, the
-// inverse of WriterSink. Malformed lines abort with an error carrying
-// the line number.
-func ReadLog(r io.Reader) ([]Record, error) {
-	var out []Record
+// ScanLog parses a stream of newline-separated log strings and hands
+// each record to fn in order, without materializing the whole log —
+// the multi-GB re-analysis path. Malformed lines abort with an error
+// carrying the line number; an error from fn aborts the scan.
+func ScanLog(r io.Reader, fn func(Record) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	line := 0
@@ -104,11 +122,25 @@ func ReadLog(r io.Reader) ([]Record, error) {
 		}
 		rec, err := ParseLogString(text)
 		if err != nil {
-			return nil, &ParseError{Line: line, Err: err}
+			return &ParseError{Line: line, Err: err}
 		}
-		out = append(out, rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// ReadLog parses a stream of newline-separated log strings, the
+// inverse of WriterSink, materializing every record. Prefer ScanLog
+// when the consumer can stream.
+func ReadLog(r io.Reader) ([]Record, error) {
+	var out []Record
+	err := ScanLog(r, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -121,29 +153,9 @@ type ParseError struct {
 }
 
 // Error implements error.
-func (e *ParseError) Error() string { return "logsys: line " + itoa(e.Line) + ": " + e.Err.Error() }
+func (e *ParseError) Error() string {
+	return "logsys: line " + strconv.Itoa(e.Line) + ": " + e.Err.Error()
+}
 
 // Unwrap supports errors.Is/As.
 func (e *ParseError) Unwrap() error { return e.Err }
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	neg := n < 0
-	if neg {
-		n = -n
-	}
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
-}

@@ -1,6 +1,7 @@
 package logsys
 
 import (
+	"bufio"
 	"errors"
 	"strings"
 	"sync"
@@ -85,6 +86,54 @@ func TestReadLogReportsLineNumber(t *testing.T) {
 	}
 }
 
+// TestReadLogCRLF: logs written on Windows (or piped through tools
+// that normalize line endings) carry \r\n; the scanner must strip the
+// \r rather than feed it to the parser.
+func TestReadLogCRLF(t *testing.T) {
+	want := []Record{
+		{Kind: KindJoin, At: 1, Peer: 1, Session: 5, User: 1},
+		{Kind: KindLeave, At: 9, Peer: 1, Session: 5, User: 1, Reason: "watch-done"},
+	}
+	text := want[0].LogString() + "\r\n" + want[1].LogString() + "\r\n"
+	got, err := ReadLog(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("CRLF records misread: %+v", got)
+	}
+}
+
+// TestScanLogLineSizeBoundary probes the scanner's 1 MiB line cap from
+// both sides, padding a valid record with an unknown query key (the
+// parser skips keys it does not know, mirroring url.Values.Get).
+func TestScanLogLineSizeBoundary(t *testing.T) {
+	const max = 1024 * 1024
+	rec := Record{Kind: KindJoin, At: 7, Peer: 3, Session: 9, User: 3}
+	pad := func(lineLen int) string {
+		base := rec.LogString() + "&pad="
+		return base + strings.Repeat("x", lineLen-len(base))
+	}
+
+	// The newline must fit in the buffer alongside the token, so the
+	// largest line that scans is one byte below the cap.
+	under := pad(max-1) + "\n"
+	got, err := ReadLog(strings.NewReader(under))
+	if err != nil {
+		t.Fatalf("line at the cap rejected: %v", err)
+	}
+	if len(got) != 1 || got[0] != rec {
+		t.Fatalf("padded record misread: %+v", got)
+	}
+
+	over := pad(max+1) + "\n"
+	if _, err := ReadLog(strings.NewReader(over)); err == nil {
+		t.Fatal("oversized line accepted")
+	} else if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("oversized line failed with %v, want bufio.ErrTooLong", err)
+	}
+}
+
 func TestMultiSinkFansOut(t *testing.T) {
 	var a, b MemorySink
 	m := MultiSink{&a, &b}
@@ -98,13 +147,15 @@ func TestNopSink(t *testing.T) {
 	NopSink{}.Log(Record{Kind: KindJoin}) // must not panic
 }
 
-func TestItoa(t *testing.T) {
-	for _, c := range []struct {
-		n    int
-		want string
-	}{{0, "0"}, {7, "7"}, {123, "123"}, {-45, "-45"}} {
-		if got := itoa(c.n); got != c.want {
-			t.Errorf("itoa(%d) = %q", c.n, got)
-		}
+func TestParseErrorMessage(t *testing.T) {
+	e := &ParseError{Line: 42, Err: errFake}
+	if got := e.Error(); got != "logsys: line 42: fake" {
+		t.Errorf("ParseError message: %q", got)
 	}
 }
+
+var errFake = fakeErr{}
+
+type fakeErr struct{}
+
+func (fakeErr) Error() string { return "fake" }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"runtime"
 	"testing"
 
 	"coolstream/internal/logsys"
@@ -38,6 +39,40 @@ func BenchmarkAnalyze(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Analyze(recs)
 	}
+}
+
+// BenchmarkAnalyzeStreaming compares sessionizing a 50k-session log
+// (500k records) single-threaded against the partitioned parallel
+// analyzer — the coolanalyze re-analysis hot path.
+func BenchmarkAnalyzeStreaming(b *testing.B) {
+	recs := syntheticLog(50000)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			an := NewAnalyzer(1)
+			for _, rec := range recs {
+				an.Feed(rec)
+			}
+			an.Finish()
+		}
+	})
+	// Force the partitioned path even on a single-CPU host so the
+	// chunked hand-off is always exercised; the speedup shows on
+	// multicore runners.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			an := NewAnalyzer(workers)
+			for _, rec := range recs {
+				an.Feed(rec)
+			}
+			an.Finish()
+		}
+	})
 }
 
 func BenchmarkContinuityByClass(b *testing.B) {

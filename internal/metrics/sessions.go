@@ -7,8 +7,6 @@
 package metrics
 
 import (
-	"sort"
-
 	"coolstream/internal/logsys"
 	"coolstream/internal/netmodel"
 	"coolstream/internal/sim"
@@ -109,76 +107,27 @@ type Analysis struct {
 	ByUser map[int][]*Session
 }
 
-// Analyze reconstructs sessions from log records (any order).
+// Analyze reconstructs sessions from log records (any order). It is
+// the batch facade over the streaming Analyzer: large logs are
+// sessionized in parallel across session-ID partitions, small ones
+// inline — the result is identical either way.
 func Analyze(records []logsys.Record) *Analysis {
-	byID := make(map[int]*Session)
-	var order []int
-	get := func(rec logsys.Record) *Session {
-		s, ok := byID[rec.Session]
-		if !ok {
-			s = &Session{
-				SessionID: rec.Session,
-				UserID:    rec.User,
-				PeerID:    rec.Peer,
-				JoinAt:    None, StartSubAt: None, ReadyAt: None, LeaveAt: None,
-			}
-			byID[rec.Session] = s
-			order = append(order, rec.Session)
-		}
-		return s
+	workers := 0 // GOMAXPROCS
+	if len(records) < serialThreshold {
+		workers = 1
 	}
-	for _, rec := range records {
-		s := get(rec)
-		if rec.HasTruth {
-			s.TrueClass = rec.TrueClass
-			s.HasTruth = true
+	a := NewAnalyzer(workers)
+	if workers == 1 {
+		// Single partition: ingest in place, no per-record copy.
+		for i := range records {
+			a.parts[0].ingest(&records[i])
 		}
-		s.PrivateAddr = rec.PrivateAddr
-		switch rec.Kind {
-		case logsys.KindJoin:
-			s.JoinAt = rec.At
-		case logsys.KindStartSub:
-			s.StartSubAt = rec.At
-		case logsys.KindMediaReady:
-			s.ReadyAt = rec.At
-		case logsys.KindLeave:
-			s.LeaveAt = rec.At
-			s.Reason = rec.Reason
-		case logsys.KindQoS:
-			s.QoS = append(s.QoS, QoSPoint{At: rec.At, CI: rec.Continuity})
-		case logsys.KindTraffic:
-			s.UploadBytes += rec.UploadBytes
-			s.DownloadBytes += rec.DownloadBytes
-		case logsys.KindPartner:
-			if rec.InPartners > s.MaxIn {
-				s.MaxIn = rec.InPartners
-			}
-			if rec.OutPartners > s.MaxOut {
-				s.MaxOut = rec.OutPartners
-			}
-			s.ParentReachableSum += rec.ParentReachable
-			s.ParentTotalSum += rec.ParentTotal
-			s.NATLinkSum += rec.NATParentLinks
-			s.PartnerChangesSum += rec.PartnerChanges
-			s.PartnerReports++
+	} else {
+		for _, rec := range records {
+			a.Feed(rec)
 		}
 	}
-	a := &Analysis{ByUser: make(map[int][]*Session)}
-	a.Sessions = make([]*Session, 0, len(order))
-	for _, id := range order {
-		a.Sessions = append(a.Sessions, byID[id])
-	}
-	sort.Slice(a.Sessions, func(i, j int) bool {
-		ji, jj := a.Sessions[i].JoinAt, a.Sessions[j].JoinAt
-		if ji != jj {
-			return ji < jj
-		}
-		return a.Sessions[i].SessionID < a.Sessions[j].SessionID
-	})
-	for _, s := range a.Sessions {
-		a.ByUser[s.UserID] = append(a.ByUser[s.UserID], s)
-	}
-	return a
+	return a.Finish()
 }
 
 // SeriesPoint is one (time, value) sample of a time series.

@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"coolstream/internal/logsys"
+)
+
+// chunkSize is how many records a feed batch carries before it is
+// handed to a partition worker. Big enough to amortize channel
+// operations, small enough to keep workers busy on modest logs.
+const chunkSize = 512
+
+// serialThreshold is the record count below which batch Analyze stays
+// single-threaded: worker startup and chunk hand-off cost more than
+// they save on small logs.
+const serialThreshold = 4096
+
+// partition owns the sessions of one session-ID residue class. All
+// records of a session land in exactly one partition, in feed order,
+// so per-session state (last-wins fields, QoS append order) is
+// byte-identical to a single-threaded pass.
+type partition struct {
+	byID     map[int]*Session
+	sessions []*Session
+}
+
+func (p *partition) ingest(rec *logsys.Record) {
+	s, ok := p.byID[rec.Session]
+	if !ok {
+		s = &Session{
+			SessionID: rec.Session,
+			UserID:    rec.User,
+			PeerID:    rec.Peer,
+			JoinAt:    None, StartSubAt: None, ReadyAt: None, LeaveAt: None,
+		}
+		p.byID[rec.Session] = s
+		p.sessions = append(p.sessions, s)
+	}
+	s.absorb(rec)
+}
+
+// absorb folds one record into the session. This is the single
+// reduction step shared by the batch and streaming analyzers.
+func (s *Session) absorb(rec *logsys.Record) {
+	if rec.HasTruth {
+		s.TrueClass = rec.TrueClass
+		s.HasTruth = true
+	}
+	s.PrivateAddr = rec.PrivateAddr
+	switch rec.Kind {
+	case logsys.KindJoin:
+		s.JoinAt = rec.At
+	case logsys.KindStartSub:
+		s.StartSubAt = rec.At
+	case logsys.KindMediaReady:
+		s.ReadyAt = rec.At
+	case logsys.KindLeave:
+		s.LeaveAt = rec.At
+		s.Reason = rec.Reason
+	case logsys.KindQoS:
+		s.QoS = append(s.QoS, QoSPoint{At: rec.At, CI: rec.Continuity})
+	case logsys.KindTraffic:
+		s.UploadBytes += rec.UploadBytes
+		s.DownloadBytes += rec.DownloadBytes
+	case logsys.KindPartner:
+		if rec.InPartners > s.MaxIn {
+			s.MaxIn = rec.InPartners
+		}
+		if rec.OutPartners > s.MaxOut {
+			s.MaxOut = rec.OutPartners
+		}
+		s.ParentReachableSum += rec.ParentReachable
+		s.ParentTotalSum += rec.ParentTotal
+		s.NATLinkSum += rec.NATParentLinks
+		s.PartnerChangesSum += rec.PartnerChanges
+		s.PartnerReports++
+	}
+}
+
+// Analyzer reconstructs sessions from a record stream without ever
+// materializing the full log. Records are partitioned by session ID
+// across workers; because every record of a session reaches the same
+// partition in feed order, and the final merge sorts by the total
+// order (JoinAt, SessionID), Finish returns exactly what the batch
+// Analyze would for the same stream. Feed and Finish must be called
+// from one goroutine.
+type Analyzer struct {
+	parts []*partition
+
+	// Parallel mode only: per-partition input channels fed with record
+	// chunks, a shared free list recycling chunk storage, and the
+	// per-partition chunk currently being filled.
+	chans   []chan []logsys.Record
+	free    chan []logsys.Record
+	pending [][]logsys.Record
+	wg      sync.WaitGroup
+}
+
+// NewAnalyzer returns a streaming analyzer with the given number of
+// partition workers (n <= 0 selects GOMAXPROCS, n == 1 runs fully
+// inline with no goroutines).
+func NewAnalyzer(workers int) *Analyzer {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	a := &Analyzer{parts: make([]*partition, workers)}
+	for i := range a.parts {
+		a.parts[i] = &partition{byID: make(map[int]*Session)}
+	}
+	if workers == 1 {
+		return a
+	}
+	a.chans = make([]chan []logsys.Record, workers)
+	a.free = make(chan []logsys.Record, 2*workers)
+	a.pending = make([][]logsys.Record, workers)
+	for i := range a.chans {
+		ch := make(chan []logsys.Record, 2)
+		a.chans[i] = ch
+		p := a.parts[i]
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			for chunk := range ch {
+				for i := range chunk {
+					p.ingest(&chunk[i])
+				}
+				select {
+				case a.free <- chunk[:0]:
+				default:
+				}
+			}
+		}()
+	}
+	return a
+}
+
+// Feed routes one record to its session's partition.
+func (a *Analyzer) Feed(rec logsys.Record) {
+	i := int(uint(rec.Session) % uint(len(a.parts)))
+	if a.chans == nil {
+		a.parts[i].ingest(&rec)
+		return
+	}
+	chunk := a.pending[i]
+	if chunk == nil {
+		select {
+		case chunk = <-a.free:
+		default:
+			chunk = make([]logsys.Record, 0, chunkSize)
+		}
+	}
+	chunk = append(chunk, rec)
+	if len(chunk) >= chunkSize {
+		a.chans[i] <- chunk
+		chunk = nil
+	}
+	a.pending[i] = chunk
+}
+
+// Finish flushes pending input, waits for the partition workers and
+// merges their sessions into an Analysis. The Analyzer must not be
+// fed again afterwards.
+func (a *Analyzer) Finish() *Analysis {
+	if a.chans != nil {
+		for i, chunk := range a.pending {
+			if len(chunk) > 0 {
+				a.chans[i] <- chunk
+			}
+			a.pending[i] = nil
+		}
+		for _, ch := range a.chans {
+			close(ch)
+		}
+		a.wg.Wait()
+		a.chans = nil
+	}
+	total := 0
+	for _, p := range a.parts {
+		total += len(p.sessions)
+	}
+	res := &Analysis{
+		Sessions: make([]*Session, 0, total),
+		ByUser:   make(map[int][]*Session),
+	}
+	for _, p := range a.parts {
+		res.Sessions = append(res.Sessions, p.sessions...)
+	}
+	// (JoinAt, SessionID) is a total order — session IDs are unique —
+	// so the merged order is independent of the partition count.
+	sort.Slice(res.Sessions, func(i, j int) bool {
+		ji, jj := res.Sessions[i].JoinAt, res.Sessions[j].JoinAt
+		if ji != jj {
+			return ji < jj
+		}
+		return res.Sessions[i].SessionID < res.Sessions[j].SessionID
+	})
+	for _, s := range res.Sessions {
+		res.ByUser[s.UserID] = append(res.ByUser[s.UserID], s)
+	}
+	return res
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// interleaveSessions merges per-session record sequences round-robin,
+// preserving each session's internal order — the shape a real log has
+// (sessions overlap in time) and the one that exposes partitioning
+// bugs (order-sensitive last-wins fields, QoS append order).
+func interleaveSessions(perSession [][]logsys.Record) []logsys.Record {
+	var out []logsys.Record
+	for row := 0; ; row++ {
+		emitted := false
+		for _, s := range perSession {
+			if row < len(s) {
+				out = append(out, s[row])
+				emitted = true
+			}
+		}
+		if !emitted {
+			return out
+		}
+	}
+}
+
+// streamingWorkload builds an interleaved log exercising every record
+// kind plus the awkward cases: sessions without joins, users with
+// retry chains, partner reports, and traffic accumulation.
+func streamingWorkload(sessions int) []logsys.Record {
+	perSession := make([][]logsys.Record, 0, sessions)
+	for i := 1; i <= sessions; i++ {
+		join := sim.Time(i%17) * sim.Second // many join-time ties
+		user := i % (sessions/3 + 1)        // users with several sessions
+		class := netmodel.UserClass(i % 4)
+		var s []logsys.Record
+		switch {
+		case i%7 == 0: // failed session: join then leave, never ready
+			s = mkSession(i, user, class, join, None, None, join+3*sim.Second)
+		case i%11 == 0: // truncated session: no leave record
+			s = mkSession(i, user, class, join, join+sim.Second, join+2*sim.Second, None)
+		default:
+			s = mkSession(i, user, class, join, join+sim.Second,
+				join+2*sim.Second, join+sim.Time(i)*sim.Second)
+		}
+		base := s[0]
+		for r := 1; r <= i%4; r++ {
+			q := base
+			q.Kind = logsys.KindQoS
+			q.At = join + sim.Time(r)*10*sim.Second
+			q.Continuity = float64(r) / 4
+			tr := base
+			tr.Kind = logsys.KindTraffic
+			tr.At = q.At
+			tr.UploadBytes = int64(i * r * 1000)
+			tr.DownloadBytes = int64(i * r * 2000)
+			pn := base
+			pn.Kind = logsys.KindPartner
+			pn.At = q.At
+			pn.InPartners = r
+			pn.OutPartners = i % 5
+			pn.ParentReachable = r % 3
+			pn.ParentTotal = 3
+			pn.NATParentLinks = r % 2
+			pn.PartnerChanges = r
+			s = append(s, q, tr, pn)
+		}
+		perSession = append(perSession, s)
+	}
+	return interleaveSessions(perSession)
+}
+
+// equalAnalyses asserts deep equality of the full analysis output.
+func equalAnalyses(t *testing.T, label string, got, want *Analysis) {
+	t.Helper()
+	if len(got.Sessions) != len(want.Sessions) {
+		t.Fatalf("%s: %d sessions, want %d", label, len(got.Sessions), len(want.Sessions))
+	}
+	for i := range want.Sessions {
+		if !reflect.DeepEqual(got.Sessions[i], want.Sessions[i]) {
+			t.Fatalf("%s: session %d differs:\n got %+v\nwant %+v",
+				label, i, got.Sessions[i], want.Sessions[i])
+		}
+	}
+	if !reflect.DeepEqual(got.ByUser, want.ByUser) {
+		t.Fatalf("%s: ByUser differs", label)
+	}
+}
+
+// TestStreamingMatchesSerial is the equivalence guarantee: any worker
+// count must reproduce the single-threaded sessionization exactly —
+// same Session values, same order, same ByUser chains.
+func TestStreamingMatchesSerial(t *testing.T) {
+	recs := streamingWorkload(120)
+	serial := NewAnalyzer(1)
+	for _, rec := range recs {
+		serial.Feed(rec)
+	}
+	want := serial.Finish()
+	for _, workers := range []int{2, 4, 13} {
+		an := NewAnalyzer(workers)
+		for _, rec := range recs {
+			an.Feed(rec)
+		}
+		equalAnalyses(t, "workers="+strconv.Itoa(workers), an.Finish(), want)
+	}
+}
+
+// TestAnalyzeBatchMatchesStreaming pins the facade: batch Analyze on
+// both sides of the serial threshold equals an explicit streaming pass.
+func TestAnalyzeBatchMatchesStreaming(t *testing.T) {
+	for _, sessions := range []int{40, 800} { // below and above serialThreshold
+		recs := streamingWorkload(sessions)
+		serial := NewAnalyzer(1)
+		for _, rec := range recs {
+			serial.Feed(rec)
+		}
+		equalAnalyses(t, "batch", Analyze(recs), serial.Finish())
+	}
+}
+
+// TestStreamingFeedIncremental checks that chunk boundaries are
+// invisible: feeding one record at a time with flushes forced by odd
+// chunk fill levels gives the same result as the batch pass.
+func TestStreamingFeedIncremental(t *testing.T) {
+	recs := streamingWorkload(30)
+	an := NewAnalyzer(3)
+	for _, rec := range recs {
+		an.Feed(rec)
+	}
+	got := an.Finish()
+	equalAnalyses(t, "incremental", got, Analyze(recs))
+	// The analysis derived metrics must work off the streamed result.
+	if got.MeanContinuity() != Analyze(recs).MeanContinuity() {
+		t.Fatal("derived metric differs")
+	}
+}

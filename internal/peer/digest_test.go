@@ -17,9 +17,9 @@ import (
 // state (per-node, per-sub-stream H, parent and byte counters) into a
 // single FNV-1a hash. Two runs with the same digest behaved
 // identically in every externally observable way.
-func worldDigest(w *World, sink *logsys.MemorySink) uint64 {
+func worldDigest(w *World, records []logsys.Record) uint64 {
 	h := fnv.New64a()
-	for _, rec := range sink.Records() {
+	for _, rec := range records {
 		fmt.Fprintln(h, rec.LogString())
 	}
 	for _, n := range w.Nodes() {
@@ -38,12 +38,24 @@ func worldDigest(w *World, sink *logsys.MemorySink) uint64 {
 // digestScenario runs a fixed mixed-churn scenario (joins, crashes,
 // retries, stall-abandons, a program-end cliff) and returns its digest.
 func digestScenario(t *testing.T, controlLoss float64) uint64 {
+	return digestScenarioSink(t, controlLoss, &logsys.MemorySink{},
+		func(s logsys.Sink) []logsys.Record { return s.(*logsys.MemorySink).Records() })
+}
+
+// digestScenarioSharded is digestScenario collecting through a
+// ShardedSink, so media-ready records travel the lock-free parallel
+// playback lanes instead of the deferred sequential path.
+func digestScenarioSharded(t *testing.T, controlLoss float64) uint64 {
+	return digestScenarioSink(t, controlLoss, logsys.NewShardedSink(0),
+		func(s logsys.Sink) []logsys.Record { return s.(*logsys.ShardedSink).Drain() })
+}
+
+func digestScenarioSink(t *testing.T, controlLoss float64, sink logsys.Sink, records func(logsys.Sink) []logsys.Record) uint64 {
 	t.Helper()
 	p := DefaultParams()
 	p.ReportPeriod = 30 * sim.Second
 	p.ControlLossProb = controlLoss
 	engine := sim.NewEngine(sim.Second)
-	sink := &logsys.MemorySink{}
 	w, err := NewWorld(p, engine, sink, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
 		gossip.RandomReplace{}, 4242)
 	if err != nil {
@@ -66,7 +78,7 @@ func digestScenario(t *testing.T, controlLoss float64) uint64 {
 	engine.Run(4 * sim.Minute)
 	w.DepartAllPeers("program-end")
 	engine.Run(engine.Now() + 10*sim.Second)
-	return worldDigest(w, sink)
+	return worldDigest(w, records(sink))
 }
 
 // goldenRunDigest is the digest of digestScenario(0) captured on the
@@ -83,6 +95,25 @@ func TestRunDigestMatchesGolden(t *testing.T) {
 	t.Logf("digest = %#x", got)
 	if goldenRunDigest != 0 && got != goldenRunDigest {
 		t.Fatalf("run digest %#x differs from pre-optimisation golden %#x", got, goldenRunDigest)
+	}
+}
+
+// TestRunDigestShardedSinkMatchesGolden pins the sharded-sink
+// determinism contract: routing the parallel playback phase's
+// media-ready records through per-shard lanes and merging by (time,
+// peer, kind) on drain must reproduce the MemorySink record stream —
+// and hence the pre-optimisation golden digest — bit for bit, serial
+// and parallel.
+func TestRunDigestShardedSinkMatchesGolden(t *testing.T) {
+	got := digestScenarioSharded(t, 0)
+	t.Logf("sharded digest = %#x", got)
+	if goldenRunDigest != 0 && got != goldenRunDigest {
+		t.Fatalf("sharded-sink run digest %#x differs from golden %#x", got, goldenRunDigest)
+	}
+	orig := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(orig)
+	if serial := digestScenarioSharded(t, 0); serial != got {
+		t.Fatalf("sharded-sink digest differs across GOMAXPROCS: %#x vs %#x", serial, got)
 	}
 }
 

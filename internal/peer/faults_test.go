@@ -55,7 +55,7 @@ func faultScenario(t *testing.T) (uint64, faults.Stats, *World) {
 	engine.Run(4 * sim.Minute)
 	w.DepartAllPeers("program-end")
 	engine.Run(engine.Now() + 10*sim.Second)
-	return worldDigest(w, sink), sch.Stats, w
+	return worldDigest(w, sink.Records()), sch.Stats, w
 }
 
 // TestFaultyRunsAreReproducible pins the tentpole contract: with every
@@ -124,7 +124,7 @@ func TestBackoffChangesOnlyRetryTiming(t *testing.T) {
 			})
 		}
 		engine.Run(3 * sim.Minute)
-		return worldDigest(w, sink)
+		return worldDigest(w, sink.Records())
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("backoff-only runs diverged: %#x vs %#x", a, b)

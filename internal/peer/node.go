@@ -119,9 +119,12 @@ type Node struct {
 
 	// Playback state.
 	playDeadline float64 // current deadline position (per-sub-stream seq)
-	// readyPending defers the media-ready log record from the parallel
-	// playback phase to the sequential control phase.
+	// readyPending defers the media-ready bookkeeping (session counter,
+	// and — without a sharded sink — the log record) from the parallel
+	// playback phase to the sequential control phase. readyLogged marks
+	// that the record itself was already emitted from a playback lane.
 	readyPending bool
+	readyLogged  bool
 
 	// Report-interval accumulators.
 	missedBlocks  float64

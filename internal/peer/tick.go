@@ -1,6 +1,8 @@
 package peer
 
 import (
+	"runtime"
+
 	"coolstream/internal/logsys"
 	"coolstream/internal/netmodel"
 	"coolstream/internal/sim"
@@ -33,6 +35,9 @@ func (w *World) tick(prev, now sim.Time) {
 	w.tickLoss = 0
 	if w.Faults != nil {
 		w.tickLoss = w.Faults.LossFrac(now)
+	}
+	if w.sharded != nil {
+		w.ensureLanes(runtime.GOMAXPROCS(0))
 	}
 	w.allocate()
 	w.advance()
@@ -144,15 +149,25 @@ func (w *World) advanceShard(lo, hi int) {
 }
 
 // playback advances deadlines, integrates missed blocks, and detects
-// media-ready transitions. Each node touches only its own state.
+// media-ready transitions. Each node touches only its own state; with
+// a sharded sink, media-ready records are logged straight from the
+// shard's own lane (the merge on drain restores canonical order).
 func (w *World) playback() {
-	sim.Parallel(len(w.tickIDs), w.playbackFn)
+	sim.ParallelShard(len(w.tickIDs), minPhaseGrain, w.playbackFn)
 }
 
-func (w *World) playbackShard(lo, hi int) {
+// minPhaseGrain mirrors sim's default Parallel grain for the per-node
+// phases.
+const minPhaseGrain = 64
+
+func (w *World) playbackShard(shard, lo, hi int) {
 	dt := w.tickDt
 	beta := w.P.Layout.SubBlocksPerSecond()
 	readyBlocks := w.P.ReadyBlocks()
+	var lane *logsys.Lane
+	if w.sharded != nil && shard < len(w.laneSinks) {
+		lane = w.laneSinks[shard]
+	}
 	for idx := lo; idx < hi; idx++ {
 		n := w.nodes[w.tickIDs[idx]]
 		if n.IsServer() {
@@ -165,6 +180,12 @@ func (w *World) playbackShard(lo, hi int) {
 				n.ReadyAt = w.Engine.Now()
 				n.playDeadline = n.startPos
 				n.readyPending = true
+				if lane != nil {
+					// Lock-free parallel log: same record the control
+					// phase would emit (same virtual time, same fields).
+					w.logLane(lane, n, logsys.Record{Kind: logsys.KindMediaReady})
+					n.readyLogged = true
+				}
 			}
 		case StateReady:
 			d0 := n.playDeadline
@@ -218,7 +239,11 @@ func (w *World) control(ids []int, now sim.Time) {
 		if n.readyPending {
 			n.readyPending = false
 			w.ReadySessions++
-			w.log(n, logsys.Record{Kind: logsys.KindMediaReady})
+			if n.readyLogged {
+				n.readyLogged = false // already emitted from the playback lane
+			} else {
+				w.log(n, logsys.Record{Kind: logsys.KindMediaReady})
+			}
 		}
 		w.refreshBMs(n, now)
 		w.gossipStep(n, now)

@@ -53,12 +53,22 @@ type World struct {
 	// advance phase sweeps; see topo.go for the epoch contract.
 	topo *topoCache
 
+	// sharded is non-nil when the configured sink is a
+	// logsys.ShardedSink; parallel phases then log straight into
+	// per-shard lanes (laneSinks, grown sequentially in tick) instead
+	// of deferring records to the sequential control phase. With any
+	// other sink the legacy deferral path keeps the record stream
+	// deterministic (e.g. through a BufferedSink's outage queue, whose
+	// drop decisions depend on arrival order).
+	sharded   *logsys.ShardedSink
+	laneSinks []*logsys.Lane
+
 	// Persistent per-phase shard functions and per-tick scratch: the
 	// parallel phases hand the same closures to the worker pool every
 	// tick, so steady-state ticks allocate nothing.
 	allocateFn func(lo, hi int)
 	advanceFn  func(lo, hi int)
-	playbackFn func(lo, hi int)
+	playbackFn func(shard, lo, hi int)
 	tickIDs    []int
 	controlIDs []int
 	tickDt     float64
@@ -123,6 +133,9 @@ func NewWorld(p Params, engine *sim.Engine, sink logsys.Sink, latency netmodel.L
 	w.allocateFn = w.allocateShard
 	w.advanceFn = w.advanceShard
 	w.playbackFn = w.playbackShard
+	if ss, ok := sink.(*logsys.ShardedSink); ok {
+		w.sharded = ss
+	}
 	engine.OnTick(w.tick)
 	return w, nil
 }
@@ -511,6 +524,21 @@ func (w *World) log(n *Node, rec logsys.Record) {
 	if n.IsServer() {
 		return // the server tier does not report; it is infrastructure
 	}
+	w.fill(n, &rec)
+	w.Sink.Log(rec)
+}
+
+// logLane emits a record into a per-shard lane with no locking; only
+// parallel phases holding exclusive shard lanes use it.
+func (w *World) logLane(lane *logsys.Lane, n *Node, rec logsys.Record) {
+	if n.IsServer() {
+		return
+	}
+	w.fill(n, &rec)
+	lane.Log(rec)
+}
+
+func (w *World) fill(n *Node, rec *logsys.Record) {
 	rec.At = w.Engine.Now()
 	rec.Peer = n.ID
 	rec.Session = n.Session
@@ -518,5 +546,13 @@ func (w *World) log(n *Node, rec logsys.Record) {
 	rec.PrivateAddr = n.EP.Class.HasPrivateAddress()
 	rec.TrueClass = n.EP.Class
 	rec.HasTruth = true
-	w.Sink.Log(rec)
+}
+
+// ensureLanes grows the per-shard lane table to at least the number of
+// shards the next parallel phase can produce. Called sequentially from
+// tick, so the parallel phases only ever read laneSinks.
+func (w *World) ensureLanes(workers int) {
+	for len(w.laneSinks) < workers {
+		w.laneSinks = append(w.laneSinks, w.sharded.Lane(len(w.laneSinks)))
+	}
 }

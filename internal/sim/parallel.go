@@ -22,7 +22,11 @@ import (
 // waiting on a sub-call's shards).
 
 type shardTask struct {
-	fn     func(lo, hi int)
+	fn func(lo, hi int)
+	// fnIdx, when non-nil, is invoked instead of fn with the shard's
+	// index (see ParallelShard).
+	fnIdx  func(shard, lo, hi int)
+	shard  int
 	lo, hi int
 	done   chan<- struct{}
 }
@@ -41,7 +45,11 @@ var donePool = sync.Pool{New: func() any { return make(chan struct{}, 256) }}
 
 func poolWorker(ch chan shardTask) {
 	for t := range ch {
-		t.fn(t.lo, t.hi)
+		if t.fnIdx != nil {
+			t.fnIdx(t.shard, t.lo, t.hi)
+		} else {
+			t.fn(t.lo, t.hi)
+		}
 		t.done <- struct{}{}
 	}
 }
@@ -97,6 +105,38 @@ func runShards(n, chunk int, fn func(lo, hi int)) {
 	donePool.Put(done)
 }
 
+// runShardsIdx is runShards for shard-indexed functions: shard s (the
+// contiguous chunk starting at s*chunk) receives its own index, so a
+// worker can address per-shard state (e.g. a log lane) with no
+// synchronization. Kept as a separate body rather than a closure over
+// runShards so the steady-state call allocates nothing.
+func runShardsIdx(n, chunk int, fn func(shard, lo, hi int)) {
+	nShards := (n + chunk - 1) / chunk
+	ch := ensurePool(nShards - 1)
+	done := donePool.Get().(chan struct{})
+	submitted := 0
+	for s := 1; s < nShards; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		select {
+		case ch <- shardTask{fnIdx: fn, shard: s, lo: lo, hi: hi, done: done}:
+			submitted++
+		default:
+			// No parked worker (cold pool, nested call, or contention):
+			// degrade gracefully by running the shard inline.
+			fn(s, lo, hi)
+		}
+	}
+	fn(0, 0, chunk)
+	for i := 0; i < submitted; i++ {
+		<-done
+	}
+	donePool.Put(done)
+}
+
 // minShard is the default grain: slices shorter than two grains run
 // inline, since per-item work in the simulator's per-node phases is
 // too small to amortise a handoff.
@@ -132,6 +172,28 @@ func ParallelGrain(n, grain int, fn func(lo, hi int)) {
 	}
 	chunk := (n + workers - 1) / workers
 	runShards(n, chunk, fn)
+}
+
+// ParallelShard is ParallelGrain passing each shard's index to fn.
+// Shard indices are contiguous from 0 and deterministic given (n,
+// GOMAXPROCS): shard s covers [s*chunk, min((s+1)*chunk, n)). The
+// index count never exceeds GOMAXPROCS at call time, so per-shard
+// state sized to GOMAXPROCS (grown sequentially between phases) is
+// race-free.
+func ParallelShard(n, grain int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < 2*grain {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	runShardsIdx(n, chunk, fn)
 }
 
 // ParallelReduce runs fn over shards like Parallel, collecting one
