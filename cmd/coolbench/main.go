@@ -20,6 +20,7 @@ import (
 	"coolstream/internal/analysis"
 	"coolstream/internal/core"
 	"coolstream/internal/metrics"
+	"coolstream/internal/profiling"
 	"coolstream/internal/sim"
 	"coolstream/internal/tree"
 	"coolstream/internal/xrand"
@@ -47,14 +48,25 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		scale = flag.String("scale", "medium", "small | medium | large")
 		seed  = flag.Uint64("seed", 1, "random seed")
 		only  = flag.String("only", "", "comma-separated subset (fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,eq36,tree,mcache,resource,allocator,loss,peerwise,reps)")
 		reps  = flag.Int("reps", 5, "seeds for the replication table (reps experiment)")
 	)
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := stopProf(); e != nil && err == nil {
+			err = e
+		}
+	}()
 	spec, ok := scales[*scale]
 	if !ok {
 		return fmt.Errorf("unknown scale %q", *scale)

@@ -22,6 +22,7 @@ import (
 	"coolstream/internal/core"
 	"coolstream/internal/logsys"
 	"coolstream/internal/metrics"
+	"coolstream/internal/profiling"
 	"coolstream/internal/sim"
 	"coolstream/internal/trace"
 	"coolstream/internal/workload"
@@ -34,7 +35,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		scenario = flag.String("scenario", "steady", "scenario: steady | day | flash | chaos")
 		day      = flag.Duration("day", 30*time.Minute, "compressed day length (day scenario)")
@@ -55,7 +56,18 @@ func run() error {
 		quiet    = flag.Bool("q", false, "suppress figure tables on stdout")
 		digest   = flag.Bool("digest", false, "print the run digest (reproducibility check)")
 	)
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := stopProf(); e != nil && err == nil {
+			err = e
+		}
+	}()
 
 	var cfg core.Config
 	switch *scenario {

@@ -70,6 +70,11 @@ type Config struct {
 	// LogBufferCap bounds the client-side report buffer used during
 	// log-server outage windows (0 selects logsys.DefaultLogBuffer).
 	LogBufferCap int
+	// DisableControlWheel restores the legacy O(population) per-tick
+	// control sweep instead of the due-driven wheel scheduler — the A/B
+	// switch for determinism property tests and scaling comparisons.
+	// Both modes are bit-identical; the wheel is just faster.
+	DisableControlWheel bool
 }
 
 // ScaledCutoff converts a real-time duration to the workload's

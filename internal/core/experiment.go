@@ -108,6 +108,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	world.Faults = schedule
 	world.Retry = cfg.Retry
+	world.FullSweepControl = cfg.DisableControlWheel
 	if cfg.StallContinuity > 0 {
 		world.StallContinuity = cfg.StallContinuity
 		world.StallAbandonProb = cfg.StallAbandonProb

@@ -21,6 +21,15 @@ type Bootstrap struct {
 	// random sample is unlucky. The paper's deployment seeds clients
 	// with server addresses the same way.
 	serverIDs []int
+	// sortedIDs mirrors the non-server keys of active in ascending
+	// order, maintained incrementally on join/leave so Candidates does
+	// not rebuild and re-sort the full membership per request — at the
+	// paper's 40k evening peak that rebuild dominated every join.
+	sortedIDs []int
+	// idScratch/outScratch are reused across Candidates calls so the
+	// join hot path allocates nothing.
+	idScratch  []int
+	outScratch []Entry
 }
 
 // NewBootstrap creates an empty bootstrap node.
@@ -31,20 +40,55 @@ func NewBootstrap(rng *xrand.RNG) *Bootstrap {
 	return &Bootstrap{rng: rng, active: make(map[int]Entry)}
 }
 
-// RegisterServer marks a peer ID as a dedicated server.
+// RegisterServer marks a peer ID as a dedicated server. The peer is
+// pulled out of the random-sample pool: servers are handed out
+// unconditionally instead.
 func (b *Bootstrap) RegisterServer(id int) {
 	b.serverIDs = append(b.serverIDs, id)
 	sort.Ints(b.serverIDs)
+	b.sortedRemove(id)
 }
 
 // Join records a newly active peer.
 func (b *Bootstrap) Join(e Entry, now sim.Time) {
 	e.LastSeen = now
+	if _, known := b.active[e.ID]; !known && !b.isServer(e.ID) {
+		b.sortedInsert(e.ID)
+	}
 	b.active[e.ID] = e
 }
 
 // Leave removes a departed peer.
-func (b *Bootstrap) Leave(id int) { delete(b.active, id) }
+func (b *Bootstrap) Leave(id int) {
+	if _, known := b.active[id]; known {
+		delete(b.active, id)
+		if !b.isServer(id) {
+			b.sortedRemove(id)
+		}
+	}
+}
+
+func (b *Bootstrap) isServer(id int) bool {
+	i := sort.SearchInts(b.serverIDs, id)
+	return i < len(b.serverIDs) && b.serverIDs[i] == id
+}
+
+func (b *Bootstrap) sortedInsert(id int) {
+	i := sort.SearchInts(b.sortedIDs, id)
+	if i < len(b.sortedIDs) && b.sortedIDs[i] == id {
+		return
+	}
+	b.sortedIDs = append(b.sortedIDs, 0)
+	copy(b.sortedIDs[i+1:], b.sortedIDs[i:])
+	b.sortedIDs[i] = id
+}
+
+func (b *Bootstrap) sortedRemove(id int) {
+	i := sort.SearchInts(b.sortedIDs, id)
+	if i < len(b.sortedIDs) && b.sortedIDs[i] == id {
+		b.sortedIDs = append(b.sortedIDs[:i], b.sortedIDs[i+1:]...)
+	}
+}
 
 // ActiveCount returns the number of known-active peers.
 func (b *Bootstrap) ActiveCount() int { return len(b.active) }
@@ -52,11 +96,18 @@ func (b *Bootstrap) ActiveCount() int { return len(b.active) }
 // Candidates returns up to n entries for a joining peer: every
 // dedicated server first, then a uniform random sample of other active
 // peers (excluding the requester).
+//
+// The candidate pool walks the incrementally maintained sorted ID
+// mirror instead of collecting and sorting the membership map per call;
+// the draw sequence (one Shuffle over the non-server, non-requester
+// IDs in ascending order) is bit-identical to the rebuild-and-sort
+// implementation. The returned slice is scratch owned by the
+// bootstrap: it is valid only until the next Candidates call.
 func (b *Bootstrap) Candidates(requester, n int) []Entry {
 	if n <= 0 {
 		return nil
 	}
-	out := make([]Entry, 0, n)
+	out := b.outScratch[:0]
 	for _, id := range b.serverIDs {
 		if id == requester {
 			continue
@@ -65,19 +116,13 @@ func (b *Bootstrap) Candidates(requester, n int) []Entry {
 			out = append(out, e)
 		}
 	}
-	// Uniform sample of non-server peers. Iterate in sorted ID order so
-	// the reservoir is deterministic for a given RNG state.
-	ids := make([]int, 0, len(b.active))
-	isServer := make(map[int]bool, len(b.serverIDs))
-	for _, id := range b.serverIDs {
-		isServer[id] = true
-	}
-	for id := range b.active {
-		if id != requester && !isServer[id] {
+	ids := b.idScratch[:0]
+	for _, id := range b.sortedIDs {
+		if id != requester {
 			ids = append(ids, id)
 		}
 	}
-	sort.Ints(ids)
+	b.idScratch = ids
 	b.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 	for _, id := range ids {
 		if len(out) >= n {
@@ -85,6 +130,7 @@ func (b *Bootstrap) Candidates(requester, n int) []Entry {
 		}
 		out = append(out, b.active[id])
 	}
+	b.outScratch = out
 	return out
 }
 

@@ -83,7 +83,8 @@ func TestBootstrapSampleVaries(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		b.Join(entry(i), 0)
 	}
-	first := b.Candidates(-1, 5)
+	// Candidates returns bootstrap-owned scratch; copy before the next call.
+	first := append([]Entry(nil), b.Candidates(-1, 5)...)
 	varied := false
 	for trial := 0; trial < 10 && !varied; trial++ {
 		next := b.Candidates(-1, 5)

@@ -101,6 +101,19 @@ func NewMCache(capacity int, policy Policy, rng *xrand.RNG) *MCache {
 	}
 }
 
+// Reset empties the cache in place and replaces its RNG stream with
+// the given state, keeping every backing allocation (entry slice,
+// index map buckets, scratch) — the recycling path for node shells:
+// a Reset cache behaves exactly like a NewMCache built with an RNG in
+// that state.
+func (c *MCache) Reset(stream xrand.RNG) {
+	*c.rng = stream
+	c.entries = c.entries[:0]
+	for k := range c.index {
+		delete(c.index, k)
+	}
+}
+
 // Len returns the number of cached entries.
 func (c *MCache) Len() int { return len(c.entries) }
 

@@ -41,6 +41,11 @@ type Filler struct {
 	warm    bool
 }
 
+// Invalidate drops the memoised previous call while keeping the scratch
+// storage: an invalidated Filler behaves exactly like the zero value.
+// Recycling paths call it when a Filler moves to a new owner.
+func (f *Filler) Invalidate() { f.warm = false }
+
 // Fill computes the same allocation as WaterFill into an internal
 // slice, valid only until the next Fill call on this Filler.
 func (f *Filler) Fill(capacity float64, demands []Demand) []float64 {

@@ -70,4 +70,6 @@ func (w *World) severPartnership(a, b *Node) {
 	// The control pass rescans both nodes' partner sets immediately.
 	a.bmDue = 0
 	b.bmDue = 0
+	w.touchNode(a.ID)
+	w.touchNode(b.ID)
 }

@@ -159,13 +159,69 @@ type Node struct {
 
 	// Per-node scratch reused across ticks so the steady-state hot
 	// paths allocate nothing: the allocation phase's demand/slot
-	// vectors and water-filler, and subscribe's candidate list.
+	// vectors and water-filler, and subscribe's candidate list. The
+	// filler is pooled through the World (its scratch outlives the
+	// session) and is nil for detached nodes built in unit tests.
 	allocDemands []netmodel.Demand
 	allocSlots   []allocSlot
-	filler       netmodel.Filler
+	filler       *netmodel.Filler
 	candScratch  []int
 
-	rng *xrand.RNG
+	// Due-wheel control scheduling state (see sched.go). adaptDue is a
+	// conservative lower bound on the next time the §IV-B adaptation
+	// check can newly trigger; zero forces an evaluation at the next
+	// visit. wheelAt is the earliest virtual time this node is queued
+	// in the control wheel (zero = not queued), used to suppress
+	// duplicate enqueues. advFlag is raised by the playback phase when
+	// the Inequality (1) deviation is across Ts with the cool-down
+	// expired — the fluid half of the adaptation trigger — and consumed
+	// by the same tick's control visit. bestSeen is the best-partner
+	// head as of the last §IV-B evaluation: a BM refresh that does not
+	// beat it, touch a parent, or tear a partnership down provably
+	// cannot create a new Inequality (2) violation.
+	adaptDue sim.Time
+	wheelAt  sim.Time
+	advFlag  bool
+	bestSeen int64
+
+	// pool recycles Partner structs (with their buffer-map backing)
+	// through the owning World; nil for detached nodes in unit tests.
+	pool *partnerPool
+
+	// leaveEv and timeoutEv are the node's cancellable timers, held on
+	// the shell (not a world map: per-session map keys would be new on
+	// every join, and a delete/insert-churned map periodically reallocates
+	// its buckets). The handle is dropped at fire or cancel, before the
+	// engine recycles the event.
+	leaveEv   *sim.Event
+	timeoutEv *sim.Event
+
+	// rng points at rngStore: the node's RNG lives inline in the node
+	// shell (seeded allocation-free from the world stream and the
+	// node-ID label), not in a separate heap object.
+	rng      *xrand.RNG
+	rngStore xrand.RNG
+}
+
+// partnerPool recycles Partner structs across sessions: a recycled
+// struct keeps its buffer-map backing, so partnership establishment on
+// a churning overlay allocates nothing at steady state.
+type partnerPool struct{ free []*Partner }
+
+func (pp *partnerPool) get() *Partner {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		return p
+	}
+	return &Partner{}
+}
+
+func (pp *partnerPool) put(p *Partner) {
+	if p != nil {
+		pp.free = append(pp.free, p)
+	}
 }
 
 // allocSlot addresses one (child, sub-stream) transmission in the
@@ -189,20 +245,34 @@ func (n *Node) setPartner(pid int, p *Partner) {
 }
 
 // delPartner removes a partnership if present, keeping partnerIDs
-// sorted and partnerList aligned.
+// sorted and partnerList aligned. The removed Partner struct (with its
+// buffer-map backing) goes back to the world pool: each side of a
+// partnership owns its own struct, so the donation is single-owner.
 func (n *Node) delPartner(pid int) {
-	if _, ok := n.Partners[pid]; !ok {
+	p, ok := n.Partners[pid]
+	if !ok {
 		return
 	}
 	delete(n.Partners, pid)
 	i := sort.SearchInts(n.partnerIDs, pid)
 	n.partnerIDs = append(n.partnerIDs[:i], n.partnerIDs[i+1:]...)
 	n.partnerList = append(n.partnerList[:i], n.partnerList[i+1:]...)
+	if n.pool != nil {
+		n.pool.put(p)
+	}
 }
 
-// clearPartners drops every partnership (departure teardown).
+// clearPartners drops every partnership (departure teardown), clearing
+// the map in place so its buckets can be reissued to a future joiner.
 func (n *Node) clearPartners() {
-	n.Partners = make(map[int]*Partner)
+	if n.pool != nil {
+		for _, p := range n.partnerList {
+			n.pool.put(p)
+		}
+	}
+	for pid := range n.Partners {
+		delete(n.Partners, pid)
+	}
 	n.partnerIDs = n.partnerIDs[:0]
 	n.partnerList = n.partnerList[:0]
 }

@@ -1,0 +1,275 @@
+package peer
+
+import (
+	"slices"
+
+	"coolstream/internal/sim"
+)
+
+// This file implements the due-driven control plane: instead of
+// sweeping every active node per tick, the world keeps a timing wheel
+// of per-node control due times and visits only the nodes whose next
+// possible control action has arrived.
+//
+// Correctness rests on a single invariant, the *conservative-visit*
+// contract: every control sub-function is a provable no-op (no RNG
+// draw, no observable mutation) when invoked before its own gate, so
+// visiting a node early is always safe — only a missed visit can
+// change behaviour. The due computation below therefore only ever
+// under-estimates the next action time, never over-estimates it:
+//
+//   - BM refresh, gossip, status reports and recruiting are exact
+//     timers owned by the node (bmDue, lastGossipAt, lastReportAt,
+//     recruitingDue).
+//   - The §IV-B Inequality (1) depends on the continuously evolving
+//     fluid H state, which only the advance phase moves; crossings are
+//     detected in the playback phase of the same tick (per-shard flag
+//     lists merged into the drain set, see playbackShard) instead of
+//     being predicted. Inequality (2) and the parent-link condition
+//     are frozen between BM refreshes; refreshBMs reports the refresh
+//     outcomes that can change their verdicts (evalHint) and
+//     adaptEvalBound covers the cool-down expiry. The stall-abandon
+//     check gets a provable lower bound on its first possible draw
+//     (stallDue).
+//   - State changed *from outside* a node's own visit (partnership
+//     established or severed, parent departed) is signalled through
+//     touchNode, which forces a visit on the next drained tick — the
+//     same tick a full sweep would first observe the change.
+//
+// Visits drain in ascending node-ID order, matching the full sweep's
+// iteration order exactly, so a run with the wheel enabled is
+// bit-identical (RNG streams, log records, digest) to the legacy
+// O(population) sweep.
+
+// farFuture is the "no finite deadline" sentinel for due components.
+const farFuture = sim.Time(1) << 62
+
+// wheelOn reports whether due-driven control is active. FullSweepControl
+// must be set before the first join is scheduled; toggling it mid-run is
+// unsupported (the wheel would hold a stale schedule).
+func (w *World) wheelOn() bool { return w.wheel != nil && !w.FullSweepControl }
+
+// touchNode signals that a node's control-relevant state was changed
+// from outside its own control visit, scheduling a visit on the next
+// drained tick. Safe to call for servers and departed nodes (no-op).
+//
+// During the control drain itself the rule mirrors the full sweep
+// exactly: a touched node whose ID is still ahead of the drain cursor
+// is inserted into this tick's due set (the sweep would reach it this
+// tick); one at or behind the cursor is deferred to the next tick (the
+// sweep already passed it).
+func (w *World) touchNode(id int) {
+	if !w.wheelOn() {
+		return
+	}
+	n := w.nodes[id]
+	if n.IsServer() || n.State == StateDeparted {
+		return
+	}
+	// Membership around the node changed: force a §IV-B evaluation at
+	// the next visit (conservative; evaluation without violation draws
+	// no randomness and changes nothing).
+	n.adaptDue = 0
+	if w.draining {
+		if id > w.drainPos {
+			w.insertDue(id)
+			return
+		}
+		w.wheelSchedule(n, w.wheel.Base())
+		return
+	}
+	w.wheelSchedule(n, w.Engine.Now())
+}
+
+// wheelSchedule enqueues the node at the given due time, suppressing
+// the enqueue when an earlier (still pending) entry already covers it.
+// Duplicate entries are harmless — the drain deduplicates per tick —
+// so the wheelAt bookkeeping is best-effort, not exact.
+func (w *World) wheelSchedule(n *Node, at sim.Time) {
+	if at >= farFuture {
+		return
+	}
+	if n.wheelAt != 0 && n.wheelAt <= at {
+		return
+	}
+	w.wheel.Schedule(n.ID, at)
+	n.wheelAt = at
+}
+
+// insertDue adds id into the not-yet-visited tail of the current drain
+// set, keeping it sorted and duplicate-free.
+func (w *World) insertDue(id int) {
+	due := w.dueIDs
+	v := int32(id)
+	// Plain binary search (sort.Search's func parameter would allocate
+	// a closure on this churn-hot path).
+	i, hi := w.drainIdx+1, len(due)
+	for i < hi {
+		mid := int(uint(i+hi) >> 1)
+		if due[mid] < v {
+			i = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if i < len(due) && due[i] == v {
+		return
+	}
+	due = append(due, 0)
+	copy(due[i+1:], due[i:])
+	due[i] = v
+	w.dueIDs = due
+}
+
+// nextControlDue computes the node's next control deadline as the
+// minimum over every control component's own due time. Called at the
+// end of a visit, when every component that was due has just acted and
+// pushed its own timer forward.
+func (w *World) nextControlDue(n *Node, now sim.Time) sim.Time {
+	tick := w.Engine.TickPeriod()
+	next := now + tick
+	if n.State == StateJoining || n.State == StateSubscribing {
+		// Startup phases poll every tick: the initial subscription and
+		// the media-ready transition both depend on per-tick fluid state.
+		return next
+	}
+	if n.bmDue <= now {
+		return next // a partner-BM scan is already due
+	}
+	due := n.bmDue // refreshBMs keeps this ≤ lastScan + BMPeriod
+	if len(n.partnerIDs) > 0 {
+		if g := n.lastGossipAt + w.P.GossipPeriod; g < due {
+			due = g
+		}
+	}
+	if r := n.lastReportAt + w.P.ReportPeriod; r < due {
+		due = r
+	}
+	if len(n.Partners) < w.P.MinPartners && n.recruitingDue < due {
+		due = n.recruitingDue
+	}
+	for j := range n.Subs {
+		if n.Subs[j].Parent == NoParent {
+			return next // stalled sub-stream: re-subscribe retries every tick
+		}
+	}
+	if n.adaptDue < due {
+		due = n.adaptDue
+	}
+	if s := w.stallDue(n, now); s < due {
+		due = s
+	}
+	if due <= now {
+		return next
+	}
+	return due
+}
+
+// adaptEvalBound returns the next time the §IV-B adaptation check must
+// be re-evaluated on a timer, given that a visit just considered it at
+// now. Outside the cool-down no timer is needed — every way an
+// adaptation input can newly violate an inequality carries its own
+// signal: Inequality (1) crossings of the fluid H state are flagged by
+// the playback phase of the tick they happen (see playbackShard),
+// Inequality (2) and the parent-link condition are frozen between BM
+// refreshes and refreshBMs reports the refresh outcomes that can flip
+// them (evalHint), and membership changes from outside the visit zero
+// adaptDue through touchNode. During the cool-down adapt is a provable
+// no-op, but a violation signalled meanwhile must still be acted on
+// when the cool-down expires — hence the expiry deadline.
+func (w *World) adaptEvalBound(n *Node, now sim.Time) sim.Time {
+	if now-n.lastAdaptAt < w.P.Ta {
+		// Cool-down: adapt is a provable no-op until it expires (an
+		// adaptation that just fired lands here too). Re-evaluating at
+		// expiry is conservative — if the signalled violation cleared
+		// itself, the evaluation finds nothing, draws no randomness and
+		// changes nothing.
+		return n.lastAdaptAt + w.P.Ta
+	}
+	return farFuture
+}
+
+// stallDue returns a conservative lower bound on the next time the
+// frustrated-user stall check can draw its abandon hazard. The check
+// requires a quarter report interval of evidence and a continuity
+// index below the threshold; between visits missed and total blocks
+// both grow at most (and total exactly) K·β per second, so the index
+// can first cross below StallContinuity at the δ* solving
+// (missed + Kβδ)/(total + Kβδ) = 1 − SC.
+func (w *World) stallDue(n *Node, now sim.Time) sim.Time {
+	if n.State != StateReady || w.StallAbandonProb <= 0 || w.StallContinuity <= 0 {
+		return farFuture
+	}
+	gate := n.lastReportAt + w.P.ReportPeriod/4
+	kbeta := float64(w.P.Layout.K) * w.P.Layout.SubBlocksPerSecond()
+	if kbeta <= 0 {
+		return farFuture
+	}
+	cross := now
+	if num := (1-w.StallContinuity)*n.totalBlocks - n.missedBlocks; num > 0 {
+		cross = now + sim.Time(num/(w.StallContinuity*kbeta)*1000)
+	}
+	if gate > cross {
+		return gate
+	}
+	return cross
+}
+
+// controlWheel is the due-driven control phase: drain this tick's due
+// set from the wheel, visit the unique IDs in ascending order, and
+// re-arm each survivor at its next control deadline.
+func (w *World) controlWheel(now sim.Time) {
+	w.wheelBuf = w.wheel.DrainTo(now, w.wheelBuf[:0])
+	buf := w.wheelBuf
+	// Merge the playback phase's Inequality (1) flag lists: a flagged
+	// node must be visited this tick (the full sweep would evaluate it
+	// now), whether or not a timer already had it due.
+	for _, flagged := range w.advFlagShards {
+		buf = append(buf, flagged...)
+	}
+	w.wheelBuf = buf
+	sortInt32(buf)
+	due := w.dueIDs[:0]
+	prev := int32(-1)
+	for _, id := range buf {
+		if id != prev {
+			due = append(due, id)
+			prev = id
+		}
+	}
+	w.dueIDs = due
+	w.draining = true
+	for w.drainIdx = 0; w.drainIdx < len(w.dueIDs); w.drainIdx++ {
+		id := int(w.dueIDs[w.drainIdx])
+		w.drainPos = id
+		n := w.nodes[id]
+		n.wheelAt = 0
+		if n.State == StateDeparted || n.IsServer() {
+			continue
+		}
+		w.controlVisit(n, now)
+		if n.State != StateDeparted {
+			w.wheelSchedule(n, w.nextControlDue(n, now))
+		}
+	}
+	w.draining = false
+}
+
+// sortInt32 sorts ascending in place (insertion sort below a small
+// threshold, allocation-free pdq via slices.Sort above it — the
+// drained set is usually tiny relative to the population).
+func sortInt32(a []int32) {
+	if len(a) < 32 {
+		for i := 1; i < len(a); i++ {
+			v := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > v {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = v
+		}
+		return
+	}
+	slices.Sort(a)
+}

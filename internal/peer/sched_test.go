@@ -1,0 +1,204 @@
+package peer
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"coolstream/internal/faults"
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// schedScenario runs the mixed-churn digest scenario with every fault
+// class active (tracker outage, NAT refusals, partner kills, burst
+// loss) plus control loss, under either control mode, and returns the
+// digest and the final world. This is the adversarial workload for the
+// due-wheel equivalence property: it exercises every touch point —
+// partnership completion, severed links, graceful and crash
+// departures, stall abandons, the program-end cliff.
+func schedScenario(t *testing.T, seed uint64, fullSweep bool) (uint64, *World) {
+	t.Helper()
+	p := DefaultParams()
+	p.ReportPeriod = 30 * sim.Second
+	p.ControlLossProb = 0.1
+	engine := sim.NewEngine(sim.Second)
+	sink := &logsys.MemorySink{}
+	w, err := NewWorld(p, engine, sink, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.FullSweepControl = fullSweep
+	sch, err := faults.NewSchedule(faults.Config{
+		TrackerOutages:  []faults.Window{{Start: 60 * sim.Second, End: 90 * sim.Second}},
+		NATRefusalProb:  0.3,
+		PartnerKillRate: 0.5,
+		BurstLoss: []faults.LossWindow{
+			{Window: faults.Window{Start: 2 * sim.Minute, End: 150 * sim.Second}, Frac: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Faults = sch
+	w.Retry = faults.Backoff{Base: 2 * sim.Second, Cap: 20 * sim.Second, JitterFrac: 0.5}
+	w.AddServer(15 * testRate)
+	w.AddServer(15 * testRate)
+	engine.Run(30 * sim.Second)
+	prof := netmodel.DefaultCapacityProfile(testRate)
+	rng := w.rng.SplitLabeled("digest")
+	for i := 0; i < 80; i++ {
+		i := i
+		at := 30*sim.Second + sim.Time(i%40)*2*sim.Second
+		engine.Schedule(at, func() {
+			class := netmodel.UserClass(i % 4)
+			watch := sim.Time(30+(i*13)%200) * sim.Second
+			w.Join(600+i, prof.Draw(class, rng), watch, 1, 0)
+		})
+	}
+	engine.Run(4 * sim.Minute)
+	w.DepartAllPeers("program-end")
+	engine.Run(engine.Now() + 10*sim.Second)
+	return worldDigest(w, sink.Records()), w
+}
+
+// nodeProjection is the mode-independent view of a node's final state:
+// everything observable by the protocol, excluding the wheel's private
+// bookkeeping (adaptDue, wheelAt) and the recycled-storage pointers.
+type nodeProjection struct {
+	ID, UserID, Session int
+	State               State
+	JoinedAt, ReadyAt   sim.Time
+	StartSubAt, LeftAt  sim.Time
+	Retries             int
+	Subs                []Subscription
+	PartnerIDs          []int
+	BMDue               sim.Time
+	LastGossipAt        sim.Time
+	LastReportAt        sim.Time
+	LastAdaptAt         sim.Time
+	RecruitingDue       sim.Time
+	CumUp, CumDown      float64
+	Missed, Total       float64
+	PlayDeadline        float64
+	StartPos            float64
+	PartnerChanges      int
+	MCacheIDs           []int
+}
+
+func projectNode(n *Node) nodeProjection {
+	pr := nodeProjection{
+		ID: n.ID, UserID: n.UserID, Session: n.Session,
+		State:    n.State,
+		JoinedAt: n.JoinedAt, ReadyAt: n.ReadyAt,
+		StartSubAt: n.StartSubAt, LeftAt: n.LeftAt,
+		Retries:       n.Retries,
+		Subs:          append([]Subscription(nil), n.Subs...),
+		PartnerIDs:    append([]int(nil), n.partnerIDs...),
+		BMDue:         n.bmDue,
+		LastGossipAt:  n.lastGossipAt,
+		LastReportAt:  n.lastReportAt,
+		LastAdaptAt:   n.lastAdaptAt,
+		RecruitingDue: n.recruitingDue,
+		CumUp:         n.CumUploadB, CumDown: n.CumDownloadB,
+		Missed: n.missedBlocks, Total: n.totalBlocks,
+		PlayDeadline:   n.playDeadline,
+		StartPos:       n.startPos,
+		PartnerChanges: n.partnerChanges,
+	}
+	if n.MCache != nil {
+		for _, e := range n.MCache.Snapshot() {
+			pr.MCacheIDs = append(pr.MCacheIDs, e.ID)
+		}
+	}
+	return pr
+}
+
+// TestWheelMatchesFullSweep is the core equivalence property of the
+// due-driven control plane: under adversarial churn and faults, a run
+// with the wheel must be bit-identical to the legacy full sweep —
+// same digest (all log records plus final fluid state) and
+// deep-equal per-node protocol state — across seeds.
+func TestWheelMatchesFullSweep(t *testing.T) {
+	for _, seed := range []uint64{7, 101, 4242} {
+		dWheel, wWheel := schedScenario(t, seed, false)
+		dSweep, wSweep := schedScenario(t, seed, true)
+		if dWheel != dSweep {
+			t.Fatalf("seed %d: wheel digest %#x != full-sweep digest %#x", seed, dWheel, dSweep)
+		}
+		if len(wWheel.Nodes()) != len(wSweep.Nodes()) {
+			t.Fatalf("seed %d: node counts differ: %d vs %d",
+				seed, len(wWheel.Nodes()), len(wSweep.Nodes()))
+		}
+		for i, n := range wWheel.Nodes() {
+			a, b := projectNode(n), projectNode(wSweep.Nodes()[i])
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d: node %d state diverged:\nwheel: %+v\nsweep: %+v", seed, i, a, b)
+			}
+		}
+		if wWheel.Adaptations != wSweep.Adaptations ||
+			wWheel.ReadySessions != wSweep.ReadySessions ||
+			wWheel.AbandonSessions != wSweep.AbandonSessions ||
+			wWheel.FailedSessions != wSweep.FailedSessions {
+			t.Fatalf("seed %d: world counters diverged", seed)
+		}
+		t.Logf("seed %d: wheel == sweep, digest %#x", seed, dWheel)
+	}
+}
+
+// TestWheelMatchesFullSweepAcrossGOMAXPROCS pins mode equivalence at
+// both parallelism settings: {wheel, sweep} × {GOMAXPROCS 1, 8} must
+// all produce one digest.
+func TestWheelMatchesFullSweepAcrossGOMAXPROCS(t *testing.T) {
+	orig := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(orig)
+	wheel1, _ := schedScenario(t, 4242, false)
+	sweep1, _ := schedScenario(t, 4242, true)
+	runtime.GOMAXPROCS(8)
+	wheel8, _ := schedScenario(t, 4242, false)
+	sweep8, _ := schedScenario(t, 4242, true)
+	if wheel1 != sweep1 || wheel1 != wheel8 || wheel1 != sweep8 {
+		t.Fatalf("digests diverged: wheel1=%#x sweep1=%#x wheel8=%#x sweep8=%#x",
+			wheel1, sweep1, wheel8, sweep8)
+	}
+}
+
+// TestFullSweepStillMatchesGolden runs the golden scenario with the
+// wheel disabled: the legacy sweep path must keep reproducing the
+// pre-optimisation digest, so the A/B switch really selects the seed
+// behaviour (the default-on wheel is pinned by TestRunDigestMatchesGolden).
+func TestFullSweepStillMatchesGolden(t *testing.T) {
+	p := DefaultParams()
+	p.ReportPeriod = 30 * sim.Second
+	engine := sim.NewEngine(sim.Second)
+	sink := &logsys.MemorySink{}
+	w, err := NewWorld(p, engine, sink, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.FullSweepControl = true
+	w.AddServer(15 * testRate)
+	w.AddServer(15 * testRate)
+	engine.Run(30 * sim.Second)
+	prof := netmodel.DefaultCapacityProfile(testRate)
+	rng := w.rng.SplitLabeled("digest")
+	for i := 0; i < 80; i++ {
+		i := i
+		at := 30*sim.Second + sim.Time(i%40)*2*sim.Second
+		engine.Schedule(at, func() {
+			class := netmodel.UserClass(i % 4)
+			watch := sim.Time(30+(i*13)%200) * sim.Second
+			w.Join(600+i, prof.Draw(class, rng), watch, 1, 0)
+		})
+	}
+	engine.Run(4 * sim.Minute)
+	w.DepartAllPeers("program-end")
+	engine.Run(engine.Now() + 10*sim.Second)
+	if got := worldDigest(w, sink.Records()); got != goldenRunDigest {
+		t.Fatalf("full-sweep digest %#x differs from golden %#x", got, goldenRunDigest)
+	}
+}

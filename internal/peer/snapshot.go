@@ -73,6 +73,7 @@ func (s TopologySnapshot) ResourceIndex() float64 {
 
 // Snapshot measures the current overlay.
 func (w *World) Snapshot() TopologySnapshot {
+	w.compactActive() // departures are batched; settle them before reading
 	snap := TopologySnapshot{At: w.Engine.Now()}
 	depth := make(map[int]int)
 	// Depth by BFS over sub-stream 0 children links from servers.

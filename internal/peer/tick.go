@@ -2,6 +2,7 @@ package peer
 
 import (
 	"runtime"
+	"time"
 
 	"coolstream/internal/logsys"
 	"coolstream/internal/netmodel"
@@ -29,6 +30,10 @@ func (w *World) tick(prev, now sim.Time) {
 	if dt <= 0 {
 		return
 	}
+	// Apply membership removals batched since the last tick (departures
+	// mark the active list dirty instead of paying an O(n) memmove per
+	// departure; see removeActive).
+	w.compactActive()
 	w.tickIDs = w.active // snapshot: phases 1-4 do not change membership
 	w.tickDt = dt
 	w.tickLive = w.liveEdge(now)
@@ -39,12 +44,47 @@ func (w *World) tick(prev, now sim.Time) {
 	if w.sharded != nil {
 		w.ensureLanes(runtime.GOMAXPROCS(0))
 	}
+	if w.wheelOn() {
+		// Stage the Inequality (1) detector for the playback shards: a
+		// node whose deviation crossed Ts with the adaptation cool-down
+		// expired is flagged into its shard's list and merged into this
+		// tick's control drain (see playbackShard and controlWheel).
+		w.tickAdaptCut = now - w.P.Ta
+		w.tickTsF = float64(w.P.Ts)
+		for p := runtime.GOMAXPROCS(0); len(w.advFlagShards) < p; {
+			w.advFlagShards = append(w.advFlagShards, nil)
+		}
+		for i := range w.advFlagShards {
+			w.advFlagShards[i] = w.advFlagShards[i][:0]
+		}
+	}
 	w.allocate()
 	w.advance()
 	w.playback()
 	w.account(w.tickIDs)
 	w.faultStep(dt)
-	w.control(w.tickIDs, now)
+	if w.controlClock {
+		start := time.Now()
+		w.dispatchControl(now)
+		w.ControlNanos += time.Since(start).Nanoseconds()
+	} else {
+		w.dispatchControl(now)
+	}
+	// Settle departures that happened during control (stall abandons)
+	// so per-tick observers see a membership-consistent active list.
+	// One pass per tick with any departures, instead of one memmove per
+	// departure.
+	w.compactActive()
+}
+
+// dispatchControl runs the control phase through the due wheel when
+// enabled, or the legacy full sweep otherwise.
+func (w *World) dispatchControl(now sim.Time) {
+	if w.wheelOn() {
+		w.controlWheel(now)
+	} else {
+		w.control(w.tickIDs, now)
+	}
 }
 
 // allocate runs the water-filling allocator on every serving node.
@@ -168,6 +208,12 @@ func (w *World) playbackShard(shard, lo, hi int) {
 	if w.sharded != nil && shard < len(w.laneSinks) {
 		lane = w.laneSinks[shard]
 	}
+	// Inequality (1) detection rides the playback sweep while the
+	// sub-stream state is cache-hot: H only moves in the advance phase,
+	// so a deviation crossing observed here is exactly what the control
+	// phase of this same tick would observe. Each shard owns a disjoint
+	// slice of nodes and its own flag list, so the writes never collide.
+	flagging := w.wheelOn() && shard < len(w.advFlagShards)
 	for idx := lo; idx < hi; idx++ {
 		n := w.nodes[w.tickIDs[idx]]
 		if n.IsServer() {
@@ -199,6 +245,18 @@ func (w *World) playbackShard(shard, lo, hi int) {
 			}
 			n.playDeadline = d1
 		}
+		if flagging && !n.advFlag && n.lastAdaptAt <= w.tickAdaptCut &&
+			len(n.partnerList) > 0 &&
+			(n.State == StateSubscribing || n.State == StateReady) {
+			maxH := n.MaxH()
+			for j := range n.Subs {
+				if n.Subs[j].Parent != NoParent && maxH-n.Subs[j].H >= w.tickTsF {
+					n.advFlag = true
+					w.advFlagShards[shard] = append(w.advFlagShards[shard], int32(n.ID))
+					break
+				}
+			}
+		}
 	}
 }
 
@@ -226,9 +284,10 @@ func (w *World) account(ids []int) {
 	}
 }
 
-// control runs the per-node protocol logic in deterministic ID order.
-// Nodes may depart (stall-abandon) or change subscriptions here, so it
-// iterates a reusable snapshot and re-checks liveness.
+// control runs the per-node protocol logic in deterministic ID order —
+// the legacy full sweep, kept for A/B verification against the due
+// wheel. Nodes may depart (stall-abandon) or change subscriptions
+// here, so it iterates a reusable snapshot and re-checks liveness.
 func (w *World) control(ids []int, now sim.Time) {
 	w.controlIDs = append(w.controlIDs[:0], ids...)
 	for _, id := range w.controlIDs {
@@ -236,34 +295,72 @@ func (w *World) control(ids []int, now sim.Time) {
 		if n.State == StateDeparted || n.IsServer() {
 			continue
 		}
-		if n.readyPending {
-			n.readyPending = false
-			w.ReadySessions++
-			if n.readyLogged {
-				n.readyLogged = false // already emitted from the playback lane
-			} else {
-				w.log(n, logsys.Record{Kind: logsys.KindMediaReady})
-			}
-		}
-		w.refreshBMs(n, now)
-		w.gossipStep(n, now)
-		switch n.State {
-		case StateJoining:
-			w.tryInitialSubscription(n, now)
-		case StateSubscribing, StateReady:
-			w.fillStalledSubstreams(n)
-			w.adapt(n, now)
-		}
-		w.maintainPartners(n, now)
-		w.stallCheck(n, now)
-		if n.State == StateDeparted {
-			continue // abandoned mid-interval: the bad report is censored
-		}
-		w.statusReports(n, now)
+		w.controlVisit(n, now)
 	}
 }
 
-// refreshBMs updates cached partner buffer maps that are due. With
+// controlVisit runs one node's control sequence for this tick. The
+// statement order is the protocol's per-tick contract: BM refresh,
+// gossip, state-specific subscription work, recruiting, the stall
+// check, then status reports. Both the full sweep and the due wheel
+// execute exactly this body, so the two control modes can only differ
+// in *which* nodes they visit — and the wheel visits a superset of the
+// nodes with something to do (see sched.go).
+func (w *World) controlVisit(n *Node, now sim.Time) {
+	w.ControlVisits++
+	if n.readyPending {
+		n.readyPending = false
+		w.ReadySessions++
+		if n.readyLogged {
+			n.readyLogged = false // already emitted from the playback lane
+		} else {
+			w.log(n, logsys.Record{Kind: logsys.KindMediaReady})
+		}
+	}
+	hint := w.refreshBMs(n, now)
+	w.gossipStep(n, now)
+	switch n.State {
+	case StateJoining:
+		w.tryInitialSubscription(n, now)
+	case StateSubscribing, StateReady:
+		adv := n.advFlag
+		n.advFlag = false
+		filled := w.fillStalledSubstreams(n)
+		// The §IV-B evaluation reads only partner BMs, the partner set
+		// and the node's own Subs. Each way an input can newly violate
+		// an inequality has a dedicated signal: the playback phase flags
+		// Inequality (1) crossings of the fluid H state (adv), the BM
+		// refresh reports changes that can affect Inequality (2) or the
+		// parent set (hint, see refreshBMs), a re-parented sub-stream
+		// re-evaluates immediately (filled), and membership changes from
+		// outside the visit zero adaptDue via touchNode. Skipping the
+		// evaluation otherwise is behaviour-preserving. The full sweep
+		// evaluates unconditionally, as the seed engine did.
+		if !w.wheelOn() || adv || hint || filled || n.adaptDue <= now {
+			w.adapt(n, now)
+			if w.wheelOn() {
+				n.adaptDue = w.adaptEvalBound(n, now)
+			}
+		}
+	}
+	w.maintainPartners(n, now)
+	w.stallCheck(n, now)
+	if n.State == StateDeparted {
+		return // abandoned mid-interval: the bad report is censored
+	}
+	w.statusReports(n, now)
+}
+
+// refreshBMs updates cached partner buffer maps that are due and
+// reports whether the scan changed any §IV-B adaptation input
+// (evalHint): a refresh can create a new Inequality (2) violation only
+// if it advanced the best-partner head past the value held at the last
+// evaluation (bestSeen), refreshed a current parent's BM, or tore a
+// partnership down. Refreshes that do none of those leave every
+// adaptation input the partner set holds provably unchanged — partner
+// heads only ever advance, so a scan whose every refreshed MaxLatest
+// stays at or below bestSeen cannot have raised the best reference
+// point past what the last evaluation already judged against. With
 // control loss enabled, a due refresh may be skipped, leaving the view
 // one period staler.
 //
@@ -271,13 +368,13 @@ func (w *World) control(ids []int, now sim.Time) {
 // the Partners map while drawing from n.rng inside the loop, so with
 // control loss enabled the RNG stream — and hence the whole run —
 // depended on Go's randomized map iteration order.
-func (w *World) refreshBMs(n *Node, now sim.Time) {
+func (w *World) refreshBMs(n *Node, now sim.Time) (evalHint bool) {
 	if now < n.bmDue {
 		// Nothing can be due yet (bmDue is a conservative lower bound
 		// maintained below and reset on partner establishment), so the
 		// whole scan — including its failure-detection side effects,
 		// which only ever fire on due entries — is a provable no-op.
-		return
+		return false
 	}
 	due := sim.Time(0)
 	for i := 0; i < len(n.partnerIDs); {
@@ -296,6 +393,7 @@ func (w *World) refreshBMs(n *Node, now sim.Time) {
 			// is torn down, and any sub-stream served by the corpse is
 			// marked stalled. delPartner shifts the slice left, so i
 			// stays put.
+			evalHint = true
 			n.delPartner(pid)
 			n.partnerChanges++
 			for j := range n.Subs {
@@ -305,6 +403,7 @@ func (w *World) refreshBMs(n *Node, now sim.Time) {
 					n.Subs[j].RateBps = 0
 				}
 			}
+			w.reclaimCorpseChildren(partner)
 			continue
 		}
 		if w.P.ControlLossProb > 0 && n.rng.Bool(w.P.ControlLossProb) {
@@ -312,6 +411,18 @@ func (w *World) refreshBMs(n *Node, now sim.Time) {
 		} else {
 			partner.fillBufferMap(&p.BM, n.ID)
 			p.BMAt = now
+			if !evalHint {
+				if p.BM.MaxLatest() > n.bestSeen {
+					evalHint = true
+				} else {
+					for j := range n.Subs {
+						if n.Subs[j].Parent == pid {
+							evalHint = true
+							break
+						}
+					}
+				}
+			}
 		}
 		if next := p.BMAt + w.P.BMPeriod; due == 0 || next < due {
 			due = next
@@ -324,6 +435,7 @@ func (w *World) refreshBMs(n *Node, now sim.Time) {
 		due = now + w.P.BMPeriod
 	}
 	n.bmDue = due
+	return evalHint
 }
 
 // gossipStep merges membership knowledge with one random partner.
@@ -389,9 +501,11 @@ func (w *World) tryInitialSubscription(n *Node, now sim.Time) {
 	}
 }
 
-// fillStalledSubstreams re-subscribes sub-streams without a parent;
-// this is not rate-limited by Ta (there is nothing to disrupt).
-func (w *World) fillStalledSubstreams(n *Node) {
+// fillStalledSubstreams re-subscribes sub-streams without a parent
+// (not rate-limited by Ta — there is nothing to disrupt), reporting
+// whether any sub-stream was re-parented: a fresh parent changes the
+// §IV-B inputs, so the caller must re-evaluate adaptation this tick.
+func (w *World) fillStalledSubstreams(n *Node) bool {
 	stalled := false
 	for j := range n.Subs {
 		if n.Subs[j].Parent == NoParent {
@@ -400,17 +514,21 @@ func (w *World) fillStalledSubstreams(n *Node) {
 		}
 	}
 	if !stalled {
-		return // the common case: skip the partner-BM max scan entirely
+		return false // the common case: skip the partner-BM max scan entirely
 	}
 	best, ok := n.bestPartnerH()
 	if !ok {
-		return
+		return false
 	}
+	acted := false
 	for j := range n.Subs {
 		if n.Subs[j].Parent == NoParent {
-			w.subscribe(n, j, best)
+			if w.subscribe(n, j, best) {
+				acted = true
+			}
 		}
 	}
+	return acted
 }
 
 // subscribe picks an eligible partner as parent for sub-stream j.
@@ -463,6 +581,7 @@ func (w *World) subscribe(n *Node, j int, best int64) bool {
 	}
 	if old != NoParent {
 		w.nodes[old].removeChild(j, n.ID)
+		w.reclaimCorpseChildren(w.nodes[old])
 	}
 	n.Subs[j].Parent = choice
 	n.Subs[j].RateBps = 0 // next allocation pass sets it
@@ -499,6 +618,10 @@ func (w *World) adapt(n *Node, now sim.Time) {
 	if !ok {
 		return
 	}
+	// Record the reference point this evaluation judged against: a later
+	// BM refresh only changes the Inequality (2) verdict if it pushes
+	// some partner head past this value (see refreshBMs).
+	n.bestSeen = best
 	maxH := n.MaxH()
 	worst, worstLag := -1, float64(0)
 	for j := range n.Subs {
@@ -529,6 +652,7 @@ func (w *World) adapt(n *Node, now sim.Time) {
 	old := n.Subs[worst].Parent
 	if old != NoParent {
 		w.nodes[old].removeChild(worst, n.ID)
+		w.reclaimCorpseChildren(w.nodes[old])
 		n.Subs[worst].Parent = NoParent
 		n.Subs[worst].RateBps = 0
 	}
@@ -545,7 +669,7 @@ func (w *World) maintainPartners(n *Node, now sim.Time) {
 	}
 	n.recruitingDue = now + 2*sim.Second
 	if n.MCache.Len() == 0 {
-		w.Engine.After(w.P.BootstrapRTT, func() { w.bootstrapReply(n) })
+		w.Engine.AfterCall(w.P.BootstrapRTT, w.bootstrapFn, sim.EvPayload{A: n.ID})
 		return
 	}
 	w.recruit(n)

@@ -2,7 +2,7 @@ package peer
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 
 	"coolstream/internal/faults"
 	"coolstream/internal/gossip"
@@ -25,11 +25,77 @@ type World struct {
 	Reach   netmodel.Reachability
 	Policy  gossip.Policy
 
-	rng      *xrand.RNG
-	nodes    []*Node
-	active   []int // sorted IDs of active nodes (servers included)
-	servers  []int // IDs of the server tier, in creation order (never departs)
-	sessions int
+	rng   *xrand.RNG
+	nodes []*Node
+	// active holds the sorted IDs of active nodes (servers included).
+	// Node IDs are assigned monotonically, so joins append in O(1);
+	// departures only mark the list dirty (activeDirty counts pending
+	// removals) and compactActive applies them in one pass at the next
+	// tick boundary — an abandon-and-rejoin cycle no longer pays two
+	// O(n) memmoves.
+	active      []int
+	activeDirty int
+	// activePeers counts active non-server peers, kept incrementally so
+	// the per-tick peak-concurrency probe is O(1).
+	activePeers int
+	servers     []int // IDs of the server tier, in creation order (never departs)
+	sessions    int
+
+	// wheel is the due-driven control scheduler (see sched.go); the
+	// drain* fields are its per-tick cursor state and wheelBuf/dueIDs
+	// its reusable drain scratch.
+	wheel    *sim.Wheel
+	wheelBuf []int32
+	dueIDs   []int32
+	draining bool
+	drainIdx int
+	drainPos int
+	// FullSweepControl disables the due wheel and restores the legacy
+	// O(population) per-tick control sweep — the A/B switch for the
+	// determinism property tests and scaling benchmarks. Must be set
+	// before the first join is scheduled.
+	FullSweepControl bool
+
+	// controlClock/ControlNanos optionally meter wall time spent in the
+	// control phase (enabled by benchmarks via MeterControl).
+	// ControlVisits counts controlVisit invocations regardless of the
+	// clock — the wheel-vs-sweep work ratio in one number.
+	controlClock  bool
+	ControlNanos  int64
+	ControlVisits int64
+
+	// Node-shell recycling. Node structs themselves are never reused —
+	// every session keeps its Node for post-run analysis (digests,
+	// session tables) — but shells are carved from chunked arenas and
+	// the heap-heavy internals of *departed* nodes (partner map and
+	// mirrors, mCache, children backings, allocator scratch) are donated
+	// back and reissued to future joiners, so steady-state churn
+	// allocates almost nothing.
+	nodeArena  []Node
+	subArena   []Subscription
+	childArena [][]int
+	mapPool    []map[int]*Partner
+	intPool    [][]int
+	plistPool  [][]*Partner
+	mcPool     []*gossip.MCache
+	demandPool [][]netmodel.Demand
+	slotPool   [][]allocSlot
+	fillerPool []*netmodel.Filler
+	ppool      partnerPool
+	// labelBuf is the reusable node-RNG label encoder buffer
+	// ("node-<id>" without fmt).
+	labelBuf []byte
+
+	// Staged event callbacks: the high-rate events (bootstrap reply,
+	// leave, join timeout, partnership completion) carry their operands
+	// in the event payload and share these four method values, so the
+	// churn path allocates no per-event closures.
+	bootstrapFn   func(sim.EvPayload)
+	leaveFn       func(sim.EvPayload)
+	timeoutFn     func(sim.EvPayload)
+	partnershipFn func(sim.EvPayload)
+	retryFn       func(sim.EvPayload)
+	rejoinFn      func(sim.EvPayload)
 
 	// Faults is the injected fault schedule (nil = fault-free). All
 	// probabilistic fault draws happen in sequential phases (events,
@@ -77,10 +143,16 @@ type World struct {
 	// from the fault schedule so the parallel advance shards read a
 	// plain float. Zero whenever faults are off or no window is active.
 	tickLoss float64
+	// advFlagShards collects, per playback shard, the IDs whose
+	// Inequality (1) deviation crossed Ts this tick with the adaptation
+	// cool-down expired (wheel mode only); controlWheel merges the lists
+	// into the drain set so the flagged nodes are visited this same
+	// tick. tickAdaptCut/tickTsF stage the cool-down cut-off and the Ts
+	// threshold as plain values the parallel shards can read.
+	advFlagShards [][]int32
+	tickAdaptCut  sim.Time
+	tickTsF       float64
 
-	// leaveEv and timeoutEv track cancellable per-node events.
-	leaveEv   map[int]*sim.Event
-	timeoutEv map[int]*sim.Event
 
 	// StallContinuity/StallAbandonProb model frustrated users: a Ready
 	// node whose report-interval continuity falls below the threshold
@@ -123,8 +195,6 @@ func NewWorld(p Params, engine *sim.Engine, sink logsys.Sink, latency netmodel.L
 		faultRNG:         root.SplitLabeled("faults"),
 		retrySalt:        seed,
 		Boot:             gossip.NewBootstrap(root.SplitLabeled("bootstrap")),
-		leaveEv:          make(map[int]*sim.Event),
-		timeoutEv:        make(map[int]*sim.Event),
 		StallContinuity:  0.85,
 		StallAbandonProb: 0.7,
 		CrashProb:        0.3,
@@ -133,12 +203,24 @@ func NewWorld(p Params, engine *sim.Engine, sink logsys.Sink, latency netmodel.L
 	w.allocateFn = w.allocateShard
 	w.advanceFn = w.advanceShard
 	w.playbackFn = w.playbackShard
+	w.bootstrapFn = w.bootstrapFire
+	w.leaveFn = w.leaveFire
+	w.timeoutFn = w.timeoutFire
+	w.partnershipFn = w.completePartnership
+	w.retryFn = w.retryFire
+	w.rejoinFn = w.rejoinFire
+	w.wheel = sim.NewWheel(engine.TickPeriod(), 512, engine.Now())
 	if ss, ok := sink.(*logsys.ShardedSink); ok {
 		w.sharded = ss
 	}
 	engine.OnTick(w.tick)
 	return w, nil
 }
+
+// MeterControl enables wall-clock metering of the control phase; the
+// accumulated total is read from ControlNanos. Benchmarks use it to
+// isolate control-plane cost from the fluid data plane.
+func (w *World) MeterControl(on bool) { w.controlClock = on }
 
 // Node returns the node with the given ID (nil if out of range).
 func (w *World) Node(id int) *Node {
@@ -152,56 +234,163 @@ func (w *World) Node(id int) *Node {
 func (w *World) Nodes() []*Node { return w.nodes }
 
 // ActiveCount returns the number of active nodes including servers.
-func (w *World) ActiveCount() int { return len(w.active) }
+func (w *World) ActiveCount() int { return len(w.active) - w.activeDirty }
 
-// ActivePeerCount returns the number of active non-server peers.
-func (w *World) ActivePeerCount() int {
-	n := 0
-	for _, id := range w.active {
-		if !w.nodes[id].IsServer() {
-			n++
-		}
-	}
-	return n
-}
+// ActivePeerCount returns the number of active non-server peers. O(1):
+// the count is maintained incrementally at join and departure.
+func (w *World) ActivePeerCount() int { return w.activePeers }
+
+// nodeChunk is the arena granularity for node shells.
+const nodeChunk = 256
 
 func (w *World) newNode(ep netmodel.Endpoint, userID int) *Node {
 	id := len(w.nodes)
 	w.sessions++
-	n := &Node{
-		ID:       id,
-		UserID:   userID,
-		Session:  w.sessions,
-		EP:       ep,
-		JoinedAt: w.Engine.Now(),
-		Partners: make(map[int]*Partner),
-		Subs:     make([]Subscription, w.P.Layout.K),
-		children: make([][]int, w.P.Layout.K),
-		topo:     w.topo,
-		rng:      w.rng.SplitLabeled(fmt.Sprintf("node-%d", id)),
+	k := w.P.Layout.K
+	// Carve the shell and its fixed-size per-sub slices from chunked
+	// arenas: one allocation per nodeChunk sessions instead of three
+	// per session. Arena entries are fresh zeroed memory, so the
+	// explicit assignments below are exactly the old composite literal.
+	if len(w.nodeArena) == 0 {
+		w.nodeArena = make([]Node, nodeChunk)
+	}
+	n := &w.nodeArena[0]
+	w.nodeArena = w.nodeArena[1:]
+	if len(w.subArena) < k {
+		w.subArena = make([]Subscription, nodeChunk*k)
+	}
+	subs := w.subArena[:k:k]
+	w.subArena = w.subArena[k:]
+	if len(w.childArena) < k {
+		w.childArena = make([][]int, nodeChunk*k)
+	}
+	children := w.childArena[:k:k]
+	w.childArena = w.childArena[k:]
+
+	n.ID = id
+	n.UserID = userID
+	n.Session = w.sessions
+	n.EP = ep
+	n.JoinedAt = w.Engine.Now()
+	n.Subs = subs
+	n.children = children
+	n.topo = w.topo
+	n.pool = &w.ppool
+	// The node RNG is seeded from the world stream and the "node-<id>"
+	// label exactly as the seed engine's SplitLabeled(fmt.Sprintf(...))
+	// did, but into the inline store with no formatting allocations.
+	n.rngStore.ReseedLabeledBytes(w.rng, w.nodeLabel(id))
+	n.rng = &n.rngStore
+	n.Partners = w.getPartnerMap()
+	if m := len(w.intPool); m > 0 {
+		n.partnerIDs = w.intPool[m-1][:0]
+		w.intPool[m-1] = nil
+		w.intPool = w.intPool[:m-1]
+	}
+	if m := len(w.plistPool); m > 0 {
+		n.partnerList = w.plistPool[m-1][:0]
+		w.plistPool[m-1] = nil
+		w.plistPool = w.plistPool[:m-1]
+	}
+	if m := len(w.demandPool); m > 0 {
+		n.allocDemands = w.demandPool[m-1][:0]
+		w.demandPool[m-1] = nil
+		w.demandPool = w.demandPool[:m-1]
+	}
+	if m := len(w.slotPool); m > 0 {
+		n.allocSlots = w.slotPool[m-1][:0]
+		w.slotPool[m-1] = nil
+		w.slotPool = w.slotPool[:m-1]
+	}
+	if m := len(w.fillerPool); m > 0 {
+		n.filler = w.fillerPool[m-1]
+		w.fillerPool[m-1] = nil
+		w.fillerPool = w.fillerPool[:m-1]
+	} else {
+		n.filler = new(netmodel.Filler)
+	}
+	if m := len(w.intPool); m > 0 {
+		n.candScratch = w.intPool[m-1][:0]
+		w.intPool[m-1] = nil
+		w.intPool = w.intPool[:m-1]
 	}
 	for j := range n.Subs {
 		n.Subs[j].Parent = NoParent
+		if m := len(w.intPool); m > 0 {
+			n.children[j] = w.intPool[m-1][:0]
+			w.intPool[m-1] = nil
+			w.intPool = w.intPool[:m-1]
+		}
 	}
-	n.MCache = gossip.NewMCache(w.P.MCacheCapacity, w.Policy, n.rng.SplitLabeled("mcache"))
+	n.MCache = w.getMCache(n.rng)
 	n.lastReportAt = n.JoinedAt
 	w.nodes = append(w.nodes, n)
-	w.insertActive(id)
+	// IDs are assigned monotonically, so the sorted active list grows
+	// by plain append.
+	w.active = append(w.active, id)
+	if !ep.Server {
+		w.activePeers++
+	}
+	w.touchNode(id)
 	return n
 }
 
-func (w *World) insertActive(id int) {
-	i := sort.SearchInts(w.active, id)
-	w.active = append(w.active, 0)
-	copy(w.active[i+1:], w.active[i:])
-	w.active[i] = id
+// nodeLabel renders "node-<id>" into the world's reusable label buffer.
+func (w *World) nodeLabel(id int) []byte {
+	b := append(w.labelBuf[:0], "node-"...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	w.labelBuf = b
+	return b
 }
 
-func (w *World) removeActive(id int) {
-	i := sort.SearchInts(w.active, id)
-	if i < len(w.active) && w.active[i] == id {
-		w.active = append(w.active[:i], w.active[i+1:]...)
+func (w *World) getPartnerMap() map[int]*Partner {
+	if m := len(w.mapPool); m > 0 {
+		pm := w.mapPool[m-1]
+		w.mapPool[m-1] = nil
+		w.mapPool = w.mapPool[:m-1]
+		return pm
 	}
+	return make(map[int]*Partner)
+}
+
+// getMCache reissues a donated membership cache (reset in place, RNG
+// stream reseeded from the owner's labeled stream — behaviourally
+// identical to a fresh NewMCache) or builds a new one.
+func (w *World) getMCache(rng *xrand.RNG) *gossip.MCache {
+	if m := len(w.mcPool); m > 0 {
+		mc := w.mcPool[m-1]
+		w.mcPool[m-1] = nil
+		w.mcPool = w.mcPool[:m-1]
+		var stream xrand.RNG
+		stream.ReseedLabeled(rng, "mcache")
+		mc.Reset(stream)
+		return mc
+	}
+	return gossip.NewMCache(w.P.MCacheCapacity, w.Policy, rng.SplitLabeled("mcache"))
+}
+
+// removeActive marks a departure for batched removal; compactActive
+// applies the batch at the next tick boundary (and before snapshots).
+func (w *World) removeActive(id int) {
+	w.activeDirty++
+	if !w.nodes[id].IsServer() {
+		w.activePeers--
+	}
+}
+
+// compactActive drops departed IDs from the active list in one pass.
+func (w *World) compactActive() {
+	if w.activeDirty == 0 {
+		return
+	}
+	dst := w.active[:0]
+	for _, id := range w.active {
+		if w.nodes[id].State != StateDeparted {
+			dst = append(dst, id)
+		}
+	}
+	w.active = dst
+	w.activeDirty = 0
 }
 
 // AddServer creates one dedicated-server node (the paper's 24×100 Mbps
@@ -258,26 +447,44 @@ func (w *World) Join(userID int, ep netmodel.Endpoint, watch sim.Time, patience,
 	w.log(n, logsys.Record{Kind: logsys.KindJoin})
 
 	// Bootstrap round trip delivers the initial candidate list.
-	w.Engine.After(w.P.BootstrapRTT, func() { w.bootstrapReply(n) })
+	w.Engine.AfterCall(w.P.BootstrapRTT, w.bootstrapFn, sim.EvPayload{A: n.ID})
 
 	// The user's own departure clock. A fraction of users just close
 	// the application without teardown.
-	crash := n.rng.Bool(w.CrashProb)
-	w.leaveEv[n.ID] = w.Engine.After(watch, func() {
-		if crash {
-			w.departCrash(n, "user")
-		} else {
-			w.depart(n, "user")
-		}
-	})
+	crashFlag := 0
+	if n.rng.Bool(w.CrashProb) {
+		crashFlag = 1
+	}
+	n.leaveEv = w.Engine.AfterCall(watch, w.leaveFn, sim.EvPayload{A: n.ID, B: crashFlag})
 
 	// Startup failure clock.
-	w.timeoutEv[n.ID] = w.Engine.After(w.P.JoinTimeout, func() {
-		if n.State == StateJoining || n.State == StateSubscribing {
-			w.failSession(n)
-		}
-	})
+	n.timeoutEv = w.Engine.AfterCall(w.P.JoinTimeout, w.timeoutFn, sim.EvPayload{A: n.ID})
 	return n
+}
+
+// bootstrapFire, leaveFire and timeoutFire are the staged callbacks of
+// the three per-join events; operands travel in the payload so the
+// join path allocates no closures.
+func (w *World) bootstrapFire(p sim.EvPayload) { w.bootstrapReply(w.nodes[p.A]) }
+
+func (w *World) leaveFire(p sim.EvPayload) {
+	n := w.nodes[p.A]
+	// Drop the handle before acting: fired events are recycled by the
+	// engine, so a retained handle must never outlive the fire.
+	n.leaveEv = nil
+	if p.B != 0 {
+		w.departCrash(n, "user")
+	} else {
+		w.depart(n, "user")
+	}
+}
+
+func (w *World) timeoutFire(p sim.EvPayload) {
+	n := w.nodes[p.A]
+	n.timeoutEv = nil
+	if n.State == StateJoining || n.State == StateSubscribing {
+		w.failSession(n)
+	}
 }
 
 // retryDelay returns the pause before retry number `attempt` (1-based)
@@ -297,14 +504,22 @@ func (w *World) retryDelay(attempt int, key uint64) sim.Time {
 // jittered) when a Retry policy is configured.
 func (w *World) failSession(n *Node) {
 	w.FailedSessions++
-	userID, ep, watch, patience, retries := n.UserID, n.EP, n.watch, n.patience, n.Retries
+	patience, retries := n.patience, n.Retries
 	w.depart(n, "join-timeout")
 	if patience > 0 {
-		delay := w.retryDelay(retries+1, uint64(userID))
-		w.Engine.After(delay, func() {
-			w.Join(userID, ep, watch, patience-1, retries+1)
-		})
+		delay := w.retryDelay(retries+1, uint64(n.UserID))
+		// The corpse shell keeps the user's identity, endpoint and intent
+		// untouched, so the retry re-derives them at fire time and the
+		// abandon path allocates no closure.
+		w.Engine.AfterCall(delay, w.retryFn, sim.EvPayload{A: n.ID})
 	}
+}
+
+// retryFire re-enters a user whose session failed before media-ready,
+// reading the retry operands off the failed session's shell.
+func (w *World) retryFire(p sim.EvPayload) {
+	n := w.nodes[p.A]
+	w.Join(n.UserID, n.EP, n.watch, n.patience-1, n.Retries+1)
 }
 
 // abandonAndRejoin models a frustrated Ready user who departs after a
@@ -312,15 +527,21 @@ func (w *World) failSession(n *Node) {
 // system as a brand-new join, per §V-D).
 func (w *World) abandonAndRejoin(n *Node) {
 	w.AbandonSessions++
-	userID, ep, patience := n.UserID, n.EP, n.patience
 	// Remaining watch time continues to run.
 	remaining := n.JoinedAt + n.watch - w.Engine.Now()
 	w.depart(n, "stall-reenter")
 	if remaining > w.P.RetryDelay {
-		w.Engine.After(w.P.RetryDelay, func() {
-			w.Join(userID, ep, remaining-w.P.RetryDelay, patience, n.Retries+1)
-		})
+		w.Engine.AfterCall(w.P.RetryDelay, w.rejoinFn, sim.EvPayload{A: n.ID})
 	}
+}
+
+// rejoinFire re-enters a frustrated user after the stall-abandon pause.
+// The corpse shell's JoinedAt+watch is the absolute intent horizon, so
+// the remaining watch time falls out of the fire-time clock — exactly
+// remaining-RetryDelay as scheduled.
+func (w *World) rejoinFire(p sim.EvPayload) {
+	n := w.nodes[p.A]
+	w.Join(n.UserID, n.EP, n.JoinedAt+n.watch-w.Engine.Now(), n.patience, n.Retries+1)
 }
 
 // depart removes a node gracefully: partners drop it immediately (TCP
@@ -348,13 +569,13 @@ func (w *World) departMode(n *Node, reason string, graceful bool) {
 	n.LeftAt = now
 	w.Boot.Leave(n.ID)
 	w.removeActive(n.ID)
-	if ev := w.leaveEv[n.ID]; ev != nil {
-		w.Engine.Cancel(ev)
-		delete(w.leaveEv, n.ID)
+	if ev := n.leaveEv; ev != nil {
+		w.Engine.CancelRelease(ev)
+		n.leaveEv = nil
 	}
-	if ev := w.timeoutEv[n.ID]; ev != nil {
-		w.Engine.Cancel(ev)
-		delete(w.timeoutEv, n.ID)
+	if ev := n.timeoutEv; ev != nil {
+		w.Engine.CancelRelease(ev)
+		n.timeoutEv = nil
 	}
 	// Detach from parents. Parents notice a vanished child either way:
 	// their TCP send fails at once, so the child registry is cleaned
@@ -362,6 +583,7 @@ func (w *World) departMode(n *Node, reason string, graceful bool) {
 	for j := range n.Subs {
 		if p := n.Subs[j].Parent; p != NoParent {
 			w.nodes[p].removeChild(j, n.ID)
+			w.reclaimCorpseChildren(w.nodes[p])
 			n.Subs[j].Parent = NoParent
 			n.Subs[j].RateBps = 0
 		}
@@ -374,7 +596,11 @@ func (w *World) departMode(n *Node, reason string, graceful bool) {
 				if child.Subs[j].Parent == n.ID {
 					child.Subs[j].Parent = NoParent
 					child.Subs[j].RateBps = 0
+					w.touchNode(c) // re-subscribe from the next control pass
 				}
+			}
+			if cap(n.children[j]) > 0 {
+				w.intPool = append(w.intPool, n.children[j][:0])
 			}
 			n.children[j] = nil
 		}
@@ -384,6 +610,7 @@ func (w *World) departMode(n *Node, reason string, graceful bool) {
 		for _, pid := range n.partnerIDs {
 			w.nodes[pid].delPartner(n.ID)
 			w.nodes[pid].partnerChanges++
+			w.touchNode(pid) // partner set shrank: recruiting may be due
 		}
 	}
 	// On a crash, children and partner back-pointers stay dangling;
@@ -393,6 +620,76 @@ func (w *World) departMode(n *Node, reason string, graceful bool) {
 	// gone (graceful) or frozen out of the active root set (crash).
 	w.topo.bumpAll()
 	w.log(n, logsys.Record{Kind: logsys.KindLeave, Reason: reason})
+	w.reclaimNode(n, graceful)
+}
+
+// reclaimNode donates a departed node's heap-heavy internals back to
+// the world pools. The Node shell itself stays — post-run analysis
+// (digests, session tables, upload-by-class) reads State, Subs, EP and
+// the cumulative counters of every session ever created — but nothing
+// reads a corpse's partner map, mirrors, mCache or allocator scratch,
+// so those backings get reissued to future joiners. A crash corpse
+// keeps its children registry: partners that have not yet detected the
+// crash still call removeChild on it from refreshBMs teardown.
+func (w *World) reclaimNode(n *Node, graceful bool) {
+	if n.Partners != nil {
+		w.mapPool = append(w.mapPool, n.Partners)
+		n.Partners = nil
+	}
+	if cap(n.partnerIDs) > 0 {
+		w.intPool = append(w.intPool, n.partnerIDs[:0])
+	}
+	n.partnerIDs = nil
+	if cap(n.partnerList) > 0 {
+		w.plistPool = append(w.plistPool, n.partnerList[:0])
+	}
+	n.partnerList = nil
+	if n.MCache != nil {
+		w.mcPool = append(w.mcPool, n.MCache)
+		n.MCache = nil
+	}
+	if cap(n.allocDemands) > 0 {
+		w.demandPool = append(w.demandPool, n.allocDemands[:0])
+		n.allocDemands = nil
+	}
+	if cap(n.allocSlots) > 0 {
+		w.slotPool = append(w.slotPool, n.allocSlots[:0])
+		n.allocSlots = nil
+	}
+	if cap(n.candScratch) > 0 {
+		w.intPool = append(w.intPool, n.candScratch[:0])
+		n.candScratch = nil
+	}
+	if n.filler != nil {
+		n.filler.Invalidate()
+		w.fillerPool = append(w.fillerPool, n.filler)
+		n.filler = nil
+	}
+	_ = graceful // children backings were donated in the graceful teardown above
+}
+
+// reclaimCorpseChildren donates a crash corpse's children backings once
+// the last dangling child reference is gone. A crash corpse keeps its
+// registry alive after reclaimNode because surviving children still
+// call removeChild on it as they detect the crash (failed BM exchange,
+// Inequality (1) lag, or their own departure); the caller invokes this
+// after each such detachment, and the donation happens exactly once —
+// when every sub-stream's child list has emptied.
+func (w *World) reclaimCorpseChildren(p *Node) {
+	if p.State != StateDeparted {
+		return
+	}
+	for j := range p.children {
+		if len(p.children[j]) != 0 {
+			return
+		}
+	}
+	for j := range p.children {
+		if cap(p.children[j]) > 0 {
+			w.intPool = append(w.intPool, p.children[j][:0])
+		}
+		p.children[j] = nil
+	}
 }
 
 // DepartAllPeers removes every active non-server peer at once — the
@@ -475,48 +772,61 @@ func (w *World) attemptPartnership(n *Node, targetID int) {
 		// normal recruiting cadence.
 		return
 	}
-	w.Engine.After(rtt, func() {
-		target := w.Node(targetID)
-		if n.State == StateDeparted {
-			return
-		}
-		if target == nil || target.State == StateDeparted {
-			n.MCache.Remove(targetID)
-			return
-		}
-		if _, dup := n.Partners[targetID]; dup {
-			return
-		}
-		bound := w.P.MaxPartners
-		if target.IsServer() {
-			bound = w.P.MaxServerPartners
-		}
-		if len(target.Partners) >= bound || len(n.Partners) >= w.P.MaxPartners {
-			return
-		}
-		if !w.Reach.Attempt(n.EP.Class, target.EP.Class, u) {
-			n.MCache.Remove(targetID)
-			return
-		}
-		now := w.Engine.Now()
-		n.setPartner(targetID, &Partner{
-			Outgoing:      true,
-			BM:            target.BufferMap(n.ID),
-			BMAt:          now,
-			EstablishedAt: now,
-		})
-		target.setPartner(n.ID, &Partner{
-			Outgoing:      false,
-			BM:            n.BufferMap(targetID),
-			BMAt:          now,
-			EstablishedAt: now,
-		})
-		n.partnerChanges++
-		target.partnerChanges++
-		// Membership gossip piggybacks on establishment.
-		target.MCache.Insert(w.bootEntry(n), now)
-		n.MCache.Insert(w.bootEntry(target), now)
-	})
+	w.Engine.AfterCall(rtt, w.partnershipFn, sim.EvPayload{A: n.ID, B: targetID, F: u})
+}
+
+// completePartnership finishes the handshake one RTT after the attempt:
+// payload A is the initiator, B the target, F the reachability draw.
+func (w *World) completePartnership(p sim.EvPayload) {
+	n := w.nodes[p.A]
+	targetID := p.B
+	target := w.Node(targetID)
+	if n.State == StateDeparted {
+		return
+	}
+	if target == nil || target.State == StateDeparted {
+		n.MCache.Remove(targetID)
+		return
+	}
+	if _, dup := n.Partners[targetID]; dup {
+		return
+	}
+	bound := w.P.MaxPartners
+	if target.IsServer() {
+		bound = w.P.MaxServerPartners
+	}
+	if len(target.Partners) >= bound || len(n.Partners) >= w.P.MaxPartners {
+		return
+	}
+	if !w.Reach.Attempt(n.EP.Class, target.EP.Class, p.F) {
+		n.MCache.Remove(targetID)
+		return
+	}
+	now := w.Engine.Now()
+	// Partner structs come from the pool with their buffer-map backing;
+	// fillBufferMap resets the contents to exactly what a fresh
+	// BufferMap() would hold.
+	po := w.ppool.get()
+	po.Outgoing = true
+	target.fillBufferMap(&po.BM, n.ID)
+	po.BMAt = now
+	po.EstablishedAt = now
+	n.setPartner(targetID, po)
+	pi := w.ppool.get()
+	pi.Outgoing = false
+	n.fillBufferMap(&pi.BM, targetID)
+	pi.BMAt = now
+	pi.EstablishedAt = now
+	target.setPartner(n.ID, pi)
+	n.partnerChanges++
+	target.partnerChanges++
+	// Membership gossip piggybacks on establishment.
+	target.MCache.Insert(w.bootEntry(n), now)
+	n.MCache.Insert(w.bootEntry(target), now)
+	// Fresh partnerships change both ends' control outlook (gossip
+	// becomes possible, recruiting may stand down, BMs just landed).
+	w.touchNode(n.ID)
+	w.touchNode(targetID)
 }
 
 // log emits a record for the node, filling identity fields.

@@ -1,0 +1,96 @@
+// Package profiling wires the standard runtime collectors (CPU
+// profile, heap profile, execution trace) to command-line flags shared
+// by the cmd binaries, so any simulation run can be captured for
+// `go tool pprof` / `go tool trace` without a test harness.
+package profiling
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the output paths of the three collectors; an empty path
+// leaves that collector off.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register declares the -cpuprofile, -memprofile and -trace flags on
+// the given flag set. Call before the set is parsed.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Start begins every requested collector and returns the stop function
+// to run (usually deferred) when the measured work is done. Stop
+// flushes and closes everything; the heap profile is captured at stop
+// time, after a final GC, so it reflects live memory at end of run.
+// If any collector fails to start, the ones already running are
+// stopped before the error is returned.
+func (f *Flags) Start() (stop func() error, err error) {
+	var stops []func() error
+	unwind := func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if e := stops[i](); e != nil && first == nil {
+				first = e
+			}
+		}
+		return first
+	}
+	if f.CPUProfile != "" {
+		cf, err := os.Create(f.CPUProfile)
+		if err != nil {
+			unwind()
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			unwind()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return cf.Close()
+		})
+	}
+	if f.Trace != "" {
+		tf, err := os.Create(f.Trace)
+		if err != nil {
+			unwind()
+			return nil, err
+		}
+		if err := trace.Start(tf); err != nil {
+			tf.Close()
+			unwind()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return tf.Close()
+		})
+	}
+	if f.MemProfile != "" {
+		path := f.MemProfile
+		stops = append(stops, func() error {
+			mf, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // report live objects, not garbage awaiting sweep
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				mf.Close()
+				return err
+			}
+			return mf.Close()
+		})
+	}
+	return unwind, nil
+}

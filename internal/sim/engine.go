@@ -51,8 +51,31 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
+// ScheduleCall runs fn(p) at the absolute virtual time at. fn is
+// typically a long-lived method value, so hot paths schedule without
+// allocating a per-event closure.
+func (e *Engine) ScheduleCall(at Time, fn func(EvPayload), p EvPayload) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	return e.q.PushCall(at, fn, p)
+}
+
+// AfterCall runs fn(p) after delay d (non-negative) from now.
+func (e *Engine) AfterCall(d Time, fn func(EvPayload), p EvPayload) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.ScheduleCall(e.now+d, fn, p)
+}
+
 // Cancel removes a pending event.
 func (e *Engine) Cancel(ev *Event) { e.q.Cancel(ev) }
+
+// CancelRelease cancels a pending event and recycles its struct; the
+// caller must hold the sole handle and drop it immediately (see
+// Queue.CancelRelease).
+func (e *Engine) CancelRelease(ev *Event) { e.q.CancelRelease(ev) }
 
 // OnTick registers a control-tick callback. Callbacks run in
 // registration order at each tick boundary.
@@ -84,7 +107,11 @@ func (e *Engine) Run(until Time) {
 		case evAt <= nextTick && evAt <= until:
 			ev := e.q.Pop()
 			e.now = ev.At
-			ev.Fn()
+			ev.fire()
+			// The callback has run and, by the handle contract (see
+			// Queue.Release), no live reference to ev remains — recycle
+			// the struct so steady-state event churn allocates nothing.
+			e.q.Release(ev)
 		case nextTick <= until:
 			e.now = nextTick
 			prev := e.lastTick

@@ -2,18 +2,41 @@ package sim
 
 import "container/heap"
 
-// Event is a scheduled callback. Fn runs with the engine clock set to
-// At. Events at equal times fire in scheduling order (FIFO), which
-// keeps runs reproducible regardless of heap internals.
+// EvPayload is the inline argument block of a payload event: two
+// integer slots and one float slot cover the simulator's hot event
+// shapes (node IDs, flags, pre-drawn uniforms) without a per-event
+// closure allocation.
+type EvPayload struct {
+	A, B int
+	F    float64
+}
+
+// Event is a scheduled callback. Exactly one of Fn and Call is set:
+// Fn runs as a plain closure; Call runs with the event's payload, so
+// hot paths can stage a long-lived method value once and schedule it
+// with per-event arguments instead of allocating a fresh closure.
+// Events at equal times fire in scheduling order (FIFO), which keeps
+// runs reproducible regardless of heap internals.
 type Event struct {
-	At  Time
-	Fn  func()
-	seq uint64
-	idx int // heap index; -1 once popped or cancelled
+	At   Time
+	Fn   func()
+	Call func(EvPayload)
+	P    EvPayload
+	seq  uint64
+	idx  int // heap index; -1 once popped, -2 once cancelled
 }
 
 // Cancelled reports whether the event was removed before firing.
 func (e *Event) Cancelled() bool { return e.idx == -2 }
+
+// fire runs the event's callback.
+func (e *Event) fire() {
+	if e.Fn != nil {
+		e.Fn()
+		return
+	}
+	e.Call(e.P)
+}
 
 type eventHeap []*Event
 
@@ -50,16 +73,43 @@ func (h *eventHeap) Pop() any {
 type Queue struct {
 	h   eventHeap
 	seq uint64
+	// free recycles fired Event structs. Only the engine returns
+	// events here (via Release, after the callback has run and every
+	// live handle to the event has been dropped); cancelled events are
+	// never recycled, so a retained handle to one stays inert forever.
+	free []*Event
 }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
+// alloc returns a zeroed event, reusing a released one when available.
+func (q *Queue) alloc() *Event {
+	if n := len(q.free); n > 0 {
+		e := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
 // Push schedules fn at time at and returns the event handle, which can
 // be passed to Cancel.
 func (q *Queue) Push(at Time, fn func()) *Event {
 	q.seq++
-	e := &Event{At: at, Fn: fn, seq: q.seq}
+	e := q.alloc()
+	*e = Event{At: at, Fn: fn, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// PushCall schedules fn(p) at time at. fn is typically a long-lived
+// method value, so the hot join/handshake paths allocate no closure.
+func (q *Queue) PushCall(at Time, fn func(EvPayload), p EvPayload) *Event {
+	q.seq++
+	e := q.alloc()
+	*e = Event{At: at, Call: fn, P: p, seq: q.seq}
 	heap.Push(&q.h, e)
 	return e
 }
@@ -79,6 +129,22 @@ func (q *Queue) Peek() *Event {
 	return q.h[0]
 }
 
+// Release returns a fired event to the allocation pool. The caller
+// must guarantee no live handle to the event remains: the engine calls
+// this right after the callback returns, and the simulator's contract
+// is that handles are only retained for cancellation of *pending*
+// events (handle maps drop their entry before or during the fire).
+func (q *Queue) Release(e *Event) {
+	if e == nil || e.idx != -1 {
+		return // pending, cancelled or already-pooled events stay out
+	}
+	e.idx = -3 // pooled marker: makes a double Release a no-op
+	e.Fn = nil
+	e.Call = nil
+	e.P = EvPayload{}
+	q.free = append(q.free, e)
+}
+
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (q *Queue) Cancel(e *Event) {
@@ -87,4 +153,19 @@ func (q *Queue) Cancel(e *Event) {
 	}
 	heap.Remove(&q.h, e.idx)
 	e.idx = -2
+}
+
+// CancelRelease cancels a pending event and returns its struct to the
+// allocation pool in one step. Unlike Cancel, the caller must drop
+// every handle to the event before the next Push: the struct will be
+// reissued. Use only when the cancelling site owns the sole handle —
+// the simulator's cancellable-timer maps qualify, since they delete
+// their entry at the cancel site.
+func (q *Queue) CancelRelease(e *Event) {
+	if e == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.idx)
+	e.idx = -1 // fired-equivalent: Release accepts and pools it
+	q.Release(e)
 }

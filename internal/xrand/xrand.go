@@ -81,12 +81,48 @@ func (r *RNG) Split() *RNG {
 // original seed and the label — subsystems can be initialised in any
 // order without perturbing each other.
 func (r *RNG) SplitLabeled(label string) *RNG {
-	h := uint64(1469598103934665603) // FNV-64 offset basis
+	h := fnvOffset
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
-		h *= 1099511628211
+		h *= fnvPrime
 	}
-	return &RNG{state: mix64(r.state ^ h), gamma: mixGamma(h ^ r.gamma)}
+	rng := r.labeledStream(h)
+	return &rng
+}
+
+const (
+	fnvOffset uint64 = 1469598103934665603 // FNV-64 offset basis
+	fnvPrime  uint64 = 1099511628211
+)
+
+// labeledStream derives the (state, gamma) pair SplitLabeled would
+// produce for a label whose FNV-64 hash is h.
+func (r *RNG) labeledStream(h uint64) RNG {
+	return RNG{state: mix64(r.state ^ h), gamma: mixGamma(h ^ r.gamma)}
+}
+
+// ReseedLabeled re-derives r in place to the exact stream
+// parent.SplitLabeled(label) would return, without allocating a new
+// generator — the recycling path for pooled per-entity RNGs.
+func (r *RNG) ReseedLabeled(parent *RNG, label string) {
+	h := fnvOffset
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	*r = parent.labeledStream(h)
+}
+
+// ReseedLabeledBytes is ReseedLabeled for labels assembled in reusable
+// byte scratch (e.g. an integer encoded without fmt). The derived
+// stream is byte-identical to SplitLabeled(string(label)).
+func (r *RNG) ReseedLabeledBytes(parent *RNG, label []byte) {
+	h := fnvOffset
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	*r = parent.labeledStream(h)
 }
 
 // Float64 returns a uniform float64 in [0,1).

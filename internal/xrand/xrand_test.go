@@ -1,7 +1,9 @@
 package xrand
 
 import (
+	"fmt"
 	"math"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -232,5 +234,49 @@ func TestPick(t *testing.T) {
 	}
 	if len(seen) != 3 {
 		t.Fatalf("Pick never returned some elements: %v", seen)
+	}
+}
+
+func TestReseedLabeledMatchesSplitLabeled(t *testing.T) {
+	parent := New(77)
+	for _, label := range []string{"", "node-0", "node-12345", "mcache", "world"} {
+		want := parent.SplitLabeled(label)
+		var got RNG
+		got.ReseedLabeled(parent, label)
+		for i := 0; i < 16; i++ {
+			if a, b := want.Uint64(), got.Uint64(); a != b {
+				t.Fatalf("label %q draw %d: ReseedLabeled %x != SplitLabeled %x", label, i, b, a)
+			}
+		}
+	}
+}
+
+func TestReseedLabeledBytesMatchesString(t *testing.T) {
+	parent := New(12345)
+	buf := make([]byte, 0, 32)
+	for _, id := range []int{0, 1, 9, 10, 99, 100, 4242, 1 << 30} {
+		label := fmt.Sprintf("node-%d", id)
+		buf = append(buf[:0], "node-"...)
+		buf = strconv.AppendInt(buf, int64(id), 10)
+		want := parent.SplitLabeled(label)
+		var got RNG
+		got.ReseedLabeledBytes(parent, buf)
+		for i := 0; i < 16; i++ {
+			if a, b := want.Uint64(), got.Uint64(); a != b {
+				t.Fatalf("id %d draw %d: bytes stream %x != string stream %x", id, i, b, a)
+			}
+		}
+	}
+}
+
+func TestReseedLabeledDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(5), New(5)
+	var scratch RNG
+	scratch.ReseedLabeled(a, "x")
+	scratch.ReseedLabeledBytes(a, []byte("y"))
+	for i := 0; i < 8; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("ReseedLabeled advanced the parent stream")
+		}
 	}
 }
