@@ -11,6 +11,15 @@
 //	coolnet -role peer -id 2 -bootstrap http://127.0.0.1:7001 -duration 15s -adapt
 //
 // Peers may also be wired manually with -connect host:port[,host:port].
+//
+// A self-contained chaos run (tracker, source, and peers in one
+// process, with kills, hung connections, and a tracker outage injected
+// mid-stream) needs no other terminals:
+//
+//	coolnet -scenario chaos -peers 8 -kills 2 -zombies 2 -outage 1.5s
+//
+// It exits non-zero if any surviving peer fails to re-partner and
+// recover per-lane progress inside the recovery window.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 
 	"coolstream/internal/buffer"
 	"coolstream/internal/netboot"
+	"coolstream/internal/netchaos"
 	"coolstream/internal/netpeer"
 )
 
@@ -48,8 +58,24 @@ func run() error {
 		duration = flag.Duration("duration", 10*time.Second, "how long to stream (peer role)")
 		shift    = flag.Int64("shift", 3, "join this many blocks behind the freshest parent")
 		adapt    = flag.Bool("adapt", false, "enable the peer-adaptation monitor (Inequalities 1-2)")
+		selfheal = flag.Bool("selfheal", false, "enable the self-healing membership manager (needs -bootstrap)")
+
+		scenario = flag.String("scenario", "", "self-contained scenario: chaos")
+		peers    = flag.Int("peers", 8, "chaos: number of peers")
+		kills    = flag.Int("kills", 2, "chaos: abrupt peer kills mid-run")
+		zombies  = flag.Int("zombies", 2, "chaos: hung connections injected mid-run")
+		outage   = flag.Duration("outage", 1500*time.Millisecond, "chaos: tracker outage duration (0 = none)")
+		recovery = flag.Duration("recovery", 4*time.Second, "chaos: recovery window after the faults")
+		seed     = flag.Uint64("seed", 1, "chaos: victim-selection seed")
 	)
 	flag.Parse()
+
+	if *scenario == "chaos" {
+		return runChaos(*peers, *parentsN, *kills, *zombies, *outage, *recovery, *seed)
+	}
+	if *scenario != "" {
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
 
 	if *role == "bootstrap" {
 		srv := netboot.NewServer(uint64(time.Now().UnixNano()))
@@ -126,15 +152,61 @@ func run() error {
 			})
 			fmt.Println("adaptation monitor enabled")
 		}
+		if *selfheal {
+			if bc == nil {
+				return fmt.Errorf("-selfheal needs -bootstrap")
+			}
+			if err := node.EnableMaintenance(netpeer.ManagerConfig{
+				TargetPartners: *parentsN,
+				Seed:           uint64(*id),
+			}, bc); err != nil {
+				return err
+			}
+			fmt.Println("self-healing membership manager enabled")
+		}
 		fmt.Printf("subscribed %d sub-streams from block %d; streaming %v...\n", *k, start, *duration)
 		time.Sleep(*duration)
 		fmt.Printf("ready: %v  continuity: %.4f  latest: %d  combined: %d\n",
 			node.Ready(), node.Continuity(), node.Latest(0), node.Combined())
+		if *selfheal {
+			rec := node.Recovery()
+			fmt.Printf("recovery: stale-teardowns=%d partners-replaced=%d rebootstraps=%d gossip-sent=%d\n",
+				rec.StaleTeardowns, rec.PartnersReplaced, rec.Rebootstraps, rec.GossipSent)
+		}
 		return nil
 
 	default:
 		return fmt.Errorf("unknown role %q", *role)
 	}
+}
+
+// runChaos executes the self-contained chaos scenario and reports
+// per-peer recovery, exiting non-zero when the overlay failed to heal.
+func runChaos(peers, target, kills, zombies int, outage, recovery time.Duration, seed uint64) error {
+	fmt.Printf("chaos: %d peers (target M=%d), %d kills, %d zombies, tracker outage %v\n",
+		peers, target, kills, zombies, outage)
+	rep, err := netchaos.Run(netchaos.Config{
+		Peers:          peers,
+		TargetPartners: target,
+		Kills:          kills,
+		Zombies:        zombies,
+		BootOutage:     outage,
+		RecoveryWindow: recovery,
+		Seed:           seed,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("chaos: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos: killed %v; %d survivors; stale-teardowns=%d partners-replaced=%d rebootstraps=%d gossip-sent=%d\n",
+		rep.Killed, len(rep.Survivors), rep.StaleTeardowns, rep.PartnersReplaced, rep.Rebootstraps, rep.GossipSent)
+	if !rep.Recovered {
+		return fmt.Errorf("overlay did not recover within %v", recovery)
+	}
+	fmt.Println("chaos: all survivors re-partnered with positive per-lane progress — recovered")
+	return nil
 }
 
 // discoverParents connects to explicit addresses or to bootstrap

@@ -4,14 +4,24 @@
 // wire protocol, streaming for a few wall-clock seconds. This is the
 // deployable counterpart of the simulator — same buffers, same codec,
 // real sockets.
+//
+// Act two demonstrates self-healing: every node registers with an HTTP
+// bootstrap tracker, the leaves run the membership manager and the
+// §IV-B adaptation monitor, and then relay-1 dies abruptly (no Leave
+// frames, conns just drop). The leaves detect the loss, re-partner via
+// mCache gossip and tracker candidates, and re-subscribe the orphaned
+// lanes — continuity survives the death of half the relay tier.
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"time"
 
 	"coolstream/internal/buffer"
+	"coolstream/internal/netboot"
 	"coolstream/internal/netpeer"
 )
 
@@ -25,6 +35,20 @@ func main() {
 		}
 	}
 
+	// Bootstrap tracker for discovery and re-partnering.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: netboot.NewServer(1)}
+	go hs.Serve(ln)
+	defer hs.Close()
+	bootURL := "http://" + ln.Addr().String()
+	fmt.Printf("bootstrap tracker at %s\n", bootURL)
+	client := func(id int32) *netboot.Client {
+		return netboot.NewClient(bootURL, &http.Client{Timeout: 2 * time.Second})
+	}
+
 	source, err := netpeer.New(cfg(0, 0)) // unlimited origin uplink
 	if err != nil {
 		log.Fatal(err)
@@ -35,6 +59,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := source.StartSource(); err != nil {
+		log.Fatal(err)
+	}
+	if err := client(0).Register(0, srcAddr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("source live at %s (%.0f blocks/s)\n", srcAddr, layout.BlocksPerSecond())
@@ -56,6 +83,9 @@ func main() {
 		if _, err := r.Connect(srcAddr); err != nil {
 			log.Fatal(err)
 		}
+		if err := client(id).Register(id, addr); err != nil {
+			log.Fatal(err)
+		}
 		start := source.Latest(0) - 3
 		if start < 0 {
 			start = 0
@@ -75,21 +105,35 @@ func main() {
 
 	// Four leaves split across the relays, sub-streams striped across
 	// both (the mesh property: different lanes from different parents).
+	// Each leaf runs the self-healing membership manager and the
+	// adaptation monitor, so it can survive losing a relay.
 	var leaves []*netpeer.Node
 	for id := int32(10); id < 14; id++ {
-		l, err := netpeer.New(cfg(id, 0))
+		l, err := netpeer.New(cfg(id, 2*layout.RateBps))
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer l.Close()
-		if _, err := l.Listen(); err != nil {
+		leafAddr, err := l.Listen()
+		if err != nil {
 			log.Fatal(err)
 		}
-		for i, addr := range relayAddrs {
+		bc := client(id)
+		if err := bc.Register(id, leafAddr); err != nil {
+			log.Fatal(err)
+		}
+		if err := l.EnableMaintenance(netpeer.ManagerConfig{
+			TargetPartners: 2,
+			Stale:          1200 * time.Millisecond,
+			Interval:       200 * time.Millisecond,
+			Seed:           uint64(id),
+		}, bc); err != nil {
+			log.Fatal(err)
+		}
+		for _, addr := range relayAddrs {
 			if _, err := l.Connect(addr); err != nil {
 				log.Fatal(err)
 			}
-			_ = i
 		}
 		start := relays[0].Latest(0) - 3
 		if start < 0 {
@@ -100,10 +144,14 @@ func main() {
 		}
 		for j := 0; j < layout.K; j++ {
 			parent := int32(1 + j%2) // stripe lanes across the relays
-			if err := l.Subscribe(parent, j, start); err != nil {
+			if err := l.SubscribeTracked(parent, j, start); err != nil {
 				log.Fatal(err)
 			}
 		}
+		l.EnableAdaptation(netpeer.AdaptConfig{
+			Ts: 10, Tp: 20, Ta: 500 * time.Millisecond,
+			Check: 200 * time.Millisecond, Seed: uint64(id),
+		})
 		leaves = append(leaves, l)
 	}
 
@@ -117,5 +165,18 @@ func main() {
 	for i, l := range leaves {
 		fmt.Printf("leaf-%d   %-8v %-12.3f %d\n", i+1, l.Ready(), l.Continuity(), l.Latest(0))
 	}
-	fmt.Printf("\nlive edge: %d blocks per lane after %s\n", source.Latest(0), "runtime")
+
+	// --- Act two: relay-1 dies abruptly (no Leave, conns just drop).
+	fmt.Println("\nkilling relay-1 abruptly; leaves must re-partner and re-subscribe...")
+	relays[0].Abort()
+	time.Sleep(3 * time.Second)
+
+	fmt.Printf("\n%-8s %-10s %-12s %-10s %s\n", "node", "partners", "continuity", "latest[0]", "recovery")
+	for i, l := range leaves {
+		rec := l.Recovery()
+		fmt.Printf("leaf-%d   %-10d %-12.3f %-10d replaced=%d stale=%d gossip=%d\n",
+			i+1, len(l.Partners()), l.Continuity(), l.Latest(0),
+			rec.PartnersReplaced, rec.StaleTeardowns, rec.GossipSent)
+	}
+	fmt.Printf("\nlive edge: %d blocks per lane\n", source.Latest(0))
 }

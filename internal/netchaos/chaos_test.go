@@ -1,0 +1,76 @@
+package netchaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosKillRecovery is the partner-death scenario alone: one peer
+// dies abruptly and the survivors must re-partner and keep every lane
+// moving.
+func TestChaosKillRecovery(t *testing.T) {
+	rep, err := Run(Config{
+		Peers:          5,
+		TargetPartners: 2,
+		Kills:          1,
+		Zombies:        0,
+		Warmup:         1500 * time.Millisecond,
+		RecoveryWindow: 3 * time.Second,
+		Seed:           7,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if len(rep.Killed) != 1 {
+		t.Fatalf("expected 1 kill, got %v", rep.Killed)
+	}
+	if len(rep.Survivors) != 4 {
+		t.Fatalf("expected 4 survivors, got %d", len(rep.Survivors))
+	}
+	if !rep.Recovered {
+		t.Fatalf("survivors did not recover: %+v", rep.Survivors)
+	}
+}
+
+// TestChaosFullScenario is the acceptance run: abrupt kills, hung
+// connections, and a tracker outage all land mid-stream; every survivor
+// must return to the target partner count with positive per-lane
+// progress, and the recovery counters must show the healing actually
+// exercised each mechanism.
+func TestChaosFullScenario(t *testing.T) {
+	rep, err := Run(Config{
+		Peers:          8,
+		TargetPartners: 3,
+		Kills:          2,
+		Zombies:        2,
+		BootOutage:     1200 * time.Millisecond,
+		Warmup:         2 * time.Second,
+		RecoveryWindow: 4 * time.Second,
+		Seed:           42,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if len(rep.Killed) != 2 {
+		t.Fatalf("expected 2 kills, got %v", rep.Killed)
+	}
+	if !rep.Recovered {
+		t.Fatalf("overlay did not recover: %+v", rep.Survivors)
+	}
+	// The healing must be observable, not incidental: dead and hung
+	// partners were torn down by deadline, and losses were made up by
+	// replacement dials.
+	if rep.StaleTeardowns == 0 {
+		t.Error("no stale teardowns recorded despite kills and zombies")
+	}
+	if rep.PartnersReplaced == 0 {
+		t.Error("no partner replacements recorded despite kills")
+	}
+	for _, s := range rep.Survivors {
+		if s.Continuity < 0.5 {
+			t.Errorf("peer %d continuity %.3f below floor", s.ID, s.Continuity)
+		}
+	}
+}

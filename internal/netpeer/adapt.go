@@ -18,6 +18,11 @@ type AdaptConfig struct {
 	Ta time.Duration
 	// Check is how often the monitor evaluates the inequalities.
 	Check time.Duration
+	// BMStale expires partner buffer maps: an entry older than this is
+	// ignored by the planner — a hung partner's frozen map can neither
+	// set the best-progress reference nor qualify its owner as a
+	// replacement parent (0 selects 4×BMPeriod, floor 1s).
+	BMStale time.Duration
 	// Seed drives the random choice among eligible parents.
 	Seed uint64
 }
@@ -31,6 +36,12 @@ type AdaptConfig struct {
 func (n *Node) EnableAdaptation(cfg AdaptConfig) {
 	if cfg.Check <= 0 {
 		cfg.Check = 500 * time.Millisecond
+	}
+	if cfg.BMStale <= 0 {
+		cfg.BMStale = 4 * n.cfg.BMPeriod
+		if cfg.BMStale < time.Second {
+			cfg.BMStale = time.Second
+		}
 	}
 	rng := xrand.New(cfg.Seed ^ uint64(n.cfg.ID)<<32)
 	n.wg.Add(1)
@@ -87,9 +98,19 @@ type switchPlan struct {
 }
 
 // planSwitchLocked evaluates the inequalities under n.mu and picks the
-// worst violated lane plus an eligible replacement parent.
+// worst violated lane plus an eligible replacement parent. Partner
+// buffer maps older than cfg.BMStale are expired: a hung partner must
+// neither set the best-progress reference nor qualify as a replacement.
 func (n *Node) planSwitchLocked(cfg AdaptConfig, rng *xrand.RNG) (switchPlan, bool) {
 	k := n.cfg.Layout.K
+	now := time.Now()
+	fresh := func(pid int32) bool {
+		if cfg.BMStale <= 0 {
+			return true
+		}
+		at, ok := n.lastBMAt[pid]
+		return ok && now.Sub(at) <= cfg.BMStale
+	}
 	// Own per-lane progress and the maximum.
 	own := make([]int64, k)
 	var maxOwn int64
@@ -99,9 +120,12 @@ func (n *Node) planSwitchLocked(cfg AdaptConfig, rng *xrand.RNG) (switchPlan, bo
 			maxOwn = own[j]
 		}
 	}
-	// Best advertised progress across partners.
+	// Best advertised progress across partners with live buffer maps.
 	var best int64
-	for _, bm := range n.lastBM {
+	for pid, bm := range n.lastBM {
+		if !fresh(pid) {
+			continue
+		}
 		if m := bm.MaxLatest(); m > best {
 			best = m
 		}
@@ -115,10 +139,15 @@ func (n *Node) planSwitchLocked(cfg AdaptConfig, rng *xrand.RNG) (switchPlan, bo
 		violated := lag1 >= cfg.Ts
 		parent := n.laneParent[j]
 		if parent >= 0 {
-			if bm, ok := n.lastBM[parent]; ok && bm.K() == k {
+			if bm, ok := n.lastBM[parent]; ok && bm.K() == k && fresh(parent) {
 				if best-bm.Latest[j] >= cfg.Tp {
 					violated = true // Inequality (2)
 				}
+			} else if !ok || !fresh(parent) {
+				// The parent's map expired (or never arrived): the lane
+				// is fed by a partner we cannot reason about — treat as
+				// violated rather than let a frozen map protect it.
+				violated = true
 			}
 		} else {
 			violated = true // stalled lane: always re-subscribe
@@ -130,11 +159,11 @@ func (n *Node) planSwitchLocked(cfg AdaptConfig, rng *xrand.RNG) (switchPlan, bo
 	if worst < 0 {
 		return switchPlan{}, false
 	}
-	// Eligible replacements: partners ahead of us on the lane and
-	// within Tp of the best advertiser.
+	// Eligible replacements: partners ahead of us on the lane, within
+	// Tp of the best advertiser, with a live buffer map.
 	var cands []int32
 	for pid, bm := range n.lastBM {
-		if bm.K() != k || pid == n.laneParent[worst] {
+		if bm.K() != k || pid == n.laneParent[worst] || !fresh(pid) {
 			continue
 		}
 		if bm.Latest[worst] <= own[worst] {

@@ -1,0 +1,443 @@
+// Membership/partnership maintenance — the self-healing half of the
+// paper's §II node architecture, over real sockets.
+//
+// The simulator's control plane continuously re-partners nodes through
+// mCache gossip; before this file, the live stack only ever LOST
+// partners: a dead conn was dropped and its lanes orphaned, but nothing
+// replenished the partner set, re-contacted the tracker, or noticed a
+// silently-hung partner whose TCP connection stayed open. The
+// maintenance loop closes that gap:
+//
+//   - liveness: a partner that has sent no frame (BM, ping, push —
+//     anything) within the staleness deadline is torn down, exactly as
+//     if its connection had errored. bmLoop's TypePing heartbeat makes
+//     "no frame" equivalent to "hung", even for nodes with no buffers.
+//   - replenishment: when the partner count falls below the low
+//     watermark, candidates are dialed toward the target M, drawn from
+//     the local mCache. The mCache is fed three ways: partner-request
+//     address advertisements, TypeMCacheRequest/Reply gossip
+//     piggybacked on live partnerships, and tracker re-Candidates calls
+//     (which also re-register this node, healing tracker state after an
+//     outage). Tracker retries ride the netboot client's
+//     capped-exponential deterministic backoff.
+//   - departure: Close announces TypeLeave to partners and Leave to the
+//     tracker (see shutdown in node.go).
+//
+// Everything the loop does is observable through RecoveryStats for the
+// log pipeline and the chaos harness.
+package netpeer
+
+import (
+	"fmt"
+	"time"
+
+	"coolstream/internal/netboot"
+	"coolstream/internal/protocol"
+	"coolstream/internal/xrand"
+)
+
+// Bootstrap is the tracker surface the maintenance loop needs;
+// *netboot.Client satisfies it directly.
+type Bootstrap interface {
+	Register(id int32, addr string) error
+	Leave(id int32) error
+	Candidates(n int, exclude int32) ([]netboot.Entry, error)
+}
+
+var _ Bootstrap = (*netboot.Client)(nil)
+
+// mcacheEntry is one locally-cached membership candidate.
+type mcacheEntry struct {
+	addr string
+	seen time.Time
+}
+
+// RecoveryStats counts self-healing actions for the log pipeline and
+// the chaos harness. Read a consistent snapshot with Node.Recovery.
+type RecoveryStats struct {
+	// StaleTeardowns counts partners torn down by the liveness deadline
+	// (hung conns — the connection was open but silent).
+	StaleTeardowns int
+	// PartnersReplaced counts successful replenishment dials.
+	PartnersReplaced int
+	// Rebootstraps counts tracker re-contact rounds (re-register +
+	// Candidates) triggered by a depleted partner set.
+	Rebootstraps int
+	// BootstrapFailures counts re-contact rounds that failed even after
+	// the client's retries — the tracker was down for the whole window.
+	BootstrapFailures int
+	// GossipSent counts TypeMCacheRequest frames sent to partners.
+	GossipSent int
+	// GossipMerged counts candidate entries merged from gossip replies.
+	GossipMerged int
+	// PusherAborts counts abnormal pusher exits that sent the child a
+	// teardown notice (see abortPusher).
+	PusherAborts int
+}
+
+// ManagerConfig parameterises the maintenance loop.
+type ManagerConfig struct {
+	// TargetPartners is M — replenishment dials toward this count.
+	TargetPartners int
+	// MinPartners is the low watermark that triggers replenishment
+	// (default: TargetPartners, i.e. heal any deficit).
+	MinPartners int
+	// Stale is the liveness deadline: a partner with no inbound frame
+	// for this long is torn down (default: 8×BMPeriod, floor 2s).
+	Stale time.Duration
+	// Interval is the maintenance period (default: max(BMPeriod, 250ms)).
+	Interval time.Duration
+	// GossipWant is the entry count requested per mCache gossip
+	// solicitation (default 8).
+	GossipWant int
+	// MCacheCap bounds the local membership cache (default 64).
+	MCacheCap int
+	// DialCooldown keeps a failed candidate out of replenishment
+	// attempts for this long (default 5s).
+	DialCooldown time.Duration
+	// Seed drives the deterministic candidate shuffle.
+	Seed uint64
+}
+
+func (c *ManagerConfig) applyDefaults(bmPeriod time.Duration) error {
+	if c.TargetPartners <= 0 {
+		return fmt.Errorf("netpeer: TargetPartners %d", c.TargetPartners)
+	}
+	if c.MinPartners <= 0 || c.MinPartners > c.TargetPartners {
+		c.MinPartners = c.TargetPartners
+	}
+	if c.Stale <= 0 {
+		c.Stale = 8 * bmPeriod
+		if c.Stale < 2*time.Second {
+			c.Stale = 2 * time.Second
+		}
+	}
+	if c.Interval <= 0 {
+		c.Interval = bmPeriod
+		if c.Interval < 250*time.Millisecond {
+			c.Interval = 250 * time.Millisecond
+		}
+	}
+	if c.GossipWant <= 0 {
+		c.GossipWant = 8
+	}
+	if c.MCacheCap <= 0 {
+		c.MCacheCap = 64
+	}
+	if c.DialCooldown <= 0 {
+		c.DialCooldown = 5 * time.Second
+	}
+	return nil
+}
+
+// EnableMaintenance starts the membership/partnership maintenance loop.
+// boot may be nil (no tracker: replenishment then relies on gossip
+// alone). Call after Listen; the listen address is what re-registration
+// advertises.
+func (n *Node) EnableMaintenance(cfg ManagerConfig, boot Bootstrap) error {
+	if err := cfg.applyDefaults(n.cfg.BMPeriod); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("netpeer: node closed")
+	}
+	if n.boot != nil || n.mgr.TargetPartners > 0 {
+		n.mu.Unlock()
+		return fmt.Errorf("netpeer: maintenance already enabled")
+	}
+	n.mgr = cfg
+	n.boot = boot
+	n.selfAddr = n.Addr()
+	n.mu.Unlock()
+
+	rng := xrand.New(cfg.Seed ^ uint64(n.cfg.ID)*0x9e3779b97f4a7c15)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+			case <-n.done:
+				return
+			}
+			n.reapStalePartners(cfg)
+			n.replenishPartners(cfg, rng)
+		}
+	}()
+	return nil
+}
+
+// Recovery returns a snapshot of the self-healing counters.
+func (n *Node) Recovery() RecoveryStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rec
+}
+
+// reapStalePartners tears down partners whose last inbound frame is
+// older than the staleness deadline — the hung-conn case TCP errors
+// never surface.
+func (n *Node) reapStalePartners(cfg ManagerConfig) {
+	now := time.Now()
+	var victims []*conn
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	for id, cn := range n.conns {
+		seen, ok := n.lastSeen[id]
+		if !ok {
+			// Registered before the lastSeen map existed for it: seed
+			// now and give it a full window.
+			n.lastSeen[id] = now
+			continue
+		}
+		if now.Sub(seen) > cfg.Stale {
+			victims = append(victims, cn)
+		}
+	}
+	for _, cn := range victims {
+		n.dropPartnerLocked(cn)
+		// A hung peer's address must not be redialed immediately.
+		delete(n.mcache, cn.peer)
+		n.failedDial[cn.peer] = now
+		n.rec.StaleTeardowns++
+	}
+	n.mu.Unlock()
+	for _, cn := range victims {
+		cn.c.Close() // wakes the conn's readLoop, which finds itself already dropped
+	}
+}
+
+// replenishPartners dials mCache candidates toward the target partner
+// count when it has fallen below the low watermark, soliciting gossip
+// and re-contacting the tracker when the cache runs dry.
+func (n *Node) replenishPartners(cfg ManagerConfig, rng *xrand.RNG) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	have := len(n.conns)
+	if have >= cfg.MinPartners {
+		n.mu.Unlock()
+		return
+	}
+	need := cfg.TargetPartners - have
+	cands := n.candidatesLocked(cfg)
+	gossipTargets := n.gossipTargetsLocked()
+	n.mu.Unlock()
+
+	// Deterministic order for the shuffle: candidatesLocked returns
+	// ascending IDs.
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	dialed := 0
+	for _, cand := range cands {
+		if dialed >= need {
+			break
+		}
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		if _, err := n.Connect(cand.addr); err != nil {
+			n.mu.Lock()
+			delete(n.mcache, cand.id)
+			n.failedDial[cand.id] = time.Now()
+			n.mu.Unlock()
+			continue
+		}
+		dialed++
+		n.mu.Lock()
+		n.rec.PartnersReplaced++
+		n.mu.Unlock()
+	}
+	if dialed >= need {
+		return
+	}
+
+	// Still short: solicit gossip from live partners for the next round…
+	for _, cn := range gossipTargets {
+		if cn.send(protocol.Message{
+			Type: protocol.TypeMCacheRequest, From: n.cfg.ID, To: cn.peer,
+			Want: int16(cfg.GossipWant),
+		}) == nil {
+			n.mu.Lock()
+			n.rec.GossipSent++
+			n.mu.Unlock()
+		}
+	}
+	// …and fall back to the tracker (with the client's own backoff).
+	n.rebootstrap(cfg)
+}
+
+// candidate is one dialable replenishment option.
+type candidate struct {
+	id   int32
+	addr string
+}
+
+// candidatesLocked returns dialable mCache entries — not self, not an
+// existing partner, not in the failed-dial cooldown — in ascending ID
+// order (so the caller's seeded shuffle is deterministic).
+func (n *Node) candidatesLocked(cfg ManagerConfig) []candidate {
+	now := time.Now()
+	out := make([]candidate, 0, len(n.mcache))
+	for id, e := range n.mcache {
+		if id == n.cfg.ID || e.addr == "" || e.addr == n.selfAddr {
+			continue
+		}
+		if _, partnered := n.conns[id]; partnered {
+			continue
+		}
+		if t, bad := n.failedDial[id]; bad {
+			if now.Sub(t) < cfg.DialCooldown {
+				continue
+			}
+			delete(n.failedDial, id)
+		}
+		out = append(out, candidate{id: id, addr: e.addr})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].id < out[j-1].id; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (n *Node) gossipTargetsLocked() []*conn {
+	out := make([]*conn, 0, len(n.conns))
+	for _, cn := range n.conns {
+		out = append(out, cn)
+	}
+	return out
+}
+
+// rebootstrap re-contacts the tracker: re-register (heals tracker state
+// lost to an outage or restart), then fetch fresh candidates into the
+// mCache. Counted per round, not per HTTP attempt — the netboot client
+// retries internally.
+func (n *Node) rebootstrap(cfg ManagerConfig) {
+	n.mu.Lock()
+	boot, selfAddr := n.boot, n.selfAddr
+	n.mu.Unlock()
+	if boot == nil {
+		return
+	}
+	n.mu.Lock()
+	n.rec.Rebootstraps++
+	n.mu.Unlock()
+	regErr := boot.Register(n.cfg.ID, selfAddr)
+	entries, err := boot.Candidates(cfg.TargetPartners*2, n.cfg.ID)
+	if err != nil || regErr != nil {
+		n.mu.Lock()
+		n.rec.BootstrapFailures++
+		n.mu.Unlock()
+	}
+	for _, e := range entries {
+		n.mcacheAdd(e.ID, e.Addr)
+	}
+}
+
+// mcacheAdd records one candidate, evicting the oldest entry when the
+// cache is full.
+func (n *Node) mcacheAdd(id int32, addr string) {
+	if addr == "" || id == n.cfg.ID {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	limit := n.mgr.MCacheCap
+	if limit <= 0 {
+		limit = 64
+	}
+	if _, ok := n.mcache[id]; !ok && len(n.mcache) >= limit {
+		var oldest int32
+		var oldestAt time.Time
+		first := true
+		for oid, e := range n.mcache {
+			if first || e.seen.Before(oldestAt) {
+				oldest, oldestAt, first = oid, e.seen, false
+			}
+		}
+		delete(n.mcache, oldest)
+	}
+	n.mcache[id] = mcacheEntry{addr: addr, seen: time.Now()}
+}
+
+// mcacheMerge folds gossip-reply entries into the cache.
+func (n *Node) mcacheMerge(entries []protocol.PeerEntry) {
+	merged := 0
+	for _, e := range entries {
+		if e.Addr == "" || e.ID == n.cfg.ID {
+			continue
+		}
+		n.mcacheAdd(e.ID, e.Addr)
+		merged++
+	}
+	if merged > 0 {
+		n.mu.Lock()
+		n.rec.GossipMerged += merged
+		n.mu.Unlock()
+	}
+}
+
+// buildMCacheReply answers a partner's gossip solicitation with up to
+// want known candidates (mCache plus partners with known addresses),
+// excluding the requester itself.
+func (n *Node) buildMCacheReply(requester int32, want int) (protocol.Message, bool) {
+	if want <= 0 {
+		want = 8
+	}
+	n.mu.Lock()
+	entries := make([]protocol.PeerEntry, 0, want)
+	ids := make([]int32, 0, len(n.mcache))
+	for id := range n.mcache {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	partners := int16(len(n.conns))
+	for _, id := range ids {
+		if len(entries) >= want {
+			break
+		}
+		if id == requester {
+			continue
+		}
+		entries = append(entries, protocol.PeerEntry{ID: id, Addr: n.mcache[id].addr})
+	}
+	// Advertise ourselves too: the requester is a partner already, but
+	// a relayed reply may reach peers that are not.
+	if n.selfAddr != "" && len(entries) < want {
+		entries = append(entries, protocol.PeerEntry{
+			ID: n.cfg.ID, Addr: n.selfAddr, PartnerCount: partners,
+		})
+	}
+	n.mu.Unlock()
+	if len(entries) == 0 {
+		return protocol.Message{}, false
+	}
+	return protocol.Message{
+		Type: protocol.TypeMCacheReply, From: n.cfg.ID, To: requester, Entries: entries,
+	}, true
+}
+
+// MCacheSize returns the current membership-cache population
+// (observability for tests and the chaos harness).
+func (n *Node) MCacheSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mcache)
+}

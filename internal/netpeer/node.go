@@ -67,9 +67,16 @@ type conn struct {
 }
 
 func (cn *conn) send(m protocol.Message) error {
+	return cn.sendTimeout(m, cn.wt)
+}
+
+// sendTimeout writes one frame under an explicit deadline; the graceful
+// departure path uses a shorter deadline than ordinary sends so Close
+// cannot stall on a dead partner.
+func (cn *conn) sendTimeout(m protocol.Message, wt time.Duration) error {
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
-	if err := cn.c.SetWriteDeadline(time.Now().Add(cn.wt)); err != nil {
+	if err := cn.c.SetWriteDeadline(time.Now().Add(wt)); err != nil {
 		return fmt.Errorf("netpeer: set write deadline: %w", err)
 	}
 	return protocol.WriteFrame(cn.c, m)
@@ -94,6 +101,25 @@ type Node struct {
 	conns   map[int32]*conn
 	pushers map[pushKey]*pusherState
 	lastBM  map[int32]buffer.BufferMap
+	// lastBMAt stamps each lastBM refresh so the adaptation planner can
+	// expire a hung partner's frozen map (see planSwitchLocked).
+	lastBMAt map[int32]time.Time
+	// lastSeen stamps the last inbound frame of ANY kind per partner —
+	// the liveness signal the maintenance loop checks against its
+	// staleness deadline. Seeded at registration time.
+	lastSeen map[int32]time.Time
+	// mcache is the local membership cache (§II): gossiped and
+	// tracker-fetched candidates the maintenance loop replenishes from.
+	mcache map[int32]mcacheEntry
+	// failedDial cool-downs recently unreachable candidates so the
+	// replenisher doesn't hammer dead addresses the tracker still lists.
+	failedDial map[int32]time.Time
+	rec        RecoveryStats
+	// boot and selfAddr are set by EnableMaintenance: the tracker
+	// surface used for re-bootstrap and the address re-registered there.
+	boot     Bootstrap
+	selfAddr string
+	mgr      ManagerConfig
 	// laneParent tracks which partner serves each sub-stream, for the
 	// adaptation monitor (see adapt.go). -1 = untracked.
 	laneParent []int32
@@ -131,6 +157,10 @@ func New(cfg Config) (*Node, error) {
 		conns:      make(map[int32]*conn),
 		pushers:    make(map[pushKey]*pusherState),
 		lastBM:     make(map[int32]buffer.BufferMap),
+		lastBMAt:   make(map[int32]time.Time),
+		lastSeen:   make(map[int32]time.Time),
+		mcache:     make(map[int32]mcacheEntry),
+		failedDial: make(map[int32]time.Time),
 		laneParent: make([]int32, cfg.Layout.K),
 		done:       make(chan struct{}),
 	}
@@ -215,6 +245,11 @@ func (n *Node) handleInbound(c net.Conn) {
 		return
 	}
 	cn := &conn{peer: req.From, wt: n.cfg.WriteTimeout, c: c}
+	if req.Addr != "" && req.From != n.cfg.ID {
+		// The dialer advertised its listen address: remember it so the
+		// membership gossip can pass it onwards.
+		n.mcacheAdd(req.From, req.Addr)
+	}
 	if req.From == n.cfg.ID {
 		// A request claiming our own ID (self-dial through a tracker
 		// echo, or an impersonating peer) must not reach the conns map:
@@ -250,7 +285,7 @@ func (n *Node) Connect(addr string) (int32, error) {
 		return 0, err
 	}
 	cn := &conn{outgoing: true, wt: n.cfg.WriteTimeout, c: c}
-	if err := cn.send(protocol.Message{Type: protocol.TypePartnerRequest, From: n.cfg.ID, To: -1}); err != nil {
+	if err := cn.send(protocol.Message{Type: protocol.TypePartnerRequest, From: n.cfg.ID, To: -1, Addr: n.Addr()}); err != nil {
 		c.Close()
 		return 0, err
 	}
@@ -323,7 +358,28 @@ func (n *Node) register(cn *conn) regStatus {
 		old.c.Close()
 	}
 	n.conns[cn.peer] = cn
+	n.lastSeen[cn.peer] = time.Now()
 	return regLive
+}
+
+// dropPartnerLocked removes a partnership exactly as the readLoop
+// teardown does: the conn is forgotten, its buffer map expired, and any
+// lane it served orphaned for the adaptation monitor. The caller closes
+// cn.c outside the lock; the conn's readLoop defer then finds the map
+// entry already gone and no-ops.
+func (n *Node) dropPartnerLocked(cn *conn) {
+	if n.conns[cn.peer] != cn {
+		return
+	}
+	delete(n.conns, cn.peer)
+	delete(n.lastBM, cn.peer)
+	delete(n.lastBMAt, cn.peer)
+	delete(n.lastSeen, cn.peer)
+	for j, p := range n.laneParent {
+		if p == cn.peer {
+			n.laneParent[j] = -1
+		}
+	}
 }
 
 // readLoop dispatches inbound messages until the connection dies.
@@ -331,19 +387,11 @@ func (n *Node) readLoop(cn *conn, fr *protocol.FrameReader) {
 	defer func() {
 		cn.c.Close()
 		n.mu.Lock()
-		if n.conns[cn.peer] == cn {
-			// Partner death: drop the conn, forget its stale buffer map
-			// (it must not keep feeding the adaptation inequalities),
-			// and orphan any lane it was serving so the monitor's next
-			// pass re-subscribes it elsewhere.
-			delete(n.conns, cn.peer)
-			delete(n.lastBM, cn.peer)
-			for j, p := range n.laneParent {
-				if p == cn.peer {
-					n.laneParent[j] = -1
-				}
-			}
-		}
+		// Partner death: drop the conn, forget its stale buffer map
+		// (it must not keep feeding the adaptation inequalities),
+		// and orphan any lane it was serving so the monitor's next
+		// pass re-subscribes it elsewhere.
+		n.dropPartnerLocked(cn)
 		n.mu.Unlock()
 	}()
 	for {
@@ -351,20 +399,53 @@ func (n *Node) readLoop(cn *conn, fr *protocol.FrameReader) {
 		if err != nil {
 			return
 		}
+		// Any frame proves the partner's control loop alive.
+		n.mu.Lock()
+		n.lastSeen[cn.peer] = time.Now()
+		n.mu.Unlock()
 		switch m.Type {
 		case protocol.TypeBMExchange:
 			n.mu.Lock()
 			n.lastBM[cn.peer] = m.BM.Clone()
+			n.lastBMAt[cn.peer] = time.Now()
 			n.mu.Unlock()
 		case protocol.TypeSubscribe:
 			n.startPusher(cn, int(m.SubStream), m.StartSeq)
 		case protocol.TypeUnsubscribe:
 			n.stopPusher(cn.peer, int(m.SubStream))
+			// Bidirectional teardown: a parent whose pusher died sends
+			// the same frame so the child orphans the lane immediately
+			// instead of waiting out the adaptation inequalities.
+			n.orphanLaneFrom(cn.peer, int(m.SubStream))
 		case protocol.TypeBlockPush:
 			n.receiveBlock(int(m.SubStream), m.StartSeq, m.Payload)
+		case protocol.TypeMCacheRequest:
+			if reply, ok := n.buildMCacheReply(cn.peer, int(m.Want)); ok {
+				cn.send(reply)
+			}
+		case protocol.TypeMCacheReply:
+			n.mcacheMerge(m.Entries)
+		case protocol.TypePing:
+			// Liveness only; already noted above.
 		case protocol.TypeLeave:
+			// Graceful departure: forget the peer entirely — gossiping
+			// or redialing a departed address only wastes a replenish
+			// round.
+			n.mu.Lock()
+			delete(n.mcache, cn.peer)
+			n.mu.Unlock()
 			return
 		}
+	}
+}
+
+// orphanLaneFrom resets lane j if peer is its tracked parent — the
+// receive side of a parent's pusher-teardown notice.
+func (n *Node) orphanLaneFrom(peer int32, j int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if j >= 0 && j < len(n.laneParent) && n.laneParent[j] == peer {
+		n.laneParent[j] = -1
 	}
 }
 
@@ -419,6 +500,7 @@ func (n *Node) startPusher(cn *conn, j int, startSeq int64) {
 			}
 			n.mu.Unlock()
 			if !n.bkt.take(blockBits) {
+				n.abortPusher(cn, j)
 				return
 			}
 			err := cn.send(protocol.Message{
@@ -426,11 +508,40 @@ func (n *Node) startPusher(cn *conn, j int, startSeq int64) {
 				SubStream: int16(j), StartSeq: next, Payload: n.payload,
 			})
 			if err != nil {
+				n.abortPusher(cn, j)
 				return
 			}
 			next++
 		}
 	}()
+}
+
+// abortPusher handles a pusher dying abnormally (bucket closed or send
+// error): a best-effort teardown notice tells the child to orphan the
+// lane immediately instead of discovering the stall via the adaptation
+// inequalities. Errors are ignored — the conn may be the reason the
+// pusher died.
+func (n *Node) abortPusher(cn *conn, j int) {
+	n.mu.Lock()
+	if n.closed {
+		// Close sends Leave itself; a second frame is noise.
+		n.mu.Unlock()
+		return
+	}
+	n.rec.PusherAborts++
+	n.mu.Unlock()
+	cn.sendTimeout(protocol.Message{
+		Type: protocol.TypeUnsubscribe, From: n.cfg.ID, To: cn.peer, SubStream: int16(j),
+	}, leaveTimeout(cn.wt))
+}
+
+// leaveTimeout caps teardown-path writes at one second so shutdown and
+// abort notices never stall on a dead peer's full write timeout.
+func leaveTimeout(wt time.Duration) time.Duration {
+	if wt > time.Second {
+		return time.Second
+	}
+	return wt
 }
 
 // stopPusher cancels the pusher serving (peer, sub-stream), if any.
@@ -544,10 +655,16 @@ func (n *Node) bmLoop() {
 			conns = append(conns, cn)
 		}
 		n.mu.Unlock()
-		if bm.K() == 0 {
-			continue
-		}
 		for _, cn := range conns {
+			if bm.K() == 0 {
+				// Nothing to advertise yet (buffers not initialised):
+				// heartbeat instead, so partners can tell a quiet node
+				// from a hung one.
+				cn.send(protocol.Message{
+					Type: protocol.TypePing, From: n.cfg.ID, To: cn.peer,
+				})
+				continue
+			}
 			cn.send(protocol.Message{
 				Type: protocol.TypeBMExchange, From: n.cfg.ID, To: cn.peer, BM: bm,
 			})
@@ -613,8 +730,19 @@ func (n *Node) Partners() []int32 {
 	return out
 }
 
-// Close shuts the node down and waits for its goroutines.
-func (n *Node) Close() {
+// Close shuts the node down gracefully — partners get a Leave frame
+// (under a short write deadline, so a dead partner cannot stall
+// shutdown), the tracker a Leave call if maintenance attached one —
+// and waits for its goroutines.
+func (n *Node) Close() { n.shutdown(true) }
+
+// Abort shuts the node down WITHOUT announcing departure: no Leave
+// frames, no tracker deregistration. Partners see the TCP connections
+// die, exactly as with a crashed or power-cycled peer — the chaos
+// harness's peer-kill primitive.
+func (n *Node) Abort() { n.shutdown(false) }
+
+func (n *Node) shutdown(graceful bool) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -627,14 +755,22 @@ func (n *Node) Close() {
 	for _, cn := range n.conns {
 		conns = append(conns, cn)
 	}
+	boot := n.boot
 	n.mu.Unlock()
 	n.bkt.close()
 	if n.ln != nil {
 		n.ln.Close()
 	}
 	for _, cn := range conns {
-		cn.send(protocol.Message{Type: protocol.TypeLeave, From: n.cfg.ID, To: cn.peer})
+		if graceful {
+			cn.sendTimeout(protocol.Message{Type: protocol.TypeLeave, From: n.cfg.ID, To: cn.peer},
+				leaveTimeout(cn.wt))
+		}
 		cn.c.Close()
+	}
+	if graceful && boot != nil {
+		// Best-effort tracker deregistration, mirroring the Leave frames.
+		boot.Leave(n.cfg.ID)
 	}
 	n.wg.Wait()
 }

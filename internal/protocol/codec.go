@@ -16,7 +16,9 @@ import (
 //	i32 to
 //	then type-specific payload:
 //	  mcache-request : i16 want
-//	  mcache-reply   : u16 n, n × (i32 id, u8 class, i64 joinedAt, i16 partners)
+//	  mcache-reply   : u16 n, n × (i32 id, u8 class, i64 joinedAt,
+//	                   i16 partners, u16 addrLen, addr bytes)
+//	  partner-request: u16 addrLen, addr bytes (advertised listener)
 //	  bm-exchange    : u16 len, BufferMap.MarshalBinary bytes
 //	  subscribe      : i16 substream, i64 startSeq
 //	  unsubscribe    : i16 substream
@@ -46,7 +48,12 @@ func Marshal(m Message) ([]byte, error) {
 			b.WriteByte(byte(e.Class))
 			binary.Write(&b, binary.BigEndian, e.JoinedAtMs)
 			binary.Write(&b, binary.BigEndian, e.PartnerCount)
+			binary.Write(&b, binary.BigEndian, uint16(len(e.Addr)))
+			b.WriteString(e.Addr)
 		}
+	case TypePartnerRequest:
+		binary.Write(&b, binary.BigEndian, uint16(len(m.Addr)))
+		b.WriteString(m.Addr)
 	case TypeBMExchange:
 		bm, err := m.BM.MarshalBinary()
 		if err != nil {
@@ -119,6 +126,29 @@ func Unmarshal(data []byte) (Message, error) {
 			if err := binary.Read(r, binary.BigEndian, &e.PartnerCount); err != nil {
 				return m, fmt.Errorf("protocol: truncated entry %d: %w", i, err)
 			}
+			var alen uint16
+			if err := binary.Read(r, binary.BigEndian, &alen); err != nil {
+				return m, fmt.Errorf("protocol: truncated entry %d: %w", i, err)
+			}
+			if alen > 0 {
+				buf := make([]byte, alen)
+				if _, err := io.ReadFull(r, buf); err != nil {
+					return m, fmt.Errorf("protocol: truncated entry %d addr: %w", i, err)
+				}
+				e.Addr = string(buf)
+			}
+		}
+	case TypePartnerRequest:
+		var alen uint16
+		if err := binary.Read(r, binary.BigEndian, &alen); err != nil {
+			return m, fmt.Errorf("protocol: truncated addr length: %w", err)
+		}
+		if alen > 0 {
+			buf := make([]byte, alen)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return m, fmt.Errorf("protocol: truncated addr: %w", err)
+			}
+			m.Addr = string(buf)
 		}
 	case TypeBMExchange:
 		var n uint16
@@ -161,7 +191,7 @@ func Unmarshal(data []byte) (Message, error) {
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
 			return m, fmt.Errorf("protocol: truncated payload: %w", err)
 		}
-	case TypePartnerRequest, TypePartnerAccept, TypePartnerReject, TypeLeave:
+	case TypePartnerAccept, TypePartnerReject, TypeLeave, TypePing:
 		// No payload.
 	default:
 		return m, fmt.Errorf("protocol: unknown message type %d", typ)

@@ -24,7 +24,7 @@ func roundTrip(t *testing.T, m Message) Message {
 }
 
 func TestRoundTripSimpleTypes(t *testing.T) {
-	for _, typ := range []MsgType{TypePartnerRequest, TypePartnerAccept, TypePartnerReject, TypeLeave} {
+	for _, typ := range []MsgType{TypePartnerRequest, TypePartnerAccept, TypePartnerReject, TypeLeave, TypePing} {
 		m := Message{Type: typ, From: 7, To: 12}
 		got := roundTrip(t, m)
 		if got.Type != typ || got.From != 7 || got.To != 12 {
@@ -40,9 +40,19 @@ func TestRoundTripMCacheRequest(t *testing.T) {
 	}
 }
 
+func TestRoundTripPartnerRequestAddr(t *testing.T) {
+	got := roundTrip(t, Message{Type: TypePartnerRequest, From: 3, To: -1, Addr: "127.0.0.1:6001"})
+	if got.Addr != "127.0.0.1:6001" {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := Marshal(Message{Type: TypePartnerRequest, Addr: string(make([]byte, MaxAddrLen+1))}); err == nil {
+		t.Fatal("oversized address accepted")
+	}
+}
+
 func TestRoundTripMCacheReply(t *testing.T) {
 	m := Message{Type: TypeMCacheReply, From: -1, To: 4, Entries: []PeerEntry{
-		{ID: 9, Class: netmodel.NAT, JoinedAtMs: 123456, PartnerCount: 3},
+		{ID: 9, Class: netmodel.NAT, JoinedAtMs: 123456, PartnerCount: 3, Addr: "127.0.0.1:9001"},
 		{ID: 11, Class: netmodel.Direct, JoinedAtMs: -1, PartnerCount: 0},
 	}}
 	got := roundTrip(t, m)
@@ -130,6 +140,9 @@ func TestRoundTripProperty(t *testing.T) {
 					JoinedAtMs:   r.Int63n(1 << 40),
 					PartnerCount: int16(r.Intn(100)),
 				}
+				if r.Bool(0.5) {
+					entries[i].Addr = "127.0.0.1:10000"
+				}
 			}
 			m = Message{Type: TypeMCacheReply, Entries: entries}
 		case 2:
@@ -168,7 +181,7 @@ func TestRoundTripProperty(t *testing.T) {
 
 func TestMsgTypeString(t *testing.T) {
 	seen := map[string]bool{}
-	for typ := TypeMCacheRequest; typ <= TypeLeave; typ++ {
+	for typ := TypeMCacheRequest; typ <= TypePing; typ++ {
 		s := typ.String()
 		if s == "" || seen[s] {
 			t.Fatalf("bad or duplicate string %q", s)

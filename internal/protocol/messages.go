@@ -37,6 +37,10 @@ const (
 	TypeLeave
 	// TypeBlockPush carries one video block of a sub-stream.
 	TypeBlockPush
+	// TypePing is a liveness heartbeat: a node that has nothing to
+	// advertise yet (no buffers) still proves its control loop is alive,
+	// so partners can distinguish "quiet" from "hung".
+	TypePing
 )
 
 // String implements fmt.Stringer.
@@ -62,10 +66,16 @@ func (t MsgType) String() string {
 		return "leave"
 	case TypeBlockPush:
 		return "block-push"
+	case TypePing:
+		return "ping"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
 }
+
+// MaxAddrLen bounds the advertised listen address carried in
+// partner requests and mCache entries.
+const MaxAddrLen = 512
 
 // PeerEntry is one mCache entry as carried in membership replies.
 type PeerEntry struct {
@@ -73,6 +83,10 @@ type PeerEntry struct {
 	Class        netmodel.UserClass
 	JoinedAtMs   int64 // virtual join time, for stability-aware policies
 	PartnerCount int16
+	// Addr is the peer's listen address ("" when unknown — the fluid
+	// engine has no sockets). Live peers need it to dial gossiped
+	// candidates.
+	Addr string
 }
 
 // Message is the control-plane message union. From/To are peer IDs
@@ -95,6 +109,9 @@ type Message struct {
 	StartSeq int64
 	// BlockPush: the block contents.
 	Payload []byte
+	// PartnerRequest: the dialer's advertised listen address, so the
+	// acceptor can gossip it onwards ("" when the dialer has none).
+	Addr string
 }
 
 // Validate performs structural checks appropriate for the type.
@@ -106,6 +123,11 @@ func (m Message) Validate() error {
 		}
 	case TypeMCacheReply:
 		// Empty replies are legal (bootstrap knows no one yet).
+		for i, e := range m.Entries {
+			if len(e.Addr) > MaxAddrLen {
+				return fmt.Errorf("protocol: entry %d address %d bytes", i, len(e.Addr))
+			}
+		}
 	case TypeBMExchange:
 		if err := m.BM.Validate(); err != nil {
 			return fmt.Errorf("protocol: bm-exchange: %w", err)
@@ -124,7 +146,11 @@ func (m Message) Validate() error {
 		if len(m.Payload) == 0 {
 			return fmt.Errorf("protocol: empty block payload")
 		}
-	case TypePartnerRequest, TypePartnerAccept, TypePartnerReject, TypeLeave:
+	case TypePartnerRequest:
+		if len(m.Addr) > MaxAddrLen {
+			return fmt.Errorf("protocol: partner-request address %d bytes", len(m.Addr))
+		}
+	case TypePartnerAccept, TypePartnerReject, TypeLeave, TypePing:
 		// No payload.
 	default:
 		return fmt.Errorf("protocol: unknown message type %d", m.Type)

@@ -17,15 +17,16 @@ func TestUnmarshalEveryTruncation(t *testing.T) {
 	msgs := []Message{
 		{Type: TypeMCacheRequest, From: 1, To: -1, Want: 5},
 		{Type: TypeMCacheReply, From: -1, To: 2, Entries: []PeerEntry{
-			{ID: 3, Class: netmodel.UPnP, JoinedAtMs: 99, PartnerCount: 4},
+			{ID: 3, Class: netmodel.UPnP, JoinedAtMs: 99, PartnerCount: 4, Addr: "127.0.0.1:9009"},
 		}},
-		{Type: TypePartnerRequest, From: 1, To: 2},
+		{Type: TypePartnerRequest, From: 1, To: 2, Addr: "127.0.0.1:9010"},
 		{Type: TypePartnerAccept, From: 2, To: 1},
 		{Type: TypePartnerReject, From: 2, To: 1},
 		{Type: TypeBMExchange, From: 1, To: 2, BM: bm},
 		{Type: TypeSubscribe, From: 1, To: 2, SubStream: 1, StartSeq: 42},
 		{Type: TypeUnsubscribe, From: 1, To: 2, SubStream: 2},
 		{Type: TypeLeave, From: 1, To: 2},
+		{Type: TypePing, From: 1, To: 2},
 		{Type: TypeBlockPush, From: 1, To: 2, SubStream: 0, StartSeq: 7, Payload: []byte("abcdef")},
 	}
 	for _, m := range msgs {
