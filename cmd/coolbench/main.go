@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -52,8 +53,9 @@ func run() (err error) {
 	var (
 		scale = flag.String("scale", "medium", "small | medium | large")
 		seed  = flag.Uint64("seed", 1, "random seed")
-		only  = flag.String("only", "", "comma-separated subset (fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,eq36,tree,mcache,resource,allocator,loss,peerwise,reps)")
-		reps  = flag.Int("reps", 5, "seeds for the replication table (reps experiment)")
+		only   = flag.String("only", "", "comma-separated subset (fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,eq36,tree,mcache,resource,allocator,loss,peerwise,reps)")
+		reps   = flag.Int("reps", 5, "seeds for the replication table (reps experiment)")
+		shards = flag.Int("shards", 1, "world shards for parallel control (1 = legacy engine, 0 = one per core)")
 	)
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
@@ -87,11 +89,16 @@ func run() (err error) {
 	var dayRes *core.Result
 	needDay := sel("fig3") || sel("fig4") || sel("fig5") || sel("fig6") ||
 		sel("fig7") || sel("fig8") || sel("fig9") || sel("fig10")
+	nShards := *shards
+	if nShards == 0 {
+		nShards = runtime.GOMAXPROCS(0)
+	}
 	if needDay {
 		cfg := core.DayConfig(spec.day, spec.dayRate, *seed)
 		cfg.Servers = spec.servers
 		cfg.Params.ReportPeriod = scaledReport(spec.day)
 		cfg.SnapshotPeriod = spec.day / 24
+		cfg.Shards = nShards
 		start := time.Now()
 		var err error
 		dayRes, err = core.Run(cfg)
@@ -102,6 +109,9 @@ func run() (err error) {
 			spec.day.Duration(), time.Since(start).Round(time.Millisecond),
 			dayRes.JoinedSessions, dayRes.PeakConcurrent)
 		render(dayRes.Summary())
+		if nShards > 1 {
+			renderShardTables(dayRes, render)
+		}
 	}
 	bucket := spec.day / 144 // ~10-minute-equivalent buckets
 
@@ -287,6 +297,36 @@ func peerwiseTables(res *core.Result, render func(*metrics.Table)) {
 
 func className(c int) string {
 	return [...]string{"direct", "upnp", "nat", "firewall"}[c]
+}
+
+// renderShardTables prints the sharded engine's load split: wall time
+// per tick phase (the merge row is the determinism barrier — effect
+// drain plus record-lane flush) and the per-shard control-plane
+// imbalance (visits, in-visit wall time, BM refreshes, emitted
+// effects).
+func renderShardTables(res *core.Result, render func(*metrics.Table)) {
+	ph := res.PhaseStats
+	tp := &metrics.Table{
+		Title:  "sharded engine — wall time per phase",
+		Header: []string{"phase", "total_ms"},
+	}
+	tp.AddRowf("allocate\t%.1f", float64(ph.Allocate)/1e6)
+	tp.AddRowf("advance\t%.1f", float64(ph.Advance)/1e6)
+	tp.AddRowf("playback\t%.1f", float64(ph.Playback)/1e6)
+	tp.AddRowf("account\t%.1f", float64(ph.Account)/1e6)
+	tp.AddRowf("control\t%.1f", float64(ph.Control)/1e6)
+	tp.AddRowf("merge\t%.1f", float64(ph.Merge)/1e6)
+	render(tp)
+
+	ts := &metrics.Table{
+		Title:  "sharded engine — per-shard control load",
+		Header: []string{"shard", "active_peers", "visits", "control_ms", "bm_refreshes", "effects"},
+	}
+	for _, s := range res.ShardStats {
+		ts.AddRowf("%d\t%d\t%d\t%.1f\t%d\t%d",
+			s.Shard, s.ActivePeers, s.Visits, float64(s.ControlNs)/1e6, s.BMRefreshes, s.Effects)
+	}
+	render(ts)
 }
 
 func resourceTable(seed uint64, render func(*metrics.Table)) error {

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"coolstream/internal/core"
@@ -55,6 +56,8 @@ func run() (err error) {
 		saveScen = flag.String("save-scenario", "", "save the run's materialised scenario to this file")
 		quiet    = flag.Bool("q", false, "suppress figure tables on stdout")
 		digest   = flag.Bool("digest", false, "print the run digest (reproducibility check)")
+		shards   = flag.Int("shards", 1, "world shards for parallel control (1 = legacy engine, 0 = one per core)")
+		deferCtl = flag.Bool("defer-control", false, "force the deferred-effect control serialization at one shard (A/B hook: digest must equal any -shards N run)")
 	)
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
@@ -88,6 +91,11 @@ func run() (err error) {
 	cfg.Params.ParentSelection = *selPol
 	cfg.Params.ControlLossProb = *loss
 	cfg.CrashProb = *crash
+	cfg.Shards = *shards
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	cfg.DeferControl = *deferCtl
 	if *loadScen != "" {
 		f, err := os.Open(*loadScen)
 		if err != nil {

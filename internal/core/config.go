@@ -75,6 +75,18 @@ type Config struct {
 	// switch for determinism property tests and scaling comparisons.
 	// Both modes are bit-identical; the wheel is just faster.
 	DisableControlWheel bool
+	// Shards partitions the world into per-core shards with parallel,
+	// deferred-effect control (DESIGN.md §11). 0 and 1 select the
+	// single-shard legacy engine; 0 additionally lets tools map it to
+	// GOMAXPROCS before building the Config. Shards > 1 requires the
+	// control wheel (incompatible with DisableControlWheel). Results
+	// are identical for every Shards ≥ 2 at any GOMAXPROCS, but are a
+	// different (equally valid) serialization than the sequential
+	// engine's.
+	Shards int
+	// DeferControl forces the deferred-effect serialization at one
+	// shard — the A/B hook pinning Shards=1 ≡ Shards=N.
+	DeferControl bool
 }
 
 // ScaledCutoff converts a real-time duration to the workload's
@@ -117,6 +129,12 @@ func (c Config) Validate() error {
 	}
 	if c.LogBufferCap < 0 {
 		return fmt.Errorf("core: LogBufferCap %d", c.LogBufferCap)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: Shards %d", c.Shards)
+	}
+	if c.Shards > 1 && c.DisableControlWheel {
+		return fmt.Errorf("core: Shards %d requires the control wheel (DisableControlWheel is set)", c.Shards)
 	}
 	if c.PresetScenario != nil {
 		if c.PresetScenario.Horizon <= 0 {

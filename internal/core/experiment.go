@@ -36,6 +36,11 @@ type Result struct {
 
 	// FaultStats counts fault firings when a fault plan was configured.
 	FaultStats faults.Stats
+	// ShardStats and PhaseStats carry the per-shard control-plane load
+	// and the per-phase wall-time split. Populated only for sharded runs
+	// (Config.Shards > 1), where phase metering is always on.
+	ShardStats []peer.ShardStat
+	PhaseStats peer.PhaseNanos
 	// DroppedLogs counts reports lost to log-buffer overflow during
 	// log-server outages; FlushedLogs counts reports delivered late at
 	// run teardown (still pending when the horizon was reached).
@@ -109,6 +114,13 @@ func Run(cfg Config) (*Result, error) {
 	world.Faults = schedule
 	world.Retry = cfg.Retry
 	world.FullSweepControl = cfg.DisableControlWheel
+	if cfg.Shards > 1 {
+		if err := world.SetShards(cfg.Shards); err != nil {
+			return nil, err
+		}
+		world.MeterPhases(true)
+	}
+	world.ForceDeferredControl = cfg.DeferControl
 	if cfg.StallContinuity > 0 {
 		world.StallContinuity = cfg.StallContinuity
 		world.StallAbandonProb = cfg.StallAbandonProb
@@ -174,5 +186,9 @@ func Run(cfg Config) (*Result, error) {
 	res.ReadySessions = world.ReadySessions
 	res.AbandonSessions = world.AbandonSessions
 	res.Adaptations = world.Adaptations
+	if cfg.Shards > 1 {
+		res.ShardStats = world.ShardStats()
+		res.PhaseStats = world.PhaseStats()
+	}
 	return res, nil
 }

@@ -1,8 +1,10 @@
 package peer
 
 import (
+	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -143,7 +145,7 @@ func BenchmarkJoinDepartChurn(b *testing.B) {
 // accelerating ramp to nPeers concurrent viewers (arrival rate grows
 // linearly across the ramp, like the Fig. 5 build-up toward 21:00),
 // settled and ready for peak-hold measurement.
-func benchWorldPeak(b testing.TB, nPeers int, fullSweep bool, tune func(*Params)) (*World, *sim.Engine) {
+func benchWorldPeak(b testing.TB, nPeers int, fullSweep bool, shards int, tune func(*Params)) (*World, *sim.Engine) {
 	b.Helper()
 	p := DefaultParams()
 	if tune != nil {
@@ -156,6 +158,11 @@ func benchWorldPeak(b testing.TB, nPeers int, fullSweep bool, tune func(*Params)
 		b.Fatal(err)
 	}
 	w.FullSweepControl = fullSweep // must precede joins: the wheel arms at newNode
+	if shards > 1 {
+		if err := w.SetShards(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
 	w.StallAbandonProb = 0
 	w.CrashProb = 0
 	// A handful of fat servers, not a server farm: bootstrap replies are
@@ -207,9 +214,10 @@ func BenchmarkTickFlashCrowd40k(b *testing.B) {
 	for _, mode := range []struct {
 		name      string
 		fullSweep bool
-	}{{"wheel", false}, {"sweep", true}} {
+		shards    int
+	}{{"wheel", false, 1}, {"sweep", true, 1}, {"sharded4", false, 4}} {
 		b.Run(mode.name, func(b *testing.B) {
-			w, engine := benchWorldPeak(b, peakBenchSize(), mode.fullSweep, nil)
+			w, engine := benchWorldPeak(b, peakBenchSize(), mode.fullSweep, mode.shards, nil)
 			b.Logf("peak population: %d active, %d failed sessions", w.ActivePeerCount(), w.FailedSessions)
 			w.MeterControl(true)
 			base := w.ControlNanos
@@ -260,7 +268,7 @@ func BenchmarkTickSparseControl(b *testing.B) {
 		fullSweep bool
 	}{{"wheel", false}, {"sweep", true}} {
 		b.Run(mode.name, func(b *testing.B) {
-			w, engine := benchWorldPeak(b, 10000, mode.fullSweep, sparse)
+			w, engine := benchWorldPeak(b, 10000, mode.fullSweep, 1, sparse)
 			b.Logf("peak population: %d active, %d failed sessions", w.ActivePeerCount(), w.FailedSessions)
 			w.MeterControl(true)
 			base := w.ControlNanos
@@ -273,6 +281,141 @@ func BenchmarkTickSparseControl(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(w.ControlNanos-base)/float64(b.N), "control_ns_op")
 			b.ReportMetric(float64(w.ControlVisits-baseVisits)/float64(b.N), "visits_op")
+			b.ReportMetric(float64(w.ActivePeerCount()), "active_peers")
+		})
+	}
+}
+
+// millionBenchSize is the synthetic-overlay population for the
+// million-peer scaling benchmark, overridable via MILLION_BENCH_PEERS
+// for CI smoke runs.
+func millionBenchSize() int {
+	if s := os.Getenv("MILLION_BENCH_PEERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1_000_000
+}
+
+// benchWorldSynthetic builds an nPeers overlay directly in its settled
+// steady state, bypassing the join protocol: ramping a million peers
+// through bootstrap handshakes would spend hours of virtual (and real)
+// time before the first measured tick. The synthetic overlay is
+// self-consistent — a fanout-10 forest rooted at the server tier with
+// every sub-stream at the live edge, ring partnerships i±1/i±2 plus the
+// parent link (so §IV-B never sees a parent outside the partner set),
+// upload provisioned above fanout×rate so the forest stays at the live
+// edge, and BM/gossip/report clocks staggered across their periods the
+// way a long-running population's would be.
+func benchWorldSynthetic(b testing.TB, nPeers, shards int) (*World, *sim.Engine) {
+	b.Helper()
+	p := DefaultParams()
+	engine := sim.NewEngine(sim.Second)
+	w, err := NewWorld(p, engine, logsys.NopSink{}, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.SetShards(shards); err != nil {
+		b.Fatal(err)
+	}
+	w.StallAbandonProb = 0
+	w.CrashProb = 0
+	const fanout = 10
+	root := w.AddServer(2 * fanout * 768e3)
+	engine.Run(30 * sim.Second)
+	now := engine.Now()
+	live := w.liveEdge(now)
+	base := len(w.nodes)
+	for i := 0; i < nPeers; i++ {
+		n := w.newNode(netmodel.Endpoint{
+			Class:       netmodel.UserClass(i % 4),
+			UploadBps:   (fanout + 2) * 768e3,
+			DownloadBps: 4 * 768e3,
+		}, 1000+i)
+		n.State = StateReady
+		n.ReadyAt = now
+		n.startPos = live
+		n.playDeadline = live - 20
+		n.lastAdaptAt = now
+		n.bmDue = now + sim.Time(i%5+1)*sim.Second
+		n.lastGossipAt = now - sim.Time(i%15)*sim.Second
+		n.lastReportAt = now - sim.Time(i%300)*sim.Second
+		parent := root.ID
+		if pi := i/fanout - 1; pi >= 0 {
+			parent = base + pi
+		}
+		pn := w.nodes[parent]
+		for j := range n.Subs {
+			n.Subs[j].H = live
+			n.Subs[j].Parent = parent
+			pn.addChild(j, n.ID)
+		}
+	}
+	// Partnerships: both directions of each edge, wired exactly as
+	// completePartnership leaves them.
+	link := func(a, c *Node) {
+		pa := a.pool.get()
+		pa.Outgoing = true
+		c.fillBufferMap(&pa.BM, a.ID)
+		pa.BMAt = now
+		pa.EstablishedAt = now
+		a.setPartner(c.ID, pa)
+		pc := c.pool.get()
+		pc.Outgoing = false
+		a.fillBufferMap(&pc.BM, c.ID)
+		pc.BMAt = now
+		pc.EstablishedAt = now
+		c.setPartner(a.ID, pc)
+	}
+	for i := 0; i < nPeers; i++ {
+		n := w.nodes[base+i]
+		link(n, w.nodes[n.Subs[0].Parent])
+		if i+1 < nPeers {
+			link(n, w.nodes[base+i+1])
+		}
+		if i+2 < nPeers {
+			link(n, w.nodes[base+i+2])
+		}
+	}
+	// Warm the topology caches, the due wheels and the first BM round
+	// before the timer starts.
+	engine.Run(engine.Now() + 6*sim.Second)
+	return w, engine
+}
+
+// BenchmarkTickMillionPeer measures one control tick holding a
+// million-peer synthetic overlay (MILLION_BENCH_PEERS overrides the
+// population), at one shard and at eight. The per-phase nanosecond
+// metrics come from MeterPhases; merge_ns_op is the deferred engine's
+// sequential barrier (effect drain + record-lane flush), the
+// serialization cost the sharded control pays for determinism. Wall
+// speedup requires real cores: on a single-CPU runner the eight-shard
+// figure measures engine overhead, not parallelism.
+func BenchmarkTickMillionPeer(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			w, engine := benchWorldSynthetic(b, millionBenchSize(), shards)
+			b.Logf("population: %d active peers, %d shards, GOMAXPROCS %d",
+				w.ActivePeerCount(), w.NumShards(), runtime.GOMAXPROCS(0))
+			w.MeterPhases(true)
+			base := w.PhaseStats()
+			baseVisits := w.ControlVisits
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.Run(engine.Now() + sim.Second)
+			}
+			b.StopTimer()
+			ph := w.PhaseStats()
+			n := float64(b.N)
+			b.ReportMetric(float64(ph.Allocate-base.Allocate)/n, "alloc_ns_op")
+			b.ReportMetric(float64(ph.Advance-base.Advance)/n, "advance_ns_op")
+			b.ReportMetric(float64(ph.Playback-base.Playback)/n, "playback_ns_op")
+			b.ReportMetric(float64(ph.Control-base.Control)/n, "control_ns_op")
+			b.ReportMetric(float64(ph.Merge-base.Merge)/n, "merge_ns_op")
+			b.ReportMetric(float64(w.ControlVisits-baseVisits)/n, "visits_op")
 			b.ReportMetric(float64(w.ActivePeerCount()), "active_peers")
 		})
 	}

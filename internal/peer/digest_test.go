@@ -37,20 +37,22 @@ func worldDigest(w *World, records []logsys.Record) uint64 {
 
 // digestScenario runs a fixed mixed-churn scenario (joins, crashes,
 // retries, stall-abandons, a program-end cliff) and returns its digest.
-func digestScenario(t *testing.T, controlLoss float64) uint64 {
+// Optional mut hooks run on the fresh world before any server or peer
+// joins (the SetShards window).
+func digestScenario(t *testing.T, controlLoss float64, mut ...func(*World)) uint64 {
 	return digestScenarioSink(t, controlLoss, &logsys.MemorySink{},
-		func(s logsys.Sink) []logsys.Record { return s.(*logsys.MemorySink).Records() })
+		func(s logsys.Sink) []logsys.Record { return s.(*logsys.MemorySink).Records() }, mut...)
 }
 
 // digestScenarioSharded is digestScenario collecting through a
 // ShardedSink, so media-ready records travel the lock-free parallel
 // playback lanes instead of the deferred sequential path.
-func digestScenarioSharded(t *testing.T, controlLoss float64) uint64 {
+func digestScenarioSharded(t *testing.T, controlLoss float64, mut ...func(*World)) uint64 {
 	return digestScenarioSink(t, controlLoss, logsys.NewShardedSink(0),
-		func(s logsys.Sink) []logsys.Record { return s.(*logsys.ShardedSink).Drain() })
+		func(s logsys.Sink) []logsys.Record { return s.(*logsys.ShardedSink).Drain() }, mut...)
 }
 
-func digestScenarioSink(t *testing.T, controlLoss float64, sink logsys.Sink, records func(logsys.Sink) []logsys.Record) uint64 {
+func digestScenarioSink(t *testing.T, controlLoss float64, sink logsys.Sink, records func(logsys.Sink) []logsys.Record, mut ...func(*World)) uint64 {
 	t.Helper()
 	p := DefaultParams()
 	p.ReportPeriod = 30 * sim.Second
@@ -60,6 +62,9 @@ func digestScenarioSink(t *testing.T, controlLoss float64, sink logsys.Sink, rec
 		gossip.RandomReplace{}, 4242)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, m := range mut {
+		m(w)
 	}
 	w.AddServer(15 * testRate)
 	w.AddServer(15 * testRate)

@@ -1,0 +1,460 @@
+package peer
+
+import (
+	"time"
+
+	"coolstream/internal/logsys"
+	"coolstream/internal/sim"
+)
+
+// The deferred-effect engine: with more than one shard (or with the
+// ForceDeferredControl A/B hook) control visits run in parallel, one
+// goroutine per shard, and must not mutate any node they do not own.
+// Every cross-node mutation a visit decides on — partnership teardown
+// after a detected crash, a parent switch, a gossip exchange, an
+// engine event, a bootstrap update, a stall abandon — is recorded as
+// an *effect* in the visiting shard's outbox instead of being applied
+// in place. At the tick barrier the outboxes are drained sequentially
+// in the canonical (source node ID, emission seq) order.
+//
+// Determinism argument, in two halves:
+//
+//   - The effect multiset is shard-independent. A visit reads only
+//     frozen global state (the pre-control fluid state, partner BMs,
+//     membership as of the last sequential phase) plus its own node,
+//     and every mutation that could be observed mid-phase is itself
+//     deferred — so no visit can observe another visit's work, and
+//     each node's visit computes the same effects whatever shard runs
+//     it and whenever it runs.
+//   - The drain order is a pure function of the effects. Each shard
+//     visits its due nodes in ascending ID order and stamps a
+//     monotone per-shard seq, so each outbox is already sorted by
+//     (src, seq); a node lives on exactly one shard, so the k-way
+//     head merge on (src, seq) yields one global order independent of
+//     the shard partition.
+//
+// Effects validate at apply time against the *committed* state: the
+// node a visit chose as parent may have departed in an earlier-drained
+// effect, or the edge may have become cyclic. A rejected attach leaves
+// the sub-stream detached and touches the node so the next tick
+// retries — the same outcome the in-place path reaches when no
+// eligible candidate exists.
+//
+// This serialization is intentionally *not* byte-identical to the
+// legacy sequential sweep (which interleaves cross-node reads and
+// writes within the phase); it is a second valid serialization of the
+// same protocol with its own invariant digest. The ForceDeferredControl
+// hook runs it at one shard so tests can pin shards=1 ≡ shards=N.
+// See DESIGN.md §11.
+
+type effectKind uint8
+
+const (
+	// effPartnerCrash: the visit detected a departed partner through a
+	// failed BM exchange and dropped the partnership locally; the
+	// deferred half detaches the visitor's sub-streams from the corpse
+	// and cleans the corpse's child registry. a = corpse ID.
+	effPartnerCrash effectKind = iota
+	// effSetParent commits a subscription change decided at visit
+	// time: a = sub-stream, b = new parent (NoParent detaches).
+	effSetParent
+	// effStartSub commits the §IV-A initial-subscription position:
+	// f = start position (all H values move there); a = 1 marks the
+	// Joining→Subscribing transition.
+	effStartSub
+	// effGossip performs the deferred gossip exchange with partner a
+	// (the partner's mCache RNG draws at apply time, in canonical
+	// order).
+	effGossip
+	// effSchedule emits a deferred engine event: a = 1 bootstrap
+	// re-contact, a = 2 partnership handshake towards b after delay t
+	// with reachability draw f.
+	effSchedule
+	// effBootUpdate refreshes the bootstrap's partner-count entry for
+	// the source (a = in+out).
+	effBootUpdate
+	// effAbandon executes a stall-abandon departure decided at visit
+	// time.
+	effAbandon
+	// effKill severs the partnership (src, a) — the world-sourced
+	// partner kill of the fault step, routed through the same apply
+	// path so fault damage is identical in both engines.
+	effKill
+)
+
+// effect is one deferred cross-node mutation. src and seq are the
+// canonical drain order; the operand fields are kind-specific.
+type effect struct {
+	kind effectKind
+	src  int32
+	seq  int32
+	a, b int32
+	t    sim.Time
+	f    float64
+}
+
+// vctx is the context of one control visit. The sequential engine
+// uses the world's seqCtx (deferred=false): every vctx helper then
+// reduces to exactly the legacy in-place behaviour. Each shard owns
+// one deferred vctx reused across its visits.
+type vctx struct {
+	w        *World
+	sh       *worldShard
+	deferred bool
+	// node is the node being visited (the src of emitted effects).
+	node *Node
+	// pendPar/pendSet overlay the visited node's own deferred parent
+	// changes so later steps of the same visit observe them (the
+	// in-place path would); remote nodes never see the overlay.
+	pendPar []int
+	pendSet []bool
+	pendAny bool
+	// abandoned marks that the visit decided a stall-abandon; the
+	// departure applies at the barrier, but the visit loop must not
+	// re-arm the node.
+	abandoned bool
+}
+
+// beginVisit resets the per-visit state.
+func (vc *vctx) beginVisit(n *Node) {
+	vc.node = n
+	vc.abandoned = false
+	if vc.pendAny {
+		for j := range vc.pendSet {
+			vc.pendSet[j] = false
+		}
+		vc.pendAny = false
+	}
+}
+
+// parent returns sub-stream j's parent as the visit observes it: the
+// committed value, shadowed by the visit's own pending changes in
+// deferred mode.
+func (vc *vctx) parent(n *Node, j int) int {
+	if vc.deferred && vc.pendSet[j] {
+		return vc.pendPar[j]
+	}
+	return n.Subs[j].Parent
+}
+
+// emit appends an effect from the visited node to the shard outbox.
+func (vc *vctx) emit(k effectKind, a, b int32, t sim.Time, f float64) {
+	sh := vc.sh
+	sh.outbox = append(sh.outbox, effect{
+		kind: k, src: int32(vc.node.ID), seq: sh.effSeq, a: a, b: b, t: t, f: f,
+	})
+	sh.effSeq++
+}
+
+// setParent is the choke point for subscription changes decided inside
+// a control visit (subscribe's attach, adapt's detach). The sequential
+// path applies in place exactly as the pre-shard engine did; a
+// deferred visit records the change in its overlay and emits an
+// effSetParent for the barrier.
+func (vc *vctx) setParent(n *Node, j, parent int) {
+	if !vc.deferred {
+		w := vc.w
+		if old := n.Subs[j].Parent; old != NoParent && old != parent {
+			w.nodes[old].removeChild(j, n.ID)
+			w.reclaimCorpseChildren(w.nodes[old])
+		}
+		n.Subs[j].Parent = parent
+		n.Subs[j].RateBps = 0
+		if parent != NoParent {
+			w.nodes[parent].addChild(j, n.ID)
+		}
+		return
+	}
+	vc.pendPar[j] = parent
+	vc.pendSet[j] = true
+	vc.pendAny = true
+	vc.emit(effSetParent, int32(j), int32(parent), 0, 0)
+}
+
+// parentStats is Node.parentStats through the visit overlay.
+func (vc *vctx) parentStats(n *Node) (reachable, total, natLinks int) {
+	nodes := vc.w.nodes
+	for j := range n.Subs {
+		pid := vc.parent(n, j)
+		if pid == NoParent {
+			continue
+		}
+		total++
+		p := nodes[pid]
+		if p.EP.Class.Reachable() {
+			reachable++
+		} else if !n.EP.Class.Reachable() {
+			natLinks++
+		}
+	}
+	return
+}
+
+// vlog emits a control-phase record: straight to the sink on the
+// sequential path, into the shard's record lane in deferred mode. The
+// lanes are flushed at the barrier in ascending peer-ID order — the
+// order the sequential sweep emits.
+func (w *World) vlog(vc *vctx, n *Node, rec logsys.Record) {
+	if !vc.deferred {
+		w.log(n, rec)
+		return
+	}
+	if n.IsServer() {
+		return
+	}
+	w.fill(n, &rec)
+	vc.sh.recBuf = append(vc.sh.recBuf, rec)
+}
+
+// drainEffects applies every shard outbox in canonical (src, seq)
+// order via a k-way head merge (each outbox is already sorted; a node
+// lives on exactly one shard, so src never ties across shards).
+func (w *World) drainEffects(now sim.Time) {
+	cur := w.effCur[:len(w.shards)]
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		var bk effect
+		for i, sh := range w.shards {
+			if cur[i] < len(sh.outbox) {
+				if e := sh.outbox[cur[i]]; best < 0 || e.src < bk.src ||
+					(e.src == bk.src && e.seq < bk.seq) {
+					best, bk = i, e
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cur[best]++
+		w.applyEffect(bk, now)
+	}
+	for _, sh := range w.shards {
+		sh.effTotal += int64(len(sh.outbox))
+		sh.outbox = sh.outbox[:0]
+		sh.effSeq = 0
+	}
+}
+
+// flushShardRecords merges the per-shard record lanes into the sink in
+// ascending peer-ID order. Each lane is already in visit order (one
+// node's records contiguous, node IDs ascending within a shard), so a
+// head merge on peer ID that copies each node's run whole restores the
+// sequential sweep's emission order.
+func (w *World) flushShardRecords() {
+	cur := w.effCur[:len(w.shards)]
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best, bestPeer := -1, 0
+		for i, sh := range w.shards {
+			if cur[i] < len(sh.recBuf) {
+				if p := sh.recBuf[cur[i]].Peer; best < 0 || p < bestPeer {
+					best, bestPeer = i, p
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sh := w.shards[best]
+		for cur[best] < len(sh.recBuf) && sh.recBuf[cur[best]].Peer == bestPeer {
+			w.Sink.Log(sh.recBuf[cur[best]])
+			cur[best]++
+		}
+	}
+	for _, sh := range w.shards {
+		sh.recBuf = sh.recBuf[:0]
+	}
+}
+
+// applyEffect commits one effect against the committed world state.
+// Every case re-checks the liveness preconditions the emitting visit
+// could only establish against frozen state: an earlier-drained effect
+// may have departed either end.
+func (w *World) applyEffect(e effect, now sim.Time) {
+	switch e.kind {
+	case effPartnerCrash:
+		n := w.nodes[e.src]
+		if n.State == StateDeparted {
+			return
+		}
+		corpse := w.nodes[e.a]
+		for j := range n.Subs {
+			if n.Subs[j].Parent == int(e.a) {
+				corpse.removeChild(j, n.ID)
+				n.Subs[j].Parent = NoParent
+				n.Subs[j].RateBps = 0
+			}
+		}
+		w.reclaimCorpseChildren(corpse)
+	case effSetParent:
+		w.applySetParent(w.nodes[e.src], int(e.a), int(e.b))
+	case effStartSub:
+		n := w.nodes[e.src]
+		if n.State != StateJoining {
+			return
+		}
+		n.startPos = e.f
+		for j := range n.Subs {
+			n.Subs[j].H = e.f
+		}
+		if e.a != 0 {
+			n.State = StateSubscribing
+			n.StartSubAt = now
+		}
+	case effGossip:
+		n := w.nodes[e.src]
+		partner := w.nodes[e.a]
+		if n.State == StateDeparted || partner.State == StateDeparted ||
+			n.MCache == nil || partner.MCache == nil {
+			return
+		}
+		for _, en := range partner.MCache.Sample(4, n.ID, nil) {
+			n.MCache.Insert(en, now)
+		}
+		partner.MCache.Insert(w.bootEntry(n), now)
+	case effSchedule:
+		switch e.a {
+		case 1:
+			w.Engine.AfterCall(e.t, w.bootstrapFn, sim.EvPayload{A: int(e.src)})
+		case 2:
+			w.Engine.AfterCall(e.t, w.partnershipFn,
+				sim.EvPayload{A: int(e.src), B: int(e.b), F: e.f})
+		}
+	case effBootUpdate:
+		w.Boot.UpdatePartnerCount(int(e.src), int(e.a))
+	case effAbandon:
+		n := w.nodes[e.src]
+		if n.State == StateReady {
+			w.abandonAndRejoin(n)
+		}
+	case effKill:
+		// Applied synchronously from the sequential fault phase, never
+		// queued, so no liveness re-check: the kill hits whatever the
+		// draw selected — including a silently-crashed partner still in
+		// the victim's partner set, exactly as a broken TCP link would.
+		w.severPartnership(w.nodes[e.src], w.nodes[e.a])
+	}
+}
+
+// applySetParent commits a deferred subscription change, re-validating
+// against the committed forest what the visit judged against frozen
+// state: the chosen parent may since have departed, or an
+// earlier-drained switch may make the edge cyclic. A rejected attach
+// leaves the sub-stream detached — the same outcome the in-place path
+// reaches when no eligible candidate exists — and touches the node so
+// the next tick's visit retries.
+func (w *World) applySetParent(n *Node, j, parent int) {
+	if n.State == StateDeparted {
+		return
+	}
+	old := n.Subs[j].Parent
+	if old == parent {
+		return
+	}
+	if old != NoParent {
+		w.nodes[old].removeChild(j, n.ID)
+		w.reclaimCorpseChildren(w.nodes[old])
+	}
+	n.Subs[j].Parent = NoParent
+	n.Subs[j].RateBps = 0
+	if parent == NoParent {
+		return
+	}
+	p := w.nodes[parent]
+	if p.State == StateDeparted || w.wouldCycle(n, j, parent) {
+		w.touchNode(n.ID)
+		return
+	}
+	n.Subs[j].Parent = parent
+	p.addChild(j, n.ID)
+}
+
+// controlSharded is the deferred-effect control phase. Three stages:
+//
+//  1. sequential: route the playback phase's Inequality (1) flag
+//     lists to their owner shards and drain every shard's wheel into
+//     a sorted, deduplicated due list;
+//  2. parallel: each shard visits its due nodes with its own visit
+//     context — all cross-node mutations become effects;
+//  3. sequential barrier: flush the record lanes, drain the effect
+//     outboxes in canonical (src, seq) order, fold the counters.
+func (w *World) controlSharded(now sim.Time) {
+	for _, flagged := range w.advFlagShards {
+		for _, id := range flagged {
+			sh := w.shards[w.nodes[id].shard]
+			sh.wheelBuf = append(sh.wheelBuf, id)
+		}
+	}
+	for _, sh := range w.shards {
+		buf := sh.wheel.DrainTo(now, sh.wheelBuf)
+		sortInt32(buf)
+		due := sh.dueIDs[:0]
+		prev := int32(-1)
+		for _, id := range buf {
+			if id != prev {
+				due = append(due, id)
+				prev = id
+			}
+		}
+		sh.dueIDs = due
+		sh.wheelBuf = buf[:0]
+	}
+	w.tickNow = now
+	sim.ParallelGrain(len(w.shards), 1, w.shardVisitFn)
+	var t0 time.Time
+	if w.phaseClock {
+		t0 = time.Now()
+	}
+	w.flushShardRecords()
+	w.drainEffects(now)
+	for _, sh := range w.shards {
+		w.ControlVisits += sh.visits
+		sh.visitsTotal += sh.visits
+		sh.visits = 0
+		w.ReadySessions += sh.ready
+		sh.ready = 0
+		w.Adaptations += sh.adapts
+		sh.adapts = 0
+		if w.Faults != nil {
+			w.Faults.Stats.NATRefusals += sh.natRefusals
+		}
+		sh.natRefusals = 0
+	}
+	if w.phaseClock {
+		w.Phases.Merge += time.Since(t0).Nanoseconds()
+	}
+}
+
+// shardVisitRange is the parallel stage of controlSharded: shards
+// [lo, hi) visit their due nodes. Bound once as shardVisitFn so the
+// steady-state tick allocates no closures.
+func (w *World) shardVisitRange(lo, hi int) {
+	now := w.tickNow
+	for si := lo; si < hi; si++ {
+		sh := w.shards[si]
+		var t0 time.Time
+		if w.controlClock {
+			t0 = time.Now()
+		}
+		vc := &sh.vc
+		for _, id32 := range sh.dueIDs {
+			n := w.nodes[id32]
+			n.wheelAt = 0
+			if n.State == StateDeparted || n.IsServer() {
+				continue
+			}
+			w.controlVisit(vc, n, now)
+			if !vc.abandoned {
+				w.wheelSchedule(sh, n, w.nextControlDue(vc, n, now))
+			}
+		}
+		if w.controlClock {
+			sh.controlNs += time.Since(t0).Nanoseconds()
+		}
+	}
+}

@@ -42,7 +42,10 @@ func (w *World) killRandomPartnership() {
 	}
 	n := w.nodes[cands[w.faultRNG.Intn(len(cands))]]
 	pid := n.partnerIDs[w.faultRNG.Intn(len(n.partnerIDs))]
-	w.severPartnership(n, w.nodes[pid])
+	// Route through the effect-apply path shared with the deferred
+	// engine, applied immediately (the fault phase is sequential) so the
+	// firing sequence is identical under any shard count.
+	w.applyEffect(effect{kind: effKill, src: int32(n.ID), a: int32(pid)}, w.Engine.Now())
 }
 
 // severPartnership models an abrupt mid-session connection kill (the

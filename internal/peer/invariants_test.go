@@ -23,7 +23,7 @@ func checkInvariants(t *testing.T, w *World) {
 	now := w.Engine.Now()
 	live := w.liveEdge(now)
 	activeSet := make(map[int]bool)
-	for _, id := range w.active {
+	for _, id := range w.activeView() {
 		activeSet[id] = true
 	}
 	for _, n := range w.nodes {

@@ -80,6 +80,9 @@ type Node struct {
 	Session int
 	EP      netmodel.Endpoint
 	State   State
+	// shard is the owning world shard, fixed at creation by the stable
+	// ID hash (see shardIndex); a node never migrates.
+	shard int32
 
 	// Timing milestones (virtual).
 	JoinedAt   sim.Time

@@ -47,17 +47,21 @@ const farFuture = sim.Time(1) << 62
 // wheelOn reports whether due-driven control is active. FullSweepControl
 // must be set before the first join is scheduled; toggling it mid-run is
 // unsupported (the wheel would hold a stale schedule).
-func (w *World) wheelOn() bool { return w.wheel != nil && !w.FullSweepControl }
+func (w *World) wheelOn() bool { return len(w.shards) > 0 && !w.FullSweepControl }
 
 // touchNode signals that a node's control-relevant state was changed
 // from outside its own control visit, scheduling a visit on the next
-// drained tick. Safe to call for servers and departed nodes (no-op).
+// drained tick on the node's own shard wheel. Safe to call for servers
+// and departed nodes (no-op).
 //
-// During the control drain itself the rule mirrors the full sweep
+// During the legacy single-shard drain the rule mirrors the full sweep
 // exactly: a touched node whose ID is still ahead of the drain cursor
 // is inserted into this tick's due set (the sweep would reach it this
 // tick); one at or behind the cursor is deferred to the next tick (the
-// sweep already passed it).
+// sweep already passed it). The deferred-effect engine only touches
+// nodes from sequential phases (events, the barrier drain) — its
+// wheels are drained before the barrier, so Schedule clamps to the
+// next tick, which is exactly "the sweep already passed".
 func (w *World) touchNode(id int) {
 	if !w.wheelOn() {
 		return
@@ -70,36 +74,40 @@ func (w *World) touchNode(id int) {
 	// the next visit (conservative; evaluation without violation draws
 	// no randomness and changes nothing).
 	n.adaptDue = 0
+	sh := w.shards[n.shard]
 	if w.draining {
 		if id > w.drainPos {
-			w.insertDue(id)
+			w.insertDue(sh, id)
 			return
 		}
-		w.wheelSchedule(n, w.wheel.Base())
+		w.wheelSchedule(sh, n, sh.wheel.Base())
 		return
 	}
-	w.wheelSchedule(n, w.Engine.Now())
+	w.wheelSchedule(sh, n, w.Engine.Now())
 }
 
-// wheelSchedule enqueues the node at the given due time, suppressing
-// the enqueue when an earlier (still pending) entry already covers it.
-// Duplicate entries are harmless — the drain deduplicates per tick —
-// so the wheelAt bookkeeping is best-effort, not exact.
-func (w *World) wheelSchedule(n *Node, at sim.Time) {
+// wheelSchedule enqueues the node on its shard's wheel at the given
+// due time, suppressing the enqueue when an earlier (still pending)
+// entry already covers it. Duplicate entries are harmless — the drain
+// deduplicates per tick — so the wheelAt bookkeeping is best-effort,
+// not exact.
+func (w *World) wheelSchedule(sh *worldShard, n *Node, at sim.Time) {
 	if at >= farFuture {
 		return
 	}
 	if n.wheelAt != 0 && n.wheelAt <= at {
 		return
 	}
-	w.wheel.Schedule(n.ID, at)
+	sh.wheel.Schedule(n.ID, at)
 	n.wheelAt = at
 }
 
 // insertDue adds id into the not-yet-visited tail of the current drain
-// set, keeping it sorted and duplicate-free.
-func (w *World) insertDue(id int) {
-	due := w.dueIDs
+// set, keeping it sorted and duplicate-free. Only the legacy
+// single-shard drain uses it (the deferred engine never touches nodes
+// mid-drain).
+func (w *World) insertDue(sh *worldShard, id int) {
+	due := sh.dueIDs
 	v := int32(id)
 	// Plain binary search (sort.Search's func parameter would allocate
 	// a closure on this churn-hot path).
@@ -118,14 +126,17 @@ func (w *World) insertDue(id int) {
 	due = append(due, 0)
 	copy(due[i+1:], due[i:])
 	due[i] = v
-	w.dueIDs = due
+	sh.dueIDs = due
 }
 
 // nextControlDue computes the node's next control deadline as the
 // minimum over every control component's own due time. Called at the
 // end of a visit, when every component that was due has just acted and
-// pushed its own timer forward.
-func (w *World) nextControlDue(n *Node, now sim.Time) sim.Time {
+// pushed its own timer forward. Reads parents through the visit
+// context so a deferred detach (applied only at the barrier) still
+// registers as a stalled sub-stream — missing it would skip the
+// every-tick re-subscribe polling and stall the node forever.
+func (w *World) nextControlDue(vc *vctx, n *Node, now sim.Time) sim.Time {
 	tick := w.Engine.TickPeriod()
 	next := now + tick
 	if n.State == StateJoining || n.State == StateSubscribing {
@@ -149,7 +160,7 @@ func (w *World) nextControlDue(n *Node, now sim.Time) sim.Time {
 		due = n.recruitingDue
 	}
 	for j := range n.Subs {
-		if n.Subs[j].Parent == NoParent {
+		if vc.parent(n, j) == NoParent {
 			return next // stalled sub-stream: re-subscribe retries every tick
 		}
 	}
@@ -215,21 +226,23 @@ func (w *World) stallDue(n *Node, now sim.Time) sim.Time {
 	return cross
 }
 
-// controlWheel is the due-driven control phase: drain this tick's due
-// set from the wheel, visit the unique IDs in ascending order, and
-// re-arm each survivor at its next control deadline.
+// controlWheel is the legacy single-shard due-driven control phase:
+// drain this tick's due set from the wheel, visit the unique IDs in
+// ascending order, and re-arm each survivor at its next control
+// deadline. Bit-identical to the pre-shard engine.
 func (w *World) controlWheel(now sim.Time) {
-	w.wheelBuf = w.wheel.DrainTo(now, w.wheelBuf[:0])
-	buf := w.wheelBuf
+	sh := w.shards[0]
+	sh.wheelBuf = sh.wheel.DrainTo(now, sh.wheelBuf[:0])
+	buf := sh.wheelBuf
 	// Merge the playback phase's Inequality (1) flag lists: a flagged
 	// node must be visited this tick (the full sweep would evaluate it
 	// now), whether or not a timer already had it due.
 	for _, flagged := range w.advFlagShards {
 		buf = append(buf, flagged...)
 	}
-	w.wheelBuf = buf
+	sh.wheelBuf = buf
 	sortInt32(buf)
-	due := w.dueIDs[:0]
+	due := sh.dueIDs[:0]
 	prev := int32(-1)
 	for _, id := range buf {
 		if id != prev {
@@ -237,19 +250,19 @@ func (w *World) controlWheel(now sim.Time) {
 			prev = id
 		}
 	}
-	w.dueIDs = due
+	sh.dueIDs = due
 	w.draining = true
-	for w.drainIdx = 0; w.drainIdx < len(w.dueIDs); w.drainIdx++ {
-		id := int(w.dueIDs[w.drainIdx])
+	for w.drainIdx = 0; w.drainIdx < len(sh.dueIDs); w.drainIdx++ {
+		id := int(sh.dueIDs[w.drainIdx])
 		w.drainPos = id
 		n := w.nodes[id]
 		n.wheelAt = 0
 		if n.State == StateDeparted || n.IsServer() {
 			continue
 		}
-		w.controlVisit(n, now)
+		w.controlVisit(&w.seqCtx, n, now)
 		if n.State != StateDeparted {
-			w.wheelSchedule(n, w.nextControlDue(n, now))
+			w.wheelSchedule(sh, n, w.nextControlDue(&w.seqCtx, n, now))
 		}
 	}
 	w.draining = false

@@ -19,7 +19,7 @@ import (
 // due-wheel equivalence property: it exercises every touch point —
 // partnership completion, severed links, graceful and crash
 // departures, stall abandons, the program-end cliff.
-func schedScenario(t *testing.T, seed uint64, fullSweep bool) (uint64, *World) {
+func schedScenario(t *testing.T, seed uint64, fullSweep bool, mut ...func(*World)) (uint64, *World) {
 	t.Helper()
 	p := DefaultParams()
 	p.ReportPeriod = 30 * sim.Second
@@ -32,6 +32,9 @@ func schedScenario(t *testing.T, seed uint64, fullSweep bool) (uint64, *World) {
 		t.Fatal(err)
 	}
 	w.FullSweepControl = fullSweep
+	for _, m := range mut {
+		m(w)
+	}
 	sch, err := faults.NewSchedule(faults.Config{
 		TrackerOutages:  []faults.Window{{Start: 60 * sim.Second, End: 90 * sim.Second}},
 		NATRefusalProb:  0.3,

@@ -1,0 +1,290 @@
+package peer
+
+import (
+	"fmt"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// The world is partitioned into per-core *world shards*. Each shard
+// owns a disjoint subset of the nodes — assigned by a stable hash of
+// the node ID, so a node's shard never changes during its lifetime —
+// together with everything those nodes need that must not be shared
+// across cores: the membership list, the due-wheel of the control
+// scheduler, the node-shell arenas and free lists, the control-phase
+// log lane, the effect outbox and the per-shard counters.
+//
+// With one shard (the default) the engine is the legacy sequential
+// engine, bit for bit: every structure lives on shards[0] and the
+// control phase runs exactly the pre-shard code path. With more than
+// one shard the control phase switches to the deferred-effect engine
+// (see effects.go and DESIGN.md §11): shards visit their due nodes in
+// parallel, cross-node mutations are queued as effects, and a
+// sequential barrier applies them in a canonical order that is
+// independent of both the shard count (for N ≥ 2) and GOMAXPROCS.
+type worldShard struct {
+	idx int
+
+	// Membership. active holds the shard's sorted active node IDs
+	// (IDs are assigned monotonically and the shard hash is stable, so
+	// joins append in O(1)); departures mark the list dirty and the
+	// next compaction applies the batch in one pass.
+	active      []int
+	activeDirty int
+	// activePeers counts the shard's active non-server peers; the
+	// world-level ActivePeerCount is the O(shards) sum.
+	activePeers int
+
+	// Due-driven control scheduling (see sched.go): the shard owns its
+	// wheel and drain scratch, so the sharded control phase drains,
+	// visits and re-arms with no shared mutable state.
+	wheel    *sim.Wheel
+	wheelBuf []int32
+	dueIDs   []int32
+
+	// Node-shell recycling arenas and free lists — one instance per
+	// shard, so parallel control visits and the drain recycle without
+	// locks. A node only ever donates to and draws from its own
+	// shard's pools.
+	nodeArena  []Node
+	subArena   []Subscription
+	childArena [][]int
+	mapPool    []map[int]*Partner
+	intPool    [][]int
+	plistPool  [][]*Partner
+	mcPool     []*gossip.MCache
+	demandPool [][]netmodel.Demand
+	slotPool   [][]allocSlot
+	fillerPool []*netmodel.Filler
+	ppool      partnerPool
+
+	// Deferred-control state: the shard's visit context, the effect
+	// outbox (drained in canonical (src, seq) order at the barrier) and
+	// the shard's record lane for control-phase log records.
+	vc     vctx
+	outbox []effect
+	effSeq int32
+	recBuf []logsys.Record
+
+	// Per-tick counters, folded into the world totals at the barrier
+	// so parallel visits never touch shared counters.
+	visits      int64
+	ready       int
+	adapts      int
+	natRefusals int
+
+	// Cumulative per-shard statistics for the coolbench imbalance
+	// table (never reset).
+	visitsTotal int64
+	controlNs   int64
+	bmRefreshes int64
+	effTotal    int64
+}
+
+// maxShards bounds the shard count; far above any core count this
+// engine targets, it only guards against nonsense configuration.
+const maxShards = 256
+
+// shardIndex is the stable node→shard hash. It depends only on the
+// node ID and the shard count, so a node's shard is fixed for its
+// whole lifetime and independent of join order, GOMAXPROCS or any
+// runtime state. SplitMix64-style finalisation spreads consecutive
+// IDs across shards.
+func shardIndex(id, nshards int) int {
+	if nshards <= 1 {
+		return 0
+	}
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(nshards))
+}
+
+func (w *World) newShard(idx int) *worldShard {
+	sh := &worldShard{idx: idx}
+	sh.wheel = sim.NewWheel(w.Engine.TickPeriod(), 512, w.Engine.Now())
+	k := w.P.Layout.K
+	sh.vc = vctx{
+		w:        w,
+		sh:       sh,
+		deferred: true,
+		pendPar:  make([]int, k),
+		pendSet:  make([]bool, k),
+	}
+	return sh
+}
+
+// SetShards partitions the world into n per-core shards. Must be
+// called on an empty world, before AddServer or Join — the shard of a
+// node is decided at creation and never migrates. n = 1 restores the
+// single-shard legacy engine (the NewWorld default).
+func (w *World) SetShards(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		return fmt.Errorf("peer: %d shards exceeds the %d-shard cap", n, maxShards)
+	}
+	if len(w.nodes) > 0 || w.sessions > 0 {
+		return fmt.Errorf("peer: SetShards(%d) on a populated world", n)
+	}
+	if w.FullSweepControl && n > 1 {
+		return fmt.Errorf("peer: sharded control requires the due wheel (FullSweepControl is set)")
+	}
+	for len(w.shards) < n {
+		w.shards = append(w.shards, w.newShard(len(w.shards)))
+	}
+	w.shards = w.shards[:n]
+	w.nshards = n
+	if cap(w.effCur) < n {
+		w.effCur = make([]int, n)
+	}
+	return nil
+}
+
+// NumShards returns the configured world-shard count.
+func (w *World) NumShards() int { return w.nshards }
+
+// deferredOn reports whether the control phase runs as the
+// deferred-effect engine (DESIGN.md §11): always with more than one
+// shard, or forced at one shard by the ForceDeferredControl A/B hook.
+// Requires the due wheel; with FullSweepControl set the world falls
+// back to the legacy sweep.
+func (w *World) deferredOn() bool {
+	return (w.nshards > 1 || w.ForceDeferredControl) && w.wheelOn()
+}
+
+// shardOf returns the shard owning node n.
+func (w *World) shardOf(n *Node) *worldShard { return w.shards[n.shard] }
+
+// compactAllActive settles batched departures on every shard.
+func (w *World) compactAllActive() {
+	for _, sh := range w.shards {
+		w.compactShard(sh)
+	}
+}
+
+// compactShard drops departed IDs from one shard's active list in one
+// pass.
+func (w *World) compactShard(sh *worldShard) {
+	if sh.activeDirty == 0 {
+		return
+	}
+	dst := sh.active[:0]
+	for _, id := range sh.active {
+		if w.nodes[id].State != StateDeparted {
+			dst = append(dst, id)
+		}
+	}
+	sh.active = dst
+	sh.activeDirty = 0
+}
+
+// mergedActive returns the sorted union of every shard's active list.
+// With one shard it aliases the shard's own list — no copy, so the
+// small-world fast path costs exactly what the pre-shard engine did.
+// With several shards the k-way merge scratch is rebuilt only when
+// membership changed since the last merge (memberEpoch).
+func (w *World) mergedActive() []int {
+	if w.nshards == 1 {
+		return w.shards[0].active
+	}
+	if w.memberEpoch == w.mergedEpoch && w.mergedIDs != nil {
+		return w.mergedIDs
+	}
+	out := w.mergedIDs[:0]
+	cur := w.effCur[:len(w.shards)]
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best, bestID := -1, 0
+		for i, sh := range w.shards {
+			if cur[i] < len(sh.active) {
+				if id := sh.active[cur[i]]; best < 0 || id < bestID {
+					best, bestID = i, id
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, bestID)
+		cur[best]++
+	}
+	w.mergedIDs = out
+	w.mergedEpoch = w.memberEpoch
+	return out
+}
+
+// activeView settles departures on every shard and returns the merged
+// sorted active-ID list — the membership read used by snapshots,
+// bulk-departure sweeps and tests.
+func (w *World) activeView() []int {
+	w.compactAllActive()
+	return w.mergedActive()
+}
+
+// ShardStat is one shard's cumulative control-plane statistics,
+// exposed for the coolbench per-shard imbalance table.
+type ShardStat struct {
+	Shard       int
+	ActivePeers int
+	Visits      int64
+	ControlNs   int64
+	BMRefreshes int64
+	Effects     int64
+}
+
+// ShardStats returns cumulative per-shard statistics. Visit counts and
+// effect totals are only populated by the deferred-effect engine; the
+// legacy single-shard path accounts on the world counters instead.
+func (w *World) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(w.shards))
+	for i, sh := range w.shards {
+		out[i] = ShardStat{
+			Shard:       i,
+			ActivePeers: sh.activePeers,
+			Visits:      sh.visitsTotal,
+			ControlNs:   sh.controlNs,
+			BMRefreshes: sh.bmRefreshes,
+			Effects:     sh.effTotal,
+		}
+	}
+	return out
+}
+
+// PhaseNanos accumulates per-phase wall time when MeterPhases is on.
+type PhaseNanos struct {
+	Allocate int64
+	Advance  int64
+	Playback int64
+	Account  int64
+	Control  int64
+	// Merge is the sequential barrier of the deferred-effect engine:
+	// effect drain, record-lane flush and counter folds.
+	Merge int64
+}
+
+// MeterPhases enables wall-clock metering of every tick phase
+// (allocate/advance/playback/account/control and, in deferred mode,
+// the merge barrier). Implies MeterControl.
+func (w *World) MeterPhases(on bool) {
+	w.phaseClock = on
+	if on {
+		w.controlClock = true
+	}
+}
+
+// PhaseStats returns the accumulated per-phase wall times.
+func (w *World) PhaseStats() PhaseNanos {
+	p := w.Phases
+	p.Control = w.ControlNanos
+	return p
+}

@@ -1,0 +1,226 @@
+package peer
+
+import (
+	"runtime"
+	"testing"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// setShards returns a world mutator configuring n shards (and, when
+// force is set, the ForceDeferredControl A/B hook so a one-shard world
+// runs the deferred-effect serialization).
+func setShards(t *testing.T, n int, force bool) func(*World) {
+	return func(w *World) {
+		if err := w.SetShards(n); err != nil {
+			t.Fatal(err)
+		}
+		w.ForceDeferredControl = force
+	}
+}
+
+// goldenDeferredDigest is the digest of the loss-free golden scenario
+// under the deferred-effect serialization (DESIGN.md §11) — the sharded
+// engine's counterpart of goldenRunDigest. It is intentionally a
+// different constant: deferring cross-node control mutations to the
+// tick barrier is a second valid serialization of the same protocol,
+// not a bit-identical replay of the sequential sweep. Any change to the
+// effect taxonomy, the (src, seq) drain order or the frozen-state
+// contract moves it.
+const goldenDeferredDigest uint64 = 0xd81425e7e92079c5
+
+// TestShardedDigestInvariant is the tentpole determinism property: the
+// deferred-effect engine must produce one digest for every shard count
+// and every GOMAXPROCS. shards=1 with ForceDeferredControl pins the
+// canonical serialization at the bottom of the range, so the invariant
+// covers shards ∈ {1, 2, 4, 8} × GOMAXPROCS ∈ {1, 8}.
+func TestShardedDigestInvariant(t *testing.T) {
+	orig := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(orig)
+	base := digestScenario(t, 0, setShards(t, 1, true))
+	t.Logf("deferred-engine digest = %#x", base)
+	if base != goldenDeferredDigest {
+		t.Fatalf("deferred-engine digest %#x differs from golden %#x", base, goldenDeferredDigest)
+	}
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{1, 2, 4, 8} {
+			force := shards == 1
+			if got := digestScenario(t, 0, setShards(t, shards, force)); got != base {
+				t.Fatalf("shards=%d GOMAXPROCS=%d: digest %#x != %#x", shards, procs, got, base)
+			}
+		}
+	}
+}
+
+// TestShardedDigestInvariantWithControlLoss repeats the invariant with
+// lossy control messaging: ControlLossProb > 0 makes every BM refresh
+// draw from the node RNG, so any divergence in visit order or count
+// shows up immediately.
+func TestShardedDigestInvariantWithControlLoss(t *testing.T) {
+	base := digestScenario(t, 0.2, setShards(t, 1, true))
+	for _, shards := range []int{2, 8} {
+		if got := digestScenario(t, 0.2, setShards(t, shards, false)); got != base {
+			t.Fatalf("shards=%d: lossy digest %#x != %#x", shards, got, base)
+		}
+	}
+}
+
+// TestShardedChaosDigestInvariant runs the adversarial fault scenario
+// (tracker outage, NAT refusals, partner kills, burst loss, control
+// loss) across shard counts and parallelism levels: fault-phase kills
+// route through the shared effect-apply path, so their damage must be
+// identical under any partition.
+func TestShardedChaosDigestInvariant(t *testing.T) {
+	orig := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(orig)
+	for _, seed := range []uint64{7, 4242} {
+		base, _ := schedScenario(t, seed, false, setShards(t, 1, true))
+		for _, procs := range []int{1, 8} {
+			runtime.GOMAXPROCS(procs)
+			for _, shards := range []int{2, 4} {
+				got, _ := schedScenario(t, seed, false, setShards(t, shards, false))
+				if got != base {
+					t.Fatalf("seed=%d shards=%d GOMAXPROCS=%d: chaos digest %#x != %#x",
+						seed, shards, procs, got, base)
+				}
+			}
+		}
+		t.Logf("seed %d: chaos digest %#x invariant across shards and GOMAXPROCS", seed, base)
+	}
+}
+
+// TestShardAssignmentStable pins the migration-free ownership contract:
+// after a full churn scenario every node — live or departed — still
+// hashes to the shard that owns it, every shard's active list holds
+// only its own live nodes in ascending order, and the O(shards)
+// aggregate counters agree with a full recount.
+func TestShardAssignmentStable(t *testing.T) {
+	const shards = 4
+	_, w := schedScenario(t, 4242, false, setShards(t, shards, false))
+	if w.NumShards() != shards {
+		t.Fatalf("NumShards = %d, want %d", w.NumShards(), shards)
+	}
+	for _, n := range w.Nodes() {
+		if n == nil {
+			continue
+		}
+		if want := shardIndex(n.ID, shards); int(n.shard) != want {
+			t.Fatalf("node %d on shard %d, hash says %d", n.ID, n.shard, want)
+		}
+	}
+	w.compactAllActive()
+	total, peers := 0, 0
+	for si, sh := range w.shards {
+		prev := -1
+		for _, id := range sh.active {
+			n := w.nodes[id]
+			if int(n.shard) != si {
+				t.Fatalf("shard %d active list holds node %d owned by shard %d", si, id, n.shard)
+			}
+			if n.State == StateDeparted {
+				t.Fatalf("shard %d active list holds departed node %d after compaction", si, id)
+			}
+			if id <= prev {
+				t.Fatalf("shard %d active list out of order: %d after %d", si, id, prev)
+			}
+			prev = id
+			total++
+			if !n.IsServer() {
+				peers++
+			}
+		}
+	}
+	if got := w.ActiveCount(); got != total {
+		t.Fatalf("ActiveCount = %d, recount = %d", got, total)
+	}
+	if got := w.ActivePeerCount(); got != peers {
+		t.Fatalf("ActivePeerCount = %d, recount = %d", got, peers)
+	}
+	if ids := w.activeView(); len(ids) != total {
+		t.Fatalf("activeView has %d IDs, recount = %d", len(ids), total)
+	}
+}
+
+// TestShardedInvariantsUnderChurn drives a sharded world through joins,
+// watch-time departures and a program-end cliff, checking the full
+// structural invariant suite (forest consistency, symmetric
+// partnerships, membership lists) at every step, and the aggregate
+// counters against a recount each tick.
+func TestShardedInvariantsUnderChurn(t *testing.T) {
+	p := DefaultParams()
+	p.ReportPeriod = 30 * sim.Second
+	engine := sim.NewEngine(sim.Second)
+	sink := &logsys.MemorySink{}
+	w, err := NewWorld(p, engine, sink, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	w.AddServer(15 * testRate)
+	w.AddServer(15 * testRate)
+	engine.Run(10 * sim.Second)
+	prof := netmodel.DefaultCapacityProfile(testRate)
+	rng := w.rng.SplitLabeled("churn")
+	for i := 0; i < 60; i++ {
+		i := i
+		at := 10*sim.Second + sim.Time(i)*2*sim.Second
+		engine.Schedule(at, func() {
+			class := netmodel.UserClass(i % 4)
+			watch := sim.Time(20+(i*17)%120) * sim.Second
+			w.Join(600+i, prof.Draw(class, rng), watch, 1, 0)
+		})
+	}
+	for step := 0; step < 24; step++ {
+		engine.Run(engine.Now() + 10*sim.Second)
+		checkInvariants(t, w)
+		peers := 0
+		for _, id := range w.activeView() {
+			if !w.nodes[id].IsServer() {
+				peers++
+			}
+		}
+		if got := w.ActivePeerCount(); got != peers {
+			t.Fatalf("step %d: ActivePeerCount = %d, recount = %d", step, got, peers)
+		}
+	}
+	w.DepartAllPeers("program-end")
+	engine.Run(engine.Now() + 5*sim.Second)
+	checkInvariants(t, w)
+	if got := w.ActivePeerCount(); got != 0 {
+		t.Fatalf("ActivePeerCount = %d after cliff, want 0", got)
+	}
+}
+
+// TestSetShardsGuards pins the configuration contract: out-of-range
+// counts, populated worlds and the full-sweep mode are rejected.
+func TestSetShardsGuards(t *testing.T) {
+	p := DefaultParams()
+	engine := sim.NewEngine(sim.Second)
+	w, err := NewWorld(p, engine, &logsys.MemorySink{},
+		netmodel.ConstantLatency{D: 50 * sim.Millisecond}, gossip.RandomReplace{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetShards(maxShards + 1); err == nil {
+		t.Fatal("SetShards above the cap must fail")
+	}
+	w.FullSweepControl = true
+	if err := w.SetShards(2); err == nil {
+		t.Fatal("SetShards(2) with FullSweepControl must fail")
+	}
+	w.FullSweepControl = false
+	if err := w.SetShards(2); err != nil {
+		t.Fatal(err)
+	}
+	w.AddServer(15 * testRate)
+	if err := w.SetShards(4); err == nil {
+		t.Fatal("SetShards on a populated world must fail")
+	}
+}

@@ -73,12 +73,12 @@ func (s TopologySnapshot) ResourceIndex() float64 {
 
 // Snapshot measures the current overlay.
 func (w *World) Snapshot() TopologySnapshot {
-	w.compactActive() // departures are batched; settle them before reading
+	ids := w.activeView() // departures are batched; settle them before reading
 	snap := TopologySnapshot{At: w.Engine.Now()}
 	depth := make(map[int]int)
 	// Depth by BFS over sub-stream 0 children links from servers.
-	queue := make([]int, 0, len(w.active))
-	for _, id := range w.active {
+	queue := make([]int, 0, len(ids))
+	for _, id := range ids {
 		if w.nodes[id].IsServer() {
 			depth[id] = 0
 			queue = append(queue, id)
@@ -95,7 +95,7 @@ func (w *World) Snapshot() TopologySnapshot {
 		}
 	}
 	var depthSum, depthN int
-	for _, id := range w.active {
+	for _, id := range ids {
 		n := w.nodes[id]
 		snap.SupplyBps += n.EP.UploadBps
 		if n.IsServer() {

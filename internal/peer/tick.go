@@ -31,10 +31,11 @@ func (w *World) tick(prev, now sim.Time) {
 		return
 	}
 	// Apply membership removals batched since the last tick (departures
-	// mark the active list dirty instead of paying an O(n) memmove per
-	// departure; see removeActive).
-	w.compactActive()
-	w.tickIDs = w.active // snapshot: phases 1-4 do not change membership
+	// mark their shard's list dirty instead of paying an O(n) memmove
+	// per departure; see removeActive). The tick snapshot is the merged
+	// sorted view — with one shard a zero-copy alias of its list.
+	w.compactAllActive()
+	w.tickIDs = w.mergedActive() // snapshot: phases 1-4 do not change membership
 	w.tickDt = dt
 	w.tickLive = w.liveEdge(now)
 	w.tickLoss = 0
@@ -58,10 +59,26 @@ func (w *World) tick(prev, now sim.Time) {
 			w.advFlagShards[i] = w.advFlagShards[i][:0]
 		}
 	}
-	w.allocate()
-	w.advance()
-	w.playback()
-	w.account(w.tickIDs)
+	if w.phaseClock {
+		t0 := time.Now()
+		w.allocate()
+		t1 := time.Now()
+		w.advance()
+		t2 := time.Now()
+		w.playback()
+		t3 := time.Now()
+		w.account(w.tickIDs)
+		t4 := time.Now()
+		w.Phases.Allocate += t1.Sub(t0).Nanoseconds()
+		w.Phases.Advance += t2.Sub(t1).Nanoseconds()
+		w.Phases.Playback += t3.Sub(t2).Nanoseconds()
+		w.Phases.Account += t4.Sub(t3).Nanoseconds()
+	} else {
+		w.allocate()
+		w.advance()
+		w.playback()
+		w.account(w.tickIDs)
+	}
 	w.faultStep(dt)
 	if w.controlClock {
 		start := time.Now()
@@ -74,13 +91,16 @@ func (w *World) tick(prev, now sim.Time) {
 	// so per-tick observers see a membership-consistent active list.
 	// One pass per tick with any departures, instead of one memmove per
 	// departure.
-	w.compactActive()
+	w.compactAllActive()
 }
 
-// dispatchControl runs the control phase through the due wheel when
-// enabled, or the legacy full sweep otherwise.
+// dispatchControl runs the control phase through the deferred-effect
+// sharded engine, the single-shard due wheel, or the legacy full
+// sweep.
 func (w *World) dispatchControl(now sim.Time) {
-	if w.wheelOn() {
+	if w.deferredOn() {
+		w.controlSharded(now)
+	} else if w.wheelOn() {
 		w.controlWheel(now)
 	} else {
 		w.control(w.tickIDs, now)
@@ -295,37 +315,46 @@ func (w *World) control(ids []int, now sim.Time) {
 		if n.State == StateDeparted || n.IsServer() {
 			continue
 		}
-		w.controlVisit(n, now)
+		w.controlVisit(&w.seqCtx, n, now)
 	}
 }
 
 // controlVisit runs one node's control sequence for this tick. The
 // statement order is the protocol's per-tick contract: BM refresh,
 // gossip, state-specific subscription work, recruiting, the stall
-// check, then status reports. Both the full sweep and the due wheel
-// execute exactly this body, so the two control modes can only differ
-// in *which* nodes they visit — and the wheel visits a superset of the
-// nodes with something to do (see sched.go).
-func (w *World) controlVisit(n *Node, now sim.Time) {
-	w.ControlVisits++
+// check, then status reports. Every control mode — the full sweep,
+// the due wheel, the deferred-effect shards — executes exactly this
+// body; the visit context decides whether cross-node mutations apply
+// in place (sequential modes) or defer to the barrier (sharded mode).
+func (w *World) controlVisit(vc *vctx, n *Node, now sim.Time) {
+	vc.beginVisit(n)
+	if vc.deferred {
+		vc.sh.visits++
+	} else {
+		w.ControlVisits++
+	}
 	if n.readyPending {
 		n.readyPending = false
-		w.ReadySessions++
+		if vc.deferred {
+			vc.sh.ready++
+		} else {
+			w.ReadySessions++
+		}
 		if n.readyLogged {
 			n.readyLogged = false // already emitted from the playback lane
 		} else {
-			w.log(n, logsys.Record{Kind: logsys.KindMediaReady})
+			w.vlog(vc, n, logsys.Record{Kind: logsys.KindMediaReady})
 		}
 	}
-	hint := w.refreshBMs(n, now)
-	w.gossipStep(n, now)
+	hint := w.refreshBMs(vc, n, now)
+	w.gossipStep(vc, n, now)
 	switch n.State {
 	case StateJoining:
-		w.tryInitialSubscription(n, now)
+		w.tryInitialSubscription(vc, n, now)
 	case StateSubscribing, StateReady:
 		adv := n.advFlag
 		n.advFlag = false
-		filled := w.fillStalledSubstreams(n)
+		filled := w.fillStalledSubstreams(vc, n)
 		// The §IV-B evaluation reads only partner BMs, the partner set
 		// and the node's own Subs. Each way an input can newly violate
 		// an inequality has a dedicated signal: the playback phase flags
@@ -337,18 +366,18 @@ func (w *World) controlVisit(n *Node, now sim.Time) {
 		// evaluation otherwise is behaviour-preserving. The full sweep
 		// evaluates unconditionally, as the seed engine did.
 		if !w.wheelOn() || adv || hint || filled || n.adaptDue <= now {
-			w.adapt(n, now)
+			w.adapt(vc, n, now)
 			if w.wheelOn() {
 				n.adaptDue = w.adaptEvalBound(n, now)
 			}
 		}
 	}
-	w.maintainPartners(n, now)
-	w.stallCheck(n, now)
-	if n.State == StateDeparted {
+	w.maintainPartners(vc, n, now)
+	w.stallCheck(vc, n, now)
+	if n.State == StateDeparted || vc.abandoned {
 		return // abandoned mid-interval: the bad report is censored
 	}
-	w.statusReports(n, now)
+	w.statusReports(vc, n, now)
 }
 
 // refreshBMs updates cached partner buffer maps that are due and
@@ -368,7 +397,7 @@ func (w *World) controlVisit(n *Node, now sim.Time) {
 // the Partners map while drawing from n.rng inside the loop, so with
 // control loss enabled the RNG stream — and hence the whole run —
 // depended on Go's randomized map iteration order.
-func (w *World) refreshBMs(n *Node, now sim.Time) (evalHint bool) {
+func (w *World) refreshBMs(vc *vctx, n *Node, now sim.Time) (evalHint bool) {
 	if now < n.bmDue {
 		// Nothing can be due yet (bmDue is a conservative lower bound
 		// maintained below and reset on partner establishment), so the
@@ -392,31 +421,49 @@ func (w *World) refreshBMs(n *Node, now sim.Time) (evalHint bool) {
 			// Crash detection: the BM exchange fails, the partnership
 			// is torn down, and any sub-stream served by the corpse is
 			// marked stalled. delPartner shifts the slice left, so i
-			// stays put.
+			// stays put. The local half (our own partner set) applies
+			// at once even in deferred mode — only this node reads it;
+			// the corpse-side child detach defers.
 			evalHint = true
 			n.delPartner(pid)
 			n.partnerChanges++
-			for j := range n.Subs {
-				if n.Subs[j].Parent == pid {
-					partner.removeChild(j, n.ID)
-					n.Subs[j].Parent = NoParent
-					n.Subs[j].RateBps = 0
+			if vc.deferred {
+				for j := range n.Subs {
+					if vc.parent(n, j) == pid {
+						vc.pendPar[j] = NoParent
+						vc.pendSet[j] = true
+						vc.pendAny = true
+					}
 				}
+				vc.emit(effPartnerCrash, int32(pid), 0, 0, 0)
+			} else {
+				for j := range n.Subs {
+					if n.Subs[j].Parent == pid {
+						partner.removeChild(j, n.ID)
+						n.Subs[j].Parent = NoParent
+						n.Subs[j].RateBps = 0
+					}
+				}
+				w.reclaimCorpseChildren(partner)
 			}
-			w.reclaimCorpseChildren(partner)
 			continue
 		}
 		if w.P.ControlLossProb > 0 && n.rng.Bool(w.P.ControlLossProb) {
 			p.BMAt = now // the exchange round happened but was lost
 		} else {
+			// A remote read of frozen state: every H/parent/state write
+			// is confined to sequential phases or the barrier, so the
+			// snapshot is the same whatever shard (or tick-phase slot)
+			// performs it.
 			partner.fillBufferMap(&p.BM, n.ID)
 			p.BMAt = now
+			vc.sh.bmRefreshes++
 			if !evalHint {
 				if p.BM.MaxLatest() > n.bestSeen {
 					evalHint = true
 				} else {
 					for j := range n.Subs {
-						if n.Subs[j].Parent == pid {
+						if vc.parent(n, j) == pid {
 							evalHint = true
 							break
 						}
@@ -438,8 +485,12 @@ func (w *World) refreshBMs(n *Node, now sim.Time) (evalHint bool) {
 	return evalHint
 }
 
-// gossipStep merges membership knowledge with one random partner.
-func (w *World) gossipStep(n *Node, now sim.Time) {
+// gossipStep merges membership knowledge with one random partner. The
+// partner choice draws from n's own RNG at visit time; the exchange
+// itself (which draws from the *partner's* mCache RNG and mutates both
+// caches) defers to the barrier in deferred mode so the partner's
+// streams advance in canonical order.
+func (w *World) gossipStep(vc *vctx, n *Node, now sim.Time) {
 	if now-n.lastGossipAt < w.P.GossipPeriod || len(n.Partners) == 0 {
 		return
 	}
@@ -448,6 +499,10 @@ func (w *World) gossipStep(n *Node, now sim.Time) {
 	partner := w.nodes[pid]
 	if partner.State == StateDeparted {
 		return // detected and torn down at the next BM refresh
+	}
+	if vc.deferred {
+		vc.emit(effGossip, int32(pid), 0, 0, 0)
+		return
 	}
 	for _, e := range partner.MCache.Sample(4, n.ID, nil) {
 		n.MCache.Insert(e, now)
@@ -477,27 +532,38 @@ func (n *Node) bestPartnerH() (int64, bool) {
 
 // tryInitialSubscription implements §IV-A: once partners' BMs are
 // visible, choose the start position m - Tp and subscribe each
-// sub-stream to an eligible parent.
-func (w *World) tryInitialSubscription(n *Node, now sim.Time) {
+// sub-stream to an eligible parent. In deferred mode the H rewrite and
+// the Joining→Subscribing transition commit at the barrier (remote
+// visits read our H through fillBufferMap); the subscribe decisions
+// are computed at visit time against the would-be start position.
+func (w *World) tryInitialSubscription(vc *vctx, n *Node, now sim.Time) {
 	best, ok := n.bestPartnerH()
 	if !ok || best <= w.P.Tp {
 		return // partners know nothing useful yet
 	}
-	start := best - w.P.Tp
-	n.startPos = float64(start)
-	for j := range n.Subs {
-		n.Subs[j].H = n.startPos
+	start := float64(best - w.P.Tp)
+	if vc.deferred {
+		vc.emit(effStartSub, 0, 0, 0, start)
+	} else {
+		n.startPos = start
+		for j := range n.Subs {
+			n.Subs[j].H = start
+		}
 	}
 	got := 0
 	for j := range n.Subs {
-		if w.subscribe(n, j, best) {
+		if w.subscribe(vc, n, j, best, start) {
 			got++
 		}
 	}
 	if got > 0 {
-		n.State = StateSubscribing
-		n.StartSubAt = now
-		w.log(n, logsys.Record{Kind: logsys.KindStartSub})
+		if vc.deferred {
+			vc.emit(effStartSub, 1, 0, 0, start)
+		} else {
+			n.State = StateSubscribing
+			n.StartSubAt = now
+		}
+		w.vlog(vc, n, logsys.Record{Kind: logsys.KindStartSub})
 	}
 }
 
@@ -505,10 +571,10 @@ func (w *World) tryInitialSubscription(n *Node, now sim.Time) {
 // (not rate-limited by Ta — there is nothing to disrupt), reporting
 // whether any sub-stream was re-parented: a fresh parent changes the
 // §IV-B inputs, so the caller must re-evaluate adaptation this tick.
-func (w *World) fillStalledSubstreams(n *Node) bool {
+func (w *World) fillStalledSubstreams(vc *vctx, n *Node) bool {
 	stalled := false
 	for j := range n.Subs {
-		if n.Subs[j].Parent == NoParent {
+		if vc.parent(n, j) == NoParent {
 			stalled = true
 			break
 		}
@@ -522,8 +588,8 @@ func (w *World) fillStalledSubstreams(n *Node) bool {
 	}
 	acted := false
 	for j := range n.Subs {
-		if n.Subs[j].Parent == NoParent {
-			if w.subscribe(n, j, best) {
+		if vc.parent(n, j) == NoParent {
+			if w.subscribe(vc, n, j, best, n.Subs[j].H) {
 				acted = true
 			}
 		}
@@ -536,7 +602,7 @@ func (w *World) fillStalledSubstreams(n *Node) bool {
 // within Tp of the best partner (Inequality (2) at selection time),
 // and not create a cycle. Among several eligible partners the choice
 // is random (the paper's randomized selection).
-func (w *World) subscribe(n *Node, j int, best int64) bool {
+func (w *World) subscribe(vc *vctx, n *Node, j int, best int64, hj float64) bool {
 	cands := n.candScratch[:0]
 	for i, pid := range n.partnerIDs {
 		p := n.partnerList[i]
@@ -547,7 +613,7 @@ func (w *World) subscribe(n *Node, j int, best int64) bool {
 			continue // a real subscribe would fail to connect
 		}
 		latest := p.BM.Latest[j]
-		if float64(latest) <= n.Subs[j].H {
+		if float64(latest) <= hj {
 			continue // nothing we need
 		}
 		if best-latest >= w.P.Tp {
@@ -575,17 +641,10 @@ func (w *World) subscribe(n *Node, j int, best int64) bool {
 	} else {
 		choice = cands[n.rng.Intn(len(cands))]
 	}
-	old := n.Subs[j].Parent
-	if old == choice {
+	if vc.parent(n, j) == choice {
 		return true
 	}
-	if old != NoParent {
-		w.nodes[old].removeChild(j, n.ID)
-		w.reclaimCorpseChildren(w.nodes[old])
-	}
-	n.Subs[j].Parent = choice
-	n.Subs[j].RateBps = 0 // next allocation pass sets it
-	w.nodes[choice].addChild(j, n.ID)
+	vc.setParent(n, j, choice)
 	return true
 }
 
@@ -610,7 +669,7 @@ func (w *World) wouldCycle(n *Node, j, candidate int) bool {
 // node's own sub-stream deviation against Ts; Inequality (2) monitors
 // the parent's advertised progress against the best partner and Tp.
 // At most one parent switch per cool-down period Ta.
-func (w *World) adapt(n *Node, now sim.Time) {
+func (w *World) adapt(vc *vctx, n *Node, now sim.Time) {
 	if now-n.lastAdaptAt < w.P.Ta {
 		return
 	}
@@ -625,7 +684,7 @@ func (w *World) adapt(n *Node, now sim.Time) {
 	maxH := n.MaxH()
 	worst, worstLag := -1, float64(0)
 	for j := range n.Subs {
-		pid := n.Subs[j].Parent
+		pid := vc.parent(n, j)
 		if pid == NoParent {
 			continue
 		}
@@ -649,30 +708,34 @@ func (w *World) adapt(n *Node, now sim.Time) {
 	}
 	// Drop the failing parent and re-select; if no eligible partner
 	// exists the sub-stream stays stalled and the next rounds retry.
-	old := n.Subs[worst].Parent
-	if old != NoParent {
-		w.nodes[old].removeChild(worst, n.ID)
-		w.reclaimCorpseChildren(w.nodes[old])
-		n.Subs[worst].Parent = NoParent
-		n.Subs[worst].RateBps = 0
+	if vc.parent(n, worst) != NoParent {
+		vc.setParent(n, worst, NoParent)
 	}
-	w.subscribe(n, worst, best)
+	w.subscribe(vc, n, worst, best, n.Subs[worst].H)
 	n.lastAdaptAt = now
-	w.Adaptations++
+	if vc.deferred {
+		vc.sh.adapts++
+	} else {
+		w.Adaptations++
+	}
 }
 
 // maintainPartners recruits replacements when the partner set shrinks
 // below the minimum, re-contacting the bootstrap if the mCache is dry.
-func (w *World) maintainPartners(n *Node, now sim.Time) {
+func (w *World) maintainPartners(vc *vctx, n *Node, now sim.Time) {
 	if len(n.Partners) >= w.P.MinPartners || now < n.recruitingDue {
 		return
 	}
 	n.recruitingDue = now + 2*sim.Second
 	if n.MCache.Len() == 0 {
-		w.Engine.AfterCall(w.P.BootstrapRTT, w.bootstrapFn, sim.EvPayload{A: n.ID})
+		if vc.deferred {
+			vc.emit(effSchedule, 1, 0, w.P.BootstrapRTT, 0)
+		} else {
+			w.Engine.AfterCall(w.P.BootstrapRTT, w.bootstrapFn, sim.EvPayload{A: n.ID})
+		}
 		return
 	}
-	w.recruit(n)
+	w.recruit(vc, n)
 }
 
 // stallCheck models the frustrated user: once the current report
@@ -682,7 +745,7 @@ func (w *World) maintainPartners(n *Node, now sim.Time) {
 // the stalled interval's low continuity index never reaches the log
 // server, which is why NAT/firewall users' *reported* continuity can
 // exceed direct-connect users' despite worse actual service.
-func (w *World) stallCheck(n *Node, now sim.Time) {
+func (w *World) stallCheck(vc *vctx, n *Node, now sim.Time) {
 	if n.State != StateReady || n.totalBlocks <= 0 || w.StallAbandonProb <= 0 {
 		return
 	}
@@ -700,12 +763,20 @@ func (w *World) stallCheck(n *Node, now sim.Time) {
 		pTick = 1
 	}
 	if n.rng.Bool(pTick) {
-		w.abandonAndRejoin(n)
+		if vc.deferred {
+			// The departure mutates shared membership state; it commits at
+			// the barrier. Mark the visit so the drain loop does not re-arm
+			// a node that has already decided to leave.
+			vc.abandoned = true
+			vc.emit(effAbandon, 0, 0, 0, 0)
+		} else {
+			w.abandonAndRejoin(n)
+		}
 	}
 }
 
 // statusReports emits the periodic QoS / traffic / partner reports.
-func (w *World) statusReports(n *Node, now sim.Time) {
+func (w *World) statusReports(vc *vctx, n *Node, now sim.Time) {
 	if now-n.lastReportAt < w.P.ReportPeriod {
 		return
 	}
@@ -717,16 +788,16 @@ func (w *World) statusReports(n *Node, now sim.Time) {
 		if continuity < 0 {
 			continuity = 0
 		}
-		w.log(n, logsys.Record{Kind: logsys.KindQoS, Continuity: continuity})
+		w.vlog(vc, n, logsys.Record{Kind: logsys.KindQoS, Continuity: continuity})
 	}
-	w.log(n, logsys.Record{
+	w.vlog(vc, n, logsys.Record{
 		Kind:          logsys.KindTraffic,
 		UploadBytes:   int64(n.upBytes),
 		DownloadBytes: int64(n.downBytes),
 	})
 	in, out := n.PartnerCounts()
-	reach, total, natLinks := n.parentStats(w.nodes)
-	w.log(n, logsys.Record{
+	reach, total, natLinks := vc.parentStats(n)
+	w.vlog(vc, n, logsys.Record{
 		Kind:            logsys.KindPartner,
 		InPartners:      in,
 		OutPartners:     out,
@@ -738,5 +809,9 @@ func (w *World) statusReports(n *Node, now sim.Time) {
 	n.missedBlocks, n.totalBlocks = 0, 0
 	n.upBytes, n.downBytes = 0, 0
 	n.partnerChanges = 0
-	w.Boot.UpdatePartnerCount(n.ID, in+out)
+	if vc.deferred {
+		vc.emit(effBootUpdate, int32(in+out), 0, 0, 0)
+	} else {
+		w.Boot.UpdatePartnerCount(n.ID, in+out)
+	}
 }

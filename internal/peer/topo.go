@@ -82,7 +82,7 @@ func (w *World) ensureTopo() {
 // recursive walk started from.
 func (w *World) rebuildTopo(j int) {
 	order := w.topo.order[j][:0]
-	for _, id := range w.active {
+	for _, id := range w.tickIDs {
 		n := w.nodes[id]
 		root := n.IsServer()
 		if !root {

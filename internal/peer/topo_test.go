@@ -19,7 +19,7 @@ func referenceTopo(w *World, j int) []edge {
 			walk(c)
 		}
 	}
-	for _, id := range w.active {
+	for _, id := range w.activeView() {
 		n := w.nodes[id]
 		root := n.IsServer()
 		if !root {

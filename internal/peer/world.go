@@ -27,61 +27,60 @@ type World struct {
 
 	rng   *xrand.RNG
 	nodes []*Node
-	// active holds the sorted IDs of active nodes (servers included).
-	// Node IDs are assigned monotonically, so joins append in O(1);
-	// departures only mark the list dirty (activeDirty counts pending
-	// removals) and compactActive applies them in one pass at the next
-	// tick boundary — an abandon-and-rejoin cycle no longer pays two
-	// O(n) memmoves.
-	active      []int
-	activeDirty int
-	// activePeers counts active non-server peers, kept incrementally so
-	// the per-tick peak-concurrency probe is O(1).
-	activePeers int
-	servers     []int // IDs of the server tier, in creation order (never departs)
-	sessions    int
+	// shards partitions the world into per-core world shards (see
+	// shard.go): each owns its membership list, due-wheel, node arenas
+	// and free lists, log lane, effect outbox and counters. NewWorld
+	// starts at one shard — the legacy sequential engine, bit for bit;
+	// SetShards grows the partition before the first join.
+	shards  []*worldShard
+	nshards int
+	// memberEpoch counts membership mutations; mergedActive rebuilds
+	// its merged-ID scratch only when it moved past mergedEpoch.
+	memberEpoch uint64
+	mergedEpoch uint64
+	mergedIDs   []int
+	// effCur is the k-way merge cursor scratch (one slot per shard)
+	// shared by the sequential merge loops.
+	effCur []int
+	// ForceDeferredControl runs the deferred-effect control engine at
+	// one shard — the A/B hook proving the sharded digest is
+	// shard-count invariant (shards=1 deferred ≡ shards=N). Must be
+	// set before the first join.
+	ForceDeferredControl bool
+	// seqCtx is the sequential engine's visit context: deferred=false,
+	// so every vctx helper reduces to the legacy in-place behaviour.
+	seqCtx vctx
+	// shardVisitFn is the bound parallel stage of controlSharded;
+	// tickNow stages the visit timestamp for it.
+	shardVisitFn func(lo, hi int)
+	tickNow      sim.Time
 
-	// wheel is the due-driven control scheduler (see sched.go); the
-	// drain* fields are its per-tick cursor state and wheelBuf/dueIDs
-	// its reusable drain scratch.
-	wheel    *sim.Wheel
-	wheelBuf []int32
-	dueIDs   []int32
+	servers  []int // IDs of the server tier, in creation order (never departs)
+	sessions int
+
+	// draining/drainIdx/drainPos are the legacy (single-shard) control
+	// drain's cursor state; see touchNode.
 	draining bool
 	drainIdx int
 	drainPos int
 	// FullSweepControl disables the due wheel and restores the legacy
 	// O(population) per-tick control sweep — the A/B switch for the
 	// determinism property tests and scaling benchmarks. Must be set
-	// before the first join is scheduled.
+	// before the first join is scheduled, and is incompatible with
+	// more than one shard.
 	FullSweepControl bool
 
 	// controlClock/ControlNanos optionally meter wall time spent in the
 	// control phase (enabled by benchmarks via MeterControl).
 	// ControlVisits counts controlVisit invocations regardless of the
-	// clock — the wheel-vs-sweep work ratio in one number.
+	// clock — the wheel-vs-sweep work ratio in one number. phaseClock
+	// and Phases extend the metering to every tick phase (MeterPhases).
 	controlClock  bool
 	ControlNanos  int64
 	ControlVisits int64
+	phaseClock    bool
+	Phases        PhaseNanos
 
-	// Node-shell recycling. Node structs themselves are never reused —
-	// every session keeps its Node for post-run analysis (digests,
-	// session tables) — but shells are carved from chunked arenas and
-	// the heap-heavy internals of *departed* nodes (partner map and
-	// mirrors, mCache, children backings, allocator scratch) are donated
-	// back and reissued to future joiners, so steady-state churn
-	// allocates almost nothing.
-	nodeArena  []Node
-	subArena   []Subscription
-	childArena [][]int
-	mapPool    []map[int]*Partner
-	intPool    [][]int
-	plistPool  [][]*Partner
-	mcPool     []*gossip.MCache
-	demandPool [][]netmodel.Demand
-	slotPool   [][]allocSlot
-	fillerPool []*netmodel.Filler
-	ppool      partnerPool
 	// labelBuf is the reusable node-RNG label encoder buffer
 	// ("node-<id>" without fmt).
 	labelBuf []byte
@@ -203,13 +202,17 @@ func NewWorld(p Params, engine *sim.Engine, sink logsys.Sink, latency netmodel.L
 	w.allocateFn = w.allocateShard
 	w.advanceFn = w.advanceShard
 	w.playbackFn = w.playbackShard
+	w.shardVisitFn = w.shardVisitRange
 	w.bootstrapFn = w.bootstrapFire
 	w.leaveFn = w.leaveFire
 	w.timeoutFn = w.timeoutFire
 	w.partnershipFn = w.completePartnership
 	w.retryFn = w.retryFire
 	w.rejoinFn = w.rejoinFire
-	w.wheel = sim.NewWheel(engine.TickPeriod(), 512, engine.Now())
+	w.shards = []*worldShard{w.newShard(0)}
+	w.nshards = 1
+	w.effCur = make([]int, 1)
+	w.seqCtx = vctx{w: w, sh: w.shards[0], deferred: false}
 	if ss, ok := sink.(*logsys.ShardedSink); ok {
 		w.sharded = ss
 	}
@@ -234,40 +237,57 @@ func (w *World) Node(id int) *Node {
 func (w *World) Nodes() []*Node { return w.nodes }
 
 // ActiveCount returns the number of active nodes including servers.
-func (w *World) ActiveCount() int { return len(w.active) - w.activeDirty }
+// O(shards): each shard maintains its own list and dirty count.
+func (w *World) ActiveCount() int {
+	total := 0
+	for _, sh := range w.shards {
+		total += len(sh.active) - sh.activeDirty
+	}
+	return total
+}
 
-// ActivePeerCount returns the number of active non-server peers. O(1):
-// the count is maintained incrementally at join and departure.
-func (w *World) ActivePeerCount() int { return w.activePeers }
+// ActivePeerCount returns the number of active non-server peers.
+// O(shards): each shard maintains its count incrementally at join and
+// departure, so the hot path touches no world-global counter.
+func (w *World) ActivePeerCount() int {
+	total := 0
+	for _, sh := range w.shards {
+		total += sh.activePeers
+	}
+	return total
+}
 
 // nodeChunk is the arena granularity for node shells.
 const nodeChunk = 256
 
 func (w *World) newNode(ep netmodel.Endpoint, userID int) *Node {
 	id := len(w.nodes)
+	sh := w.shards[shardIndex(id, w.nshards)]
 	w.sessions++
 	k := w.P.Layout.K
-	// Carve the shell and its fixed-size per-sub slices from chunked
-	// arenas: one allocation per nodeChunk sessions instead of three
-	// per session. Arena entries are fresh zeroed memory, so the
-	// explicit assignments below are exactly the old composite literal.
-	if len(w.nodeArena) == 0 {
-		w.nodeArena = make([]Node, nodeChunk)
+	// Carve the shell and its fixed-size per-sub slices from the
+	// owning shard's chunked arenas: one allocation per nodeChunk
+	// sessions instead of three per session. Arena entries are fresh
+	// zeroed memory, so the explicit assignments below are exactly the
+	// old composite literal.
+	if len(sh.nodeArena) == 0 {
+		sh.nodeArena = make([]Node, nodeChunk)
 	}
-	n := &w.nodeArena[0]
-	w.nodeArena = w.nodeArena[1:]
-	if len(w.subArena) < k {
-		w.subArena = make([]Subscription, nodeChunk*k)
+	n := &sh.nodeArena[0]
+	sh.nodeArena = sh.nodeArena[1:]
+	if len(sh.subArena) < k {
+		sh.subArena = make([]Subscription, nodeChunk*k)
 	}
-	subs := w.subArena[:k:k]
-	w.subArena = w.subArena[k:]
-	if len(w.childArena) < k {
-		w.childArena = make([][]int, nodeChunk*k)
+	subs := sh.subArena[:k:k]
+	sh.subArena = sh.subArena[k:]
+	if len(sh.childArena) < k {
+		sh.childArena = make([][]int, nodeChunk*k)
 	}
-	children := w.childArena[:k:k]
-	w.childArena = w.childArena[k:]
+	children := sh.childArena[:k:k]
+	sh.childArena = sh.childArena[k:]
 
 	n.ID = id
+	n.shard = int32(sh.idx)
 	n.UserID = userID
 	n.Session = w.sessions
 	n.EP = ep
@@ -275,62 +295,63 @@ func (w *World) newNode(ep netmodel.Endpoint, userID int) *Node {
 	n.Subs = subs
 	n.children = children
 	n.topo = w.topo
-	n.pool = &w.ppool
+	n.pool = &sh.ppool
 	// The node RNG is seeded from the world stream and the "node-<id>"
 	// label exactly as the seed engine's SplitLabeled(fmt.Sprintf(...))
 	// did, but into the inline store with no formatting allocations.
 	n.rngStore.ReseedLabeledBytes(w.rng, w.nodeLabel(id))
 	n.rng = &n.rngStore
-	n.Partners = w.getPartnerMap()
-	if m := len(w.intPool); m > 0 {
-		n.partnerIDs = w.intPool[m-1][:0]
-		w.intPool[m-1] = nil
-		w.intPool = w.intPool[:m-1]
+	n.Partners = w.getPartnerMap(sh)
+	if m := len(sh.intPool); m > 0 {
+		n.partnerIDs = sh.intPool[m-1][:0]
+		sh.intPool[m-1] = nil
+		sh.intPool = sh.intPool[:m-1]
 	}
-	if m := len(w.plistPool); m > 0 {
-		n.partnerList = w.plistPool[m-1][:0]
-		w.plistPool[m-1] = nil
-		w.plistPool = w.plistPool[:m-1]
+	if m := len(sh.plistPool); m > 0 {
+		n.partnerList = sh.plistPool[m-1][:0]
+		sh.plistPool[m-1] = nil
+		sh.plistPool = sh.plistPool[:m-1]
 	}
-	if m := len(w.demandPool); m > 0 {
-		n.allocDemands = w.demandPool[m-1][:0]
-		w.demandPool[m-1] = nil
-		w.demandPool = w.demandPool[:m-1]
+	if m := len(sh.demandPool); m > 0 {
+		n.allocDemands = sh.demandPool[m-1][:0]
+		sh.demandPool[m-1] = nil
+		sh.demandPool = sh.demandPool[:m-1]
 	}
-	if m := len(w.slotPool); m > 0 {
-		n.allocSlots = w.slotPool[m-1][:0]
-		w.slotPool[m-1] = nil
-		w.slotPool = w.slotPool[:m-1]
+	if m := len(sh.slotPool); m > 0 {
+		n.allocSlots = sh.slotPool[m-1][:0]
+		sh.slotPool[m-1] = nil
+		sh.slotPool = sh.slotPool[:m-1]
 	}
-	if m := len(w.fillerPool); m > 0 {
-		n.filler = w.fillerPool[m-1]
-		w.fillerPool[m-1] = nil
-		w.fillerPool = w.fillerPool[:m-1]
+	if m := len(sh.fillerPool); m > 0 {
+		n.filler = sh.fillerPool[m-1]
+		sh.fillerPool[m-1] = nil
+		sh.fillerPool = sh.fillerPool[:m-1]
 	} else {
 		n.filler = new(netmodel.Filler)
 	}
-	if m := len(w.intPool); m > 0 {
-		n.candScratch = w.intPool[m-1][:0]
-		w.intPool[m-1] = nil
-		w.intPool = w.intPool[:m-1]
+	if m := len(sh.intPool); m > 0 {
+		n.candScratch = sh.intPool[m-1][:0]
+		sh.intPool[m-1] = nil
+		sh.intPool = sh.intPool[:m-1]
 	}
 	for j := range n.Subs {
 		n.Subs[j].Parent = NoParent
-		if m := len(w.intPool); m > 0 {
-			n.children[j] = w.intPool[m-1][:0]
-			w.intPool[m-1] = nil
-			w.intPool = w.intPool[:m-1]
+		if m := len(sh.intPool); m > 0 {
+			n.children[j] = sh.intPool[m-1][:0]
+			sh.intPool[m-1] = nil
+			sh.intPool = sh.intPool[:m-1]
 		}
 	}
-	n.MCache = w.getMCache(n.rng)
+	n.MCache = w.getMCache(sh, n.rng)
 	n.lastReportAt = n.JoinedAt
 	w.nodes = append(w.nodes, n)
-	// IDs are assigned monotonically, so the sorted active list grows
-	// by plain append.
-	w.active = append(w.active, id)
+	// IDs are assigned monotonically, so each shard's sorted active
+	// list grows by plain append.
+	sh.active = append(sh.active, id)
 	if !ep.Server {
-		w.activePeers++
+		sh.activePeers++
 	}
+	w.memberEpoch++
 	w.touchNode(id)
 	return n
 }
@@ -343,11 +364,11 @@ func (w *World) nodeLabel(id int) []byte {
 	return b
 }
 
-func (w *World) getPartnerMap() map[int]*Partner {
-	if m := len(w.mapPool); m > 0 {
-		pm := w.mapPool[m-1]
-		w.mapPool[m-1] = nil
-		w.mapPool = w.mapPool[:m-1]
+func (w *World) getPartnerMap(sh *worldShard) map[int]*Partner {
+	if m := len(sh.mapPool); m > 0 {
+		pm := sh.mapPool[m-1]
+		sh.mapPool[m-1] = nil
+		sh.mapPool = sh.mapPool[:m-1]
 		return pm
 	}
 	return make(map[int]*Partner)
@@ -356,11 +377,11 @@ func (w *World) getPartnerMap() map[int]*Partner {
 // getMCache reissues a donated membership cache (reset in place, RNG
 // stream reseeded from the owner's labeled stream — behaviourally
 // identical to a fresh NewMCache) or builds a new one.
-func (w *World) getMCache(rng *xrand.RNG) *gossip.MCache {
-	if m := len(w.mcPool); m > 0 {
-		mc := w.mcPool[m-1]
-		w.mcPool[m-1] = nil
-		w.mcPool = w.mcPool[:m-1]
+func (w *World) getMCache(sh *worldShard, rng *xrand.RNG) *gossip.MCache {
+	if m := len(sh.mcPool); m > 0 {
+		mc := sh.mcPool[m-1]
+		sh.mcPool[m-1] = nil
+		sh.mcPool = sh.mcPool[:m-1]
 		var stream xrand.RNG
 		stream.ReseedLabeled(rng, "mcache")
 		mc.Reset(stream)
@@ -369,28 +390,17 @@ func (w *World) getMCache(rng *xrand.RNG) *gossip.MCache {
 	return gossip.NewMCache(w.P.MCacheCapacity, w.Policy, rng.SplitLabeled("mcache"))
 }
 
-// removeActive marks a departure for batched removal; compactActive
-// applies the batch at the next tick boundary (and before snapshots).
+// removeActive marks a departure for batched removal on the owner
+// shard; the next compaction applies the batch (tick boundary, before
+// snapshots).
 func (w *World) removeActive(id int) {
-	w.activeDirty++
-	if !w.nodes[id].IsServer() {
-		w.activePeers--
+	n := w.nodes[id]
+	sh := w.shardOf(n)
+	sh.activeDirty++
+	if !n.IsServer() {
+		sh.activePeers--
 	}
-}
-
-// compactActive drops departed IDs from the active list in one pass.
-func (w *World) compactActive() {
-	if w.activeDirty == 0 {
-		return
-	}
-	dst := w.active[:0]
-	for _, id := range w.active {
-		if w.nodes[id].State != StateDeparted {
-			dst = append(dst, id)
-		}
-	}
-	w.active = dst
-	w.activeDirty = 0
+	w.memberEpoch++
 }
 
 // AddServer creates one dedicated-server node (the paper's 24×100 Mbps
@@ -589,6 +599,7 @@ func (w *World) departMode(n *Node, reason string, graceful bool) {
 		}
 	}
 	if graceful {
+		sh := w.shardOf(n)
 		// Stall children (TCP reset is observed immediately).
 		for j := range n.children {
 			for _, c := range n.children[j] {
@@ -600,7 +611,7 @@ func (w *World) departMode(n *Node, reason string, graceful bool) {
 				}
 			}
 			if cap(n.children[j]) > 0 {
-				w.intPool = append(w.intPool, n.children[j][:0])
+				sh.intPool = append(sh.intPool, n.children[j][:0])
 			}
 			n.children[j] = nil
 		}
@@ -632,37 +643,38 @@ func (w *World) departMode(n *Node, reason string, graceful bool) {
 // keeps its children registry: partners that have not yet detected the
 // crash still call removeChild on it from refreshBMs teardown.
 func (w *World) reclaimNode(n *Node, graceful bool) {
+	sh := w.shardOf(n)
 	if n.Partners != nil {
-		w.mapPool = append(w.mapPool, n.Partners)
+		sh.mapPool = append(sh.mapPool, n.Partners)
 		n.Partners = nil
 	}
 	if cap(n.partnerIDs) > 0 {
-		w.intPool = append(w.intPool, n.partnerIDs[:0])
+		sh.intPool = append(sh.intPool, n.partnerIDs[:0])
 	}
 	n.partnerIDs = nil
 	if cap(n.partnerList) > 0 {
-		w.plistPool = append(w.plistPool, n.partnerList[:0])
+		sh.plistPool = append(sh.plistPool, n.partnerList[:0])
 	}
 	n.partnerList = nil
 	if n.MCache != nil {
-		w.mcPool = append(w.mcPool, n.MCache)
+		sh.mcPool = append(sh.mcPool, n.MCache)
 		n.MCache = nil
 	}
 	if cap(n.allocDemands) > 0 {
-		w.demandPool = append(w.demandPool, n.allocDemands[:0])
+		sh.demandPool = append(sh.demandPool, n.allocDemands[:0])
 		n.allocDemands = nil
 	}
 	if cap(n.allocSlots) > 0 {
-		w.slotPool = append(w.slotPool, n.allocSlots[:0])
+		sh.slotPool = append(sh.slotPool, n.allocSlots[:0])
 		n.allocSlots = nil
 	}
 	if cap(n.candScratch) > 0 {
-		w.intPool = append(w.intPool, n.candScratch[:0])
+		sh.intPool = append(sh.intPool, n.candScratch[:0])
 		n.candScratch = nil
 	}
 	if n.filler != nil {
 		n.filler.Invalidate()
-		w.fillerPool = append(w.fillerPool, n.filler)
+		sh.fillerPool = append(sh.fillerPool, n.filler)
 		n.filler = nil
 	}
 	_ = graceful // children backings were donated in the graceful teardown above
@@ -684,9 +696,10 @@ func (w *World) reclaimCorpseChildren(p *Node) {
 			return
 		}
 	}
+	sh := w.shardOf(p)
 	for j := range p.children {
 		if cap(p.children[j]) > 0 {
-			w.intPool = append(w.intPool, p.children[j][:0])
+			sh.intPool = append(sh.intPool, p.children[j][:0])
 		}
 		p.children[j] = nil
 	}
@@ -696,7 +709,7 @@ func (w *World) reclaimCorpseChildren(p *Node) {
 // program-end event: when a broadcast finishes, its audience leaves
 // together (Fig. 5b's 22:00 cliff at channel granularity).
 func (w *World) DepartAllPeers(reason string) int {
-	ids := append([]int(nil), w.active...)
+	ids := append([]int(nil), w.activeView()...)
 	n := 0
 	for _, id := range ids {
 		node := w.nodes[id]
@@ -729,12 +742,12 @@ func (w *World) bootstrapReply(n *Node) {
 	for _, e := range w.Boot.Candidates(n.ID, w.P.BootstrapCandidates) {
 		n.MCache.Insert(e, now)
 	}
-	w.recruit(n)
+	w.recruit(&w.seqCtx, n)
 }
 
 // recruit attempts partnership establishment towards mCache samples
 // until the desired partner count is reached.
-func (w *World) recruit(n *Node) {
+func (w *World) recruit(vc *vctx, n *Node) {
 	if n.State == StateDeparted {
 		return
 	}
@@ -745,7 +758,7 @@ func (w *World) recruit(n *Node) {
 	// The sorted partner-ID slice doubles as the exclusion set — no
 	// per-call map needed.
 	for _, e := range n.MCache.Sample(want, n.ID, n.partnerIDs) {
-		w.attemptPartnership(n, e.ID)
+		w.attemptPartnership(vc, n, e.ID)
 	}
 }
 
@@ -753,14 +766,21 @@ func (w *World) recruit(n *Node) {
 // latency model and the NAT/firewall reachability rules. With faults
 // enabled, attempts involving a NAT-class endpoint are refused with
 // the scheduled probability before the handshake is even sent (the
-// paper's NAT-blocked connections).
-func (w *World) attemptPartnership(n *Node, targetID int) {
+// paper's NAT-blocked connections). All RNG draws use n's own stream
+// and the reads are frozen state (EP classes, the latency hash), so
+// the attempt runs safely inside a deferred visit — only the engine
+// event and the shared fault counter defer.
+func (w *World) attemptPartnership(vc *vctx, n *Node, targetID int) {
 	if w.Faults != nil && w.Faults.Cfg.NATRefusalProb > 0 {
 		target := w.Node(targetID)
 		natSide := n.EP.Class == netmodel.NAT ||
 			(target != nil && target.EP.Class == netmodel.NAT)
 		if natSide && n.rng.Bool(w.Faults.Cfg.NATRefusalProb) {
-			w.Faults.Stats.NATRefusals++
+			if vc.deferred {
+				vc.sh.natRefusals++
+			} else {
+				w.Faults.Stats.NATRefusals++
+			}
 			n.MCache.Remove(targetID)
 			return
 		}
@@ -770,6 +790,10 @@ func (w *World) attemptPartnership(n *Node, targetID int) {
 	if w.P.ControlLossProb > 0 && n.rng.Bool(w.P.ControlLossProb) {
 		// Handshake lost in flight; the peer retries through the
 		// normal recruiting cadence.
+		return
+	}
+	if vc.deferred {
+		vc.emit(effSchedule, 2, int32(targetID), rtt, u)
 		return
 	}
 	w.Engine.AfterCall(rtt, w.partnershipFn, sim.EvPayload{A: n.ID, B: targetID, F: u})
@@ -803,16 +827,16 @@ func (w *World) completePartnership(p sim.EvPayload) {
 		return
 	}
 	now := w.Engine.Now()
-	// Partner structs come from the pool with their buffer-map backing;
-	// fillBufferMap resets the contents to exactly what a fresh
-	// BufferMap() would hold.
-	po := w.ppool.get()
+	// Partner structs come from each side's own shard pool with their
+	// buffer-map backing; fillBufferMap resets the contents to exactly
+	// what a fresh BufferMap() would hold.
+	po := n.pool.get()
 	po.Outgoing = true
 	target.fillBufferMap(&po.BM, n.ID)
 	po.BMAt = now
 	po.EstablishedAt = now
 	n.setPartner(targetID, po)
-	pi := w.ppool.get()
+	pi := target.pool.get()
 	pi.Outgoing = false
 	n.fillBufferMap(&pi.BM, targetID)
 	pi.BMAt = now

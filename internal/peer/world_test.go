@@ -301,7 +301,7 @@ func TestPopulationRunMostPeersReady(t *testing.T) {
 	engine.Run(5 * sim.Minute)
 
 	ready := 0
-	for _, id := range w.active {
+	for _, id := range w.activeView() {
 		n := w.Node(id)
 		if !n.IsServer() && n.State == StateReady {
 			ready++
