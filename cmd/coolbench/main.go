@@ -56,6 +56,12 @@ func run() (err error) {
 		only   = flag.String("only", "", "comma-separated subset (fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,eq36,tree,mcache,resource,allocator,loss,peerwise,reps)")
 		reps   = flag.Int("reps", 5, "seeds for the replication table (reps experiment)")
 		shards = flag.Int("shards", 1, "world shards for parallel control (1 = legacy engine, 0 = one per core)")
+
+		tracker        = flag.Bool("tracker", false, "run the tracker load harness instead of the simulator experiments")
+		trackerDur     = flag.Duration("trackerdur", 2*time.Second, "tracker: measurement window per mode")
+		trackerPeers   = flag.Int("trackerpeers", 5000, "tracker: preloaded registrations")
+		trackerClients = flag.Int("trackerclients", 8, "tracker: concurrent load workers")
+		trackerJSON    = flag.String("trackerjson", "", "tracker: write results to this JSON file (default stdout)")
 	)
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
@@ -69,6 +75,9 @@ func run() (err error) {
 			err = e
 		}
 	}()
+	if *tracker {
+		return trackerBench(*trackerDur, *trackerPeers, *trackerClients, *trackerJSON)
+	}
 	spec, ok := scales[*scale]
 	if !ok {
 		return fmt.Errorf("unknown scale %q", *scale)

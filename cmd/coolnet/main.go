@@ -1,13 +1,18 @@
 // Command coolnet runs one live networked Coolstreaming node — the
 // deployable data plane of internal/netpeer over real TCP, with the
-// HTTP bootstrap of internal/netboot for discovery and the §IV-B
-// adaptation loop.
+// tracker of internal/netboot for discovery and the §IV-B adaptation
+// loop.
+//
+// The bootstrap role serves the production binary tracker on -tcp and
+// the legacy HTTP shim on -http, backed by one shared lease registry.
+// Peers pick the protocol by the -bootstrap scheme: tcp:// for the
+// binary tracker, http:// for the shim.
 //
 // A self-organising overlay on one machine (four terminals):
 //
-//	coolnet -role bootstrap -http 127.0.0.1:7001
-//	coolnet -role source -id 0 -bootstrap http://127.0.0.1:7001
-//	coolnet -role peer -id 1 -bootstrap http://127.0.0.1:7001 -duration 15s
+//	coolnet -role bootstrap -tcp 127.0.0.1:7002 -http 127.0.0.1:7001
+//	coolnet -role source -id 0 -bootstrap tcp://127.0.0.1:7002
+//	coolnet -role peer -id 1 -bootstrap tcp://127.0.0.1:7002 -duration 15s
 //	coolnet -role peer -id 2 -bootstrap http://127.0.0.1:7001 -duration 15s -adapt
 //
 // Peers may also be wired manually with -connect host:port[,host:port].
@@ -47,8 +52,9 @@ func run() error {
 	var (
 		role     = flag.String("role", "peer", "bootstrap | source | peer")
 		id       = flag.Int("id", 1, "node id (unique per overlay)")
-		boot     = flag.String("bootstrap", "", "bootstrap base URL (e.g. http://127.0.0.1:7001)")
-		httpAddr = flag.String("http", "127.0.0.1:7001", "listen address (bootstrap role)")
+		boot     = flag.String("bootstrap", "", "tracker URL: tcp://host:port (binary) or http://host:port (shim)")
+		httpAddr = flag.String("http", "127.0.0.1:7001", "HTTP shim listen address (bootstrap role)")
+		tcpAddr  = flag.String("tcp", "127.0.0.1:7002", "binary tracker listen address (bootstrap role)")
 		connect  = flag.String("connect", "", "comma-separated parent addresses (peer role; overrides -bootstrap discovery)")
 		parentsN = flag.Int("maxparents", 3, "parents to connect to via bootstrap discovery")
 		upload   = flag.Float64("upload", 4, "upload capacity as a multiple of the stream rate (0 = unlimited)")
@@ -78,9 +84,27 @@ func run() error {
 	}
 
 	if *role == "bootstrap" {
-		srv := netboot.NewServer(uint64(time.Now().UnixNano()))
-		fmt.Printf("bootstrap listening on http://%s\n", *httpAddr)
-		return http.ListenAndServe(*httpAddr, srv)
+		reg := netboot.NewRegistry(netboot.RegistryConfig{Seed: uint64(time.Now().UnixNano())})
+		tracker := netboot.NewTCPServer(reg, netboot.TCPServerConfig{})
+		bound, err := tracker.Listen(*tcpAddr)
+		if err != nil {
+			return err
+		}
+		defer tracker.Close()
+		fmt.Printf("tracker listening on tcp://%s (%v leases)\n", bound, reg.LeaseTTL())
+		// The HTTP shim shares the registry. Explicit timeouts: the
+		// default http.Server has none, so one stalled client used to be
+		// able to hold a connection (and its goroutine) forever.
+		hs := &http.Server{
+			Addr:              *httpAddr,
+			Handler:           netboot.NewServerWith(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		fmt.Printf("bootstrap shim listening on http://%s\n", *httpAddr)
+		return hs.ListenAndServe()
 	}
 
 	layout := buffer.Layout{K: *k, RateBps: *rate, BlockBytes: *block}
@@ -107,13 +131,20 @@ func run() error {
 	}
 	fmt.Printf("node %d (%s) listening on %s\n", *id, *role, addr)
 
-	var bc *netboot.Client
+	var bc netpeer.Bootstrap
 	if *boot != "" {
-		bc = netboot.NewClient(*boot, nil)
+		bc = newBootClient(*boot)
+		if c, ok := bc.(*netboot.TCPClient); ok {
+			defer c.Close()
+		}
 		if err := bc.Register(int32(*id), addr); err != nil {
 			return fmt.Errorf("bootstrap register: %w", err)
 		}
 		defer bc.Leave(int32(*id))
+		// Keep the tracker lease alive for runs longer than the TTL.
+		// (The self-healing manager renews too; a duplicate renewal is
+		// an atomic store on the tracker side.)
+		defer startLeaseRenewal(bc, int32(*id), addr)()
 	}
 
 	switch *role {
@@ -209,9 +240,38 @@ func runChaos(peers, target, kills, zombies int, outage, recovery time.Duration,
 	return nil
 }
 
+// newBootClient builds a tracker client from the -bootstrap URL: the
+// binary protocol for tcp://, the HTTP shim otherwise.
+func newBootClient(u string) netpeer.Bootstrap {
+	if rest, ok := strings.CutPrefix(u, "tcp://"); ok {
+		return netboot.NewTCPClient(rest)
+	}
+	return netboot.NewClient(u, nil)
+}
+
+// startLeaseRenewal re-registers every 10s (a third of the default
+// lease) so long-lived roles — the source above all — never lapse out
+// of the tracker. Returns the stop function.
+func startLeaseRenewal(bc netpeer.Bootstrap, id int32, addr string) func() {
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(10 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				bc.Register(id, addr)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() { close(stop) }
+}
+
 // discoverParents connects to explicit addresses or to bootstrap
 // candidates, returning the addresses and peer IDs partnered with.
-func discoverParents(node *netpeer.Node, bc *netboot.Client, connect string, maxParents int, self int32) ([]string, []int32, error) {
+func discoverParents(node *netpeer.Node, bc netpeer.Bootstrap, connect string, maxParents int, self int32) ([]string, []int32, error) {
 	var addrs []string
 	if connect != "" {
 		for _, a := range strings.Split(connect, ",") {

@@ -40,7 +40,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: netboot.NewServer(1)}
+	// Explicit timeouts: a bare http.Server never times a client out.
+	hs := &http.Server{
+		Handler:           netboot.NewServer(1),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
 	go hs.Serve(ln)
 	defer hs.Close()
 	bootURL := "http://" + ln.Addr().String()

@@ -95,6 +95,29 @@ func (in *Injector) WrapDial(dial DialFunc) DialFunc {
 	}
 }
 
+// TrackerDial wraps dial (nil = net.DialTimeout) so attempts fail with
+// ErrOutage during tracker outage windows — the binary-protocol
+// counterpart of TrackerTransport, for clients that dial the tracker
+// directly instead of going through an http.RoundTripper. Firings land
+// in the same TrackerRefusals counter.
+func (in *Injector) TrackerDial(dial DialFunc) DialFunc {
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	return func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		in.mu.Lock()
+		down := in.sch.TrackerDown(in.clock())
+		if down {
+			in.sch.Stats.TrackerRefusals++
+		}
+		in.mu.Unlock()
+		if down {
+			return nil, ErrOutage
+		}
+		return dial(network, addr, timeout)
+	}
+}
+
 // outageTransport fails round trips inside outage windows.
 type outageTransport struct {
 	in      *Injector

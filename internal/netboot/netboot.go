@@ -1,22 +1,34 @@
-// Package netboot is the boot-strap service for networked peers
-// (§III-B over HTTP): nodes register their listen address on join,
-// deregister on leave, and newcomers fetch a random partial list of
-// candidates — exactly the role the deployment's boot-strap node and
-// web portal played.
+// Package netboot is the boot-strap/tracker service for networked
+// peers (§III-B): nodes register their listen address on join, renew
+// the resulting lease while alive, deregister on leave, and newcomers
+// fetch a random partial list of live candidates — the role the
+// deployment's boot-strap node and web portal played.
+//
+// The service core is the sharded lease Registry (registry.go). Two
+// endpoints expose it:
+//
+//   - the binary TCP tracker (tcp.go) — the production path;
+//   - this file's HTTP handler — a thin compatibility shim kept for
+//     the examples and for anything that still speaks the original
+//     url-encoded API.
+//
+// Both endpoints share one Registry, so a peer registered over HTTP is
+// a candidate over TCP and vice versa.
 package netboot
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
 	"net/url"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"coolstream/internal/faults"
-	"coolstream/internal/xrand"
 )
 
 // Entry is one registered peer.
@@ -25,24 +37,39 @@ type Entry struct {
 	Addr string `json:"addr"`
 }
 
-// Server is the HTTP bootstrap registry.
+// ExcludeNone asks Candidates to exclude nobody. (The old HTTP handler
+// defaulted a missing/malformed exclude to 0, silently excluding the
+// real peer with ID 0 — the source, typically.)
+const ExcludeNone int32 = math.MinInt32
+
+// Server is the HTTP bootstrap shim over a Registry.
 type Server struct {
-	mu    sync.Mutex
-	peers map[int32]string
-	rng   *xrand.RNG
+	reg *Registry
 }
 
-// NewServer creates an empty registry.
+// NewServer creates a server over a fresh default Registry (8 shards,
+// 30 s leases) seeded for candidate sampling.
 func NewServer(seed uint64) *Server {
-	return &Server{peers: make(map[int32]string), rng: xrand.New(seed)}
+	return NewServerWith(NewRegistry(RegistryConfig{Seed: seed}))
 }
+
+// NewServerWith wraps an existing registry (shared with a TCPServer,
+// or configured with custom lease/shard/bound settings).
+func NewServerWith(reg *Registry) *Server { return &Server{reg: reg} }
+
+// Registry returns the backing registry.
+func (s *Server) Registry() *Registry { return s.reg }
 
 // ServeHTTP implements http.Handler:
 //
-//	GET /register?id=N&addr=HOST:PORT → 204
+//	GET /register?id=N&addr=HOST:PORT → 204 (grants/renews the lease)
 //	GET /leave?id=N                   → 204
 //	GET /candidates?n=K&exclude=N     → JSON [Entry...]
 //	GET /count                        → JSON {"count":N}
+//
+// Malformed parameters are 400s: in particular a bad `exclude` no
+// longer parses as 0 (which silently excluded peer 0), and `n` is
+// clamped server-side so one query cannot serialize the registry.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	switch r.URL.Path {
@@ -52,14 +79,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		addr := q.Get("addr")
-		if addr == "" {
-			http.Error(w, "netboot: missing addr", http.StatusBadRequest)
+		owner := r.RemoteAddr
+		if host, _, err := net.SplitHostPort(owner); err == nil {
+			owner = host
+		}
+		ttl, err := s.reg.Register(id, q.Get("addr"), owner)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrOwnerLimit) {
+				code = http.StatusTooManyRequests
+			}
+			http.Error(w, err.Error(), code)
 			return
 		}
-		s.mu.Lock()
-		s.peers[id] = addr
-		s.mu.Unlock()
+		w.Header().Set("X-Lease-Ms", strconv.FormatInt(int64(ttl/time.Millisecond), 10))
 		w.WriteHeader(http.StatusNoContent)
 	case "/leave":
 		id, err := parseID(q)
@@ -67,26 +100,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		s.mu.Lock()
-		delete(s.peers, id)
-		s.mu.Unlock()
+		s.reg.Leave(id)
 		w.WriteHeader(http.StatusNoContent)
 	case "/candidates":
-		n, _ := strconv.Atoi(q.Get("n"))
-		if n <= 0 {
-			n = 10
+		n := DefaultCandidates
+		if raw := q.Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v <= 0 {
+				http.Error(w, fmt.Sprintf("netboot: bad n %q", raw), http.StatusBadRequest)
+				return
+			}
+			n = v // Registry.Candidates clamps to the server maximum
 		}
-		exclude64, _ := strconv.ParseInt(q.Get("exclude"), 10, 32)
-		exclude := int32(exclude64)
-		out := s.Candidates(n, exclude)
+		exclude := ExcludeNone
+		if raw := q.Get("exclude"); raw != "" {
+			v, err := strconv.ParseInt(raw, 10, 32)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("netboot: bad exclude %q", raw), http.StatusBadRequest)
+				return
+			}
+			exclude = int32(v)
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(out)
+		json.NewEncoder(w).Encode(s.reg.Candidates(n, exclude))
 	case "/count":
-		s.mu.Lock()
-		n := len(s.peers)
-		s.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"count":%d}`+"\n", n)
+		fmt.Fprintf(w, `{"count":%d}`+"\n", s.reg.Count())
 	default:
 		http.NotFound(w, r)
 	}
@@ -100,39 +139,21 @@ func parseID(q url.Values) (int32, error) {
 	return int32(id), nil
 }
 
-// Candidates returns up to n random registered peers, excluding one ID.
+// Candidates returns up to n random live registered peers, excluding
+// one ID (test/diagnostic convenience; the registry does the work).
 func (s *Server) Candidates(n int, exclude int32) []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ids := make([]int32, 0, len(s.peers))
-	for id := range s.peers {
-		if id != exclude {
-			ids = append(ids, id)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	s.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	if n > len(ids) {
-		n = len(ids)
-	}
-	out := make([]Entry, 0, n)
-	for _, id := range ids[:n] {
-		out = append(out, Entry{ID: id, Addr: s.peers[id]})
-	}
-	return out
+	return s.reg.Candidates(n, exclude)
 }
 
 // Count returns the number of registered peers.
-func (s *Server) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.peers)
-}
+func (s *Server) Count() int { return s.reg.Count() }
 
-// Client talks to a bootstrap server. With SetBackoff configured, a
-// failed request (connection error, injected outage, 5xx) is retried
-// up to the attempt limit with capped-exponential, deterministically
-// jittered pauses — the recovery half of the tracker-outage fault.
+// Client talks to a bootstrap server over HTTP. With SetBackoff
+// configured, a failed request (connection error, injected outage,
+// 5xx) is retried up to the attempt limit with capped-exponential,
+// deterministically jittered pauses — the recovery half of the
+// tracker-outage fault. The pause honours SetStop, so a shutting-down
+// peer never waits out a backoff.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -146,6 +167,7 @@ type Client struct {
 	// counts every retry sleep taken (observability for tests and the
 	// chaos harness).
 	mu       sync.Mutex
+	stop     <-chan struct{}
 	retried  int
 	attempts int
 }
@@ -168,6 +190,17 @@ func (c *Client) SetBackoff(b faults.Backoff, maxAttempts int, key uint64) {
 	c.backoff = b
 	c.maxAttempts = maxAttempts
 	c.retryKey = key
+}
+
+// SetStop installs a cancellation channel: a close aborts any backoff
+// pause (and fails the in-flight request) immediately, instead of
+// sleeping out the full capped-exponential delay. netpeer wires its
+// node done channel here so Close/Abort during a tracker outage
+// returns promptly.
+func (c *Client) SetStop(stop <-chan struct{}) {
+	c.mu.Lock()
+	c.stop = stop
+	c.mu.Unlock()
 }
 
 // RetryStats returns (requests that needed a retry, total retry sleeps).
@@ -203,12 +236,15 @@ func (c *Client) get(path string) (*http.Response, error) {
 			c.retried++
 		}
 		c.attempts++
+		stop := c.stop
 		c.mu.Unlock()
-		time.Sleep(c.backoff.Duration(attempt, c.retryKey))
+		if !sleepOrStop(c.backoff.Duration(attempt, c.retryKey), stop) {
+			return nil, fmt.Errorf("netboot: retry aborted by stop: %w", lastErr)
+		}
 	}
 }
 
-// Register announces a peer's listen address.
+// Register announces a peer's listen address (and renews its lease).
 func (c *Client) Register(id int32, addr string) error {
 	resp, err := c.get(fmt.Sprintf("/register?id=%d&addr=%s", id, url.QueryEscape(addr)))
 	if err != nil {
@@ -228,6 +264,9 @@ func (c *Client) Leave(id int32) error {
 
 // Candidates fetches up to n candidates, excluding the caller's ID.
 func (c *Client) Candidates(n int, exclude int32) ([]Entry, error) {
+	if n <= 0 {
+		n = DefaultCandidates
+	}
 	resp, err := c.get(fmt.Sprintf("/candidates?n=%d&exclude=%d", n, exclude))
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"coolstream/internal/faults"
 	"coolstream/internal/sim"
@@ -205,5 +206,86 @@ func TestClientRetriesThroughOutage(t *testing.T) {
 	}
 	if flaky3.seen != 1 {
 		t.Fatalf("no-backoff client made %d requests, want 1", flaky3.seen)
+	}
+}
+
+// TestCandidatesParamValidation is the /candidates regression: a
+// malformed exclude used to parse as 0 and silently exclude the real
+// peer 0 (the source); it must be a 400 now, and a missing exclude
+// must exclude nobody.
+func TestCandidatesParamValidation(t *testing.T) {
+	srv := NewServer(11)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	srv.Registry().Register(0, "source:1", "")
+
+	for _, path := range []string{
+		"/candidates?n=bogus",
+		"/candidates?n=0",
+		"/candidates?n=-5",
+		"/candidates?n=3&exclude=bogus",
+		"/candidates?n=3&exclude=99999999999", // overflows int32
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s returned %d, want 400", path, resp.StatusCode)
+		}
+	}
+
+	// Missing exclude: peer 0 must be a candidate.
+	c := NewClient(ts.URL, nil)
+	cands, err := c.Candidates(5, ExcludeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].ID != 0 {
+		t.Fatalf("peer 0 missing without an exclude: %+v", cands)
+	}
+	resp, err := http.Get(ts.URL + "/candidates?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 256)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if got := string(body[:n]); got == "[]\n" {
+		t.Fatalf("missing exclude dropped peer 0: %q", got)
+	}
+
+	// Oversized n is clamped, not an error.
+	cands, err = c.Candidates(1_000_000, ExcludeNone)
+	if err != nil || len(cands) != 1 {
+		t.Fatalf("huge n: %v %+v", err, cands)
+	}
+}
+
+// TestHTTPClientStopCancelsBackoff pins the HTTP side of the
+// un-cancellable-sleep fix: closing the stop channel aborts a backoff
+// pause immediately.
+func TestHTTPClientStopCancelsBackoff(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil) // nothing listens here
+	c.SetBackoff(faults.Backoff{Base: 10 * sim.Second, Cap: 20 * sim.Second}, 5, 3)
+	stop := make(chan struct{})
+	c.SetStop(stop)
+
+	done := make(chan error, 1)
+	go func() { done <- c.Register(1, "x:1") }()
+	time.Sleep(50 * time.Millisecond) // let it fail the dial and enter the pause
+	start := time.Now()
+	close(stop)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("register against dead tracker succeeded")
+		}
+		if waited := time.Since(start); waited > time.Second {
+			t.Fatalf("stop took %v to abort the backoff", waited)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("stop did not abort the backoff pause")
 	}
 }

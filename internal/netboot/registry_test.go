@@ -1,0 +1,340 @@
+package netboot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for deterministic lease
+// tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// TestLeaseExpiryEvictsCrashedPeer is the dead-peer regression the
+// original tracker failed: a peer that crashes (Abort — no Leave)
+// simply stops renewing, and candidates must stop returning it as
+// soon as the lease lapses, before any sweep runs.
+func TestLeaseExpiryEvictsCrashedPeer(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(RegistryConfig{LeaseTTL: 10 * time.Second, Clock: clk.Now, Seed: 1})
+	if _, err := r.Register(1, "127.0.0.1:9001", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(2, "127.0.0.1:9002", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := len(r.Candidates(10, ExcludeNone)); got != 2 {
+		t.Fatalf("candidates before expiry: %d, want 2", got)
+	}
+
+	// Peer 1 keeps renewing; peer 2 crashed and goes silent.
+	clk.Advance(6 * time.Second)
+	if _, err := r.Register(1, "127.0.0.1:9001", ""); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(6 * time.Second) // peer 2's lease lapsed (12 s > 10 s)
+
+	cands := r.Candidates(10, ExcludeNone)
+	if len(cands) != 1 || cands[0].ID != 1 {
+		t.Fatalf("candidates after crash: %+v, want only peer 1", cands)
+	}
+	// No sweep has run yet: eviction must be a read-side property.
+	if n := r.Count(); n != 2 {
+		t.Fatalf("pre-sweep count %d, want 2 (lazy reclamation)", n)
+	}
+	if evicted := r.Sweep(); evicted != 1 {
+		t.Fatalf("sweep evicted %d, want 1", evicted)
+	}
+	if n := r.Count(); n != 1 {
+		t.Fatalf("post-sweep count %d, want 1", n)
+	}
+
+	// The crashed peer can come back: a fresh Register resurrects it.
+	if _, err := r.Register(2, "127.0.0.1:9002", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Candidates(10, ExcludeNone)); got != 2 {
+		t.Fatalf("candidates after re-join: %d, want 2", got)
+	}
+}
+
+// TestRenewalIsNotAMembershipChange pins the hot path: renewing an
+// unchanged address must not bump the shard's membership version (and
+// so must not invalidate the epoch snapshot).
+func TestRenewalIsNotAMembershipChange(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(RegistryConfig{Shards: 1, LeaseTTL: 10 * time.Second, Clock: clk.Now})
+	r.Register(7, "a:1", "")
+	v := r.shards[0].version.Load()
+	for i := 0; i < 100; i++ {
+		clk.Advance(time.Second)
+		if _, err := r.Register(7, "a:1", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.shards[0].version.Load(); got != v {
+		t.Fatalf("renewals moved the membership version %d→%d", v, got)
+	}
+	// The renewed lease is alive far past its original expiry.
+	if got := len(r.Candidates(5, ExcludeNone)); got != 1 {
+		t.Fatalf("renewed peer missing from candidates")
+	}
+	// An address change IS a membership change.
+	r.Register(7, "b:2", "")
+	if got := r.shards[0].version.Load(); got == v {
+		t.Fatal("address change did not move the membership version")
+	}
+	cands := r.Candidates(5, ExcludeNone)
+	if len(cands) != 1 || cands[0].Addr != "b:2" {
+		t.Fatalf("candidates after addr change: %+v", cands)
+	}
+}
+
+// TestPerOwnerBound pins the bounded per-IP registration state: one
+// owner key cannot hold more than MaxPerOwner live registrations, and
+// leaves/evictions free the quota.
+func TestPerOwnerBound(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(RegistryConfig{LeaseTTL: 10 * time.Second, MaxPerOwner: 2, Clock: clk.Now})
+	if _, err := r.Register(1, "a:1", "10.0.0.9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(2, "a:2", "10.0.0.9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(3, "a:3", "10.0.0.9"); !errors.Is(err, ErrOwnerLimit) {
+		t.Fatalf("third registration for one owner: %v, want ErrOwnerLimit", err)
+	}
+	// A different owner is unaffected; renewals don't consume quota.
+	if _, err := r.Register(4, "b:1", "10.0.0.10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(1, "a:1", "10.0.0.9"); err != nil {
+		t.Fatalf("renewal hit the owner bound: %v", err)
+	}
+	// Leave frees a slot.
+	r.Leave(2)
+	if _, err := r.Register(3, "a:3", "10.0.0.9"); err != nil {
+		t.Fatalf("register after leave freed quota: %v", err)
+	}
+	// Lease expiry (sweep) frees slots too.
+	clk.Advance(11 * time.Second)
+	r.Sweep()
+	if _, err := r.Register(5, "a:5", "10.0.0.9"); err != nil {
+		t.Fatalf("register after sweep freed quota: %v", err)
+	}
+}
+
+// TestCandidatesClamp pins the server-side n cap: one query cannot
+// serialize the registry.
+func TestCandidatesClamp(t *testing.T) {
+	r := NewRegistry(RegistryConfig{MaxCandidates: 8})
+	for id := int32(0); id < 100; id++ {
+		r.Register(id, "x:1", "")
+	}
+	if got := len(r.Candidates(1_000_000, ExcludeNone)); got != 8 {
+		t.Fatalf("clamped candidates %d, want 8", got)
+	}
+	if got := len(r.Candidates(-3, ExcludeNone)); got != 8 {
+		// default 10, clamped to 8
+		t.Fatalf("default candidates %d, want 8", got)
+	}
+}
+
+// TestRegisterValidation pins address validation.
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry(RegistryConfig{})
+	if _, err := r.Register(1, "", ""); !errors.Is(err, ErrBadAddr) {
+		t.Fatalf("empty addr: %v", err)
+	}
+	long := make([]byte, MaxAddrBytes+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := r.Register(1, string(long), ""); !errors.Is(err, ErrBadAddr) {
+		t.Fatalf("oversized addr: %v", err)
+	}
+}
+
+// TestCandidatesProperty is the concurrency property test: across
+// shard counts {1,4,8}, with register/renew/leave/candidates running
+// concurrently under the race detector, every candidate set must be
+// (a) within the requested size, (b) duplicate-free, (c) exclude-
+// filtered, (d) free of expired leases, and (e) free of peers whose
+// Leave completed before the query began.
+func TestCandidatesProperty(t *testing.T) {
+	for _, shards := range []int{1, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			clk := newFakeClock()
+			r := NewRegistry(RegistryConfig{
+				Shards:   shards,
+				LeaseTTL: time.Hour,
+				Clock:    clk.Now,
+				Seed:     uint64(shards),
+			})
+
+			// A batch of crashed peers: registered, then expired by a
+			// clock jump. They must never be sampled.
+			for id := int32(1000); id < 1100; id++ {
+				r.Register(id, "dead:1", "")
+			}
+			clk.Advance(2 * time.Hour)
+
+			// left[id] is set (under leftMu) BEFORE Leave returns; a
+			// query started after that must not see the peer.
+			var leftMu sync.Mutex
+			left := make(map[int32]bool)
+			markLeft := func(id int32) {
+				r.Leave(id)
+				leftMu.Lock()
+				left[id] = true
+				leftMu.Unlock()
+			}
+			leftBefore := func() map[int32]bool {
+				leftMu.Lock()
+				defer leftMu.Unlock()
+				out := make(map[int32]bool, len(left))
+				for id := range left {
+					out[id] = true
+				}
+				return out
+			}
+
+			const live = 200
+			for id := int32(0); id < live; id++ {
+				r.Register(id, "x:1", "")
+			}
+
+			var stopFlag atomic.Bool
+			var wg sync.WaitGroup
+			// Churners: each registers a stream of fresh IDs (never
+			// reused, so a left ID stays left — the property below
+			// depends on that) and leaves a third of them.
+			for w := 0; w < 4; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					base := int32(1_000_000 * (w + 1))
+					for i := int32(0); !stopFlag.Load(); i++ {
+						id := base + i
+						r.Register(id, "y:1", "")
+						if i%3 == 0 {
+							markLeft(id)
+						}
+					}
+				}()
+			}
+			// Renewers keep the stable population fresh.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; !stopFlag.Load(); i++ {
+					r.Register(int32(i%live), "x:1", "")
+				}
+			}()
+
+			errCh := make(chan error, 8)
+			for q := 0; q < 4; q++ {
+				q := q
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					exclude := int32(q * 7)
+					for i := 0; i < 300; i++ {
+						gone := leftBefore()
+						n := 1 + (i % 16)
+						cands := r.Candidates(n, exclude)
+						if len(cands) > n {
+							errCh <- fmt.Errorf("%d candidates for n=%d", len(cands), n)
+							return
+						}
+						seen := make(map[int32]bool, len(cands))
+						for _, e := range cands {
+							switch {
+							case e.ID == exclude:
+								errCh <- fmt.Errorf("excluded id %d returned", exclude)
+								return
+							case seen[e.ID]:
+								errCh <- fmt.Errorf("duplicate id %d", e.ID)
+								return
+							case e.ID >= 1000 && e.ID < 1100:
+								errCh <- fmt.Errorf("expired (crashed) id %d returned", e.ID)
+								return
+							case gone[e.ID]:
+								errCh <- fmt.Errorf("id %d returned after its Leave completed", e.ID)
+								return
+							case e.Addr == "":
+								errCh <- fmt.Errorf("empty addr for id %d", e.ID)
+								return
+							}
+							seen[e.ID] = true
+						}
+					}
+				}()
+			}
+
+			waitDone := make(chan struct{})
+			go func() {
+				// Queriers are bounded; once they finish, stop the churners.
+				wg.Wait()
+				close(waitDone)
+			}()
+			// Give the queriers their run, then stop churn.
+			time.Sleep(100 * time.Millisecond)
+			stopFlag.Store(true)
+			<-waitDone
+			close(errCh)
+			for err := range errCh {
+				t.Error(err)
+			}
+			// Sanity: the stable population is still fully discoverable.
+			r.Sweep()
+			cands := r.Candidates(64, ExcludeNone)
+			if len(cands) == 0 {
+				t.Fatal("no candidates after churn")
+			}
+		})
+	}
+}
+
+// TestCountIsShardFold pins Count's cost model indirectly: it must
+// agree with the real population across shard counts after sweeps.
+func TestCountIsShardFold(t *testing.T) {
+	for _, shards := range []int{1, 4, 8} {
+		r := NewRegistry(RegistryConfig{Shards: shards})
+		for id := int32(0); id < 500; id++ {
+			r.Register(id, "x:1", "")
+		}
+		for id := int32(0); id < 500; id += 2 {
+			r.Leave(id)
+		}
+		if got := r.Count(); got != 250 {
+			t.Fatalf("shards=%d count %d, want 250", shards, got)
+		}
+	}
+}

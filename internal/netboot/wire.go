@@ -1,0 +1,272 @@
+// The tracker's binary wire format — the zero-alloc append/scan codec
+// idiom from internal/logsys applied to register/renew/leave/candidates
+// (see PROTOCOL.md, "Tracker wire protocol"). Requests and responses
+// are length-prefixed frames; encoders append into caller-owned buffers
+// (steady-state: zero allocations) and decoders scan with explicit
+// offsets, so the TCP server's per-connection loop reuses one request
+// and one response buffer for its whole lifetime.
+//
+// All integers are big-endian, matching internal/protocol.
+package netboot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// maxTrackerFrame bounds one tracker frame: the largest legal frame is
+// a full candidates response (MaxCandidates entries of at most
+// MaxAddrBytes each), far under 64 KiB. Anything larger is corruption
+// or abuse and drops the connection.
+const maxTrackerFrame = 64 * 1024
+
+// Tracker request opcodes.
+const (
+	opRegister   = 1 // i32 id, u16 addrLen, addr — grants/renews a lease
+	opLeave      = 2 // i32 id
+	opCandidates = 3 // u16 n, i32 exclude
+	opCount      = 4 // empty
+)
+
+// Tracker response status codes.
+const (
+	stOK          = 0
+	stBadRequest  = 1 // malformed params; retrying cannot help
+	stUnavailable = 2 // outage/overload; retryable with backoff
+	stOwnerLimit  = 3 // per-IP registration bound hit
+)
+
+// statusText maps a status code to its error-message prefix.
+func statusText(st byte) string {
+	switch st {
+	case stBadRequest:
+		return "bad request"
+	case stUnavailable:
+		return "unavailable"
+	case stOwnerLimit:
+		return "owner limit"
+	default:
+		return fmt.Sprintf("status %d", st)
+	}
+}
+
+// ---- Append-style encoders (request and response bodies). ----
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendI32(dst []byte, v int32) []byte { return appendU32(dst, uint32(v)) }
+
+// appendRegisterReq appends a register/renew request body.
+func appendRegisterReq(dst []byte, id int32, addr string) []byte {
+	dst = append(dst, opRegister)
+	dst = appendI32(dst, id)
+	dst = appendU16(dst, uint16(len(addr)))
+	return append(dst, addr...)
+}
+
+// appendLeaveReq appends a leave request body.
+func appendLeaveReq(dst []byte, id int32) []byte {
+	dst = append(dst, opLeave)
+	return appendI32(dst, id)
+}
+
+// appendCandidatesReq appends a candidates request body.
+func appendCandidatesReq(dst []byte, n int, exclude int32) []byte {
+	dst = append(dst, opCandidates)
+	dst = appendU16(dst, uint16(n))
+	return appendI32(dst, exclude)
+}
+
+// appendCountReq appends a count request body.
+func appendCountReq(dst []byte) []byte { return append(dst, opCount) }
+
+// appendRegisterResp appends an OK register response (lease in ms;
+// 0 = no expiry).
+func appendRegisterResp(dst []byte, leaseMs uint32) []byte {
+	dst = append(dst, stOK)
+	return appendU32(dst, leaseMs)
+}
+
+// appendCandidatesResp appends an OK candidates response.
+func appendCandidatesResp(dst []byte, entries []Entry) []byte {
+	dst = append(dst, stOK)
+	dst = appendU16(dst, uint16(len(entries)))
+	for _, e := range entries {
+		dst = appendI32(dst, e.ID)
+		dst = appendU16(dst, uint16(len(e.Addr)))
+		dst = append(dst, e.Addr...)
+	}
+	return dst
+}
+
+// appendCountResp appends an OK count response.
+func appendCountResp(dst []byte, n uint32) []byte {
+	dst = append(dst, stOK)
+	return appendU32(dst, n)
+}
+
+// appendErrResp appends an error response with a short message.
+func appendErrResp(dst []byte, st byte, msg string) []byte {
+	if len(msg) > 255 {
+		msg = msg[:255]
+	}
+	dst = append(dst, st)
+	dst = appendU16(dst, uint16(len(msg)))
+	return append(dst, msg...)
+}
+
+// ---- Scan-style decoders. ----
+
+// scanner walks a frame body with an explicit offset; the first failed
+// read latches err and zero-values every subsequent read.
+type scanner struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (s *scanner) fail(what string) {
+	if s.err == nil {
+		s.err = fmt.Errorf("netboot: truncated %s at offset %d", what, s.off)
+	}
+}
+
+func (s *scanner) u8(what string) byte {
+	if s.err != nil || s.off+1 > len(s.b) {
+		s.fail(what)
+		return 0
+	}
+	v := s.b[s.off]
+	s.off++
+	return v
+}
+
+func (s *scanner) u16(what string) uint16 {
+	if s.err != nil || s.off+2 > len(s.b) {
+		s.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint16(s.b[s.off:])
+	s.off += 2
+	return v
+}
+
+func (s *scanner) u32(what string) uint32 {
+	if s.err != nil || s.off+4 > len(s.b) {
+		s.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(s.b[s.off:])
+	s.off += 4
+	return v
+}
+
+func (s *scanner) i32(what string) int32 { return int32(s.u32(what)) }
+
+// str reads a u16-length-prefixed string. The returned string is a
+// copy: frames outlive their read buffers on neither side.
+func (s *scanner) str(what string) string {
+	n := int(s.u16(what))
+	if s.err != nil || s.off+n > len(s.b) {
+		s.fail(what)
+		return ""
+	}
+	v := string(s.b[s.off : s.off+n])
+	s.off += n
+	return v
+}
+
+// done errors on trailing bytes — a length-prefixed frame must be
+// consumed exactly.
+func (s *scanner) done() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.off != len(s.b) {
+		return fmt.Errorf("netboot: %d trailing bytes in frame", len(s.b)-s.off)
+	}
+	return nil
+}
+
+// trackerReq is one decoded request.
+type trackerReq struct {
+	op      byte
+	id      int32
+	addr    string
+	n       int
+	exclude int32
+}
+
+// decodeReq decodes a request frame body.
+func decodeReq(body []byte) (trackerReq, error) {
+	sc := scanner{b: body}
+	var req trackerReq
+	req.op = sc.u8("op")
+	switch req.op {
+	case opRegister:
+		req.id = sc.i32("id")
+		req.addr = sc.str("addr")
+	case opLeave:
+		req.id = sc.i32("id")
+	case opCandidates:
+		req.n = int(sc.u16("n"))
+		req.exclude = sc.i32("exclude")
+	case opCount:
+	default:
+		return req, fmt.Errorf("netboot: unknown tracker op %d", req.op)
+	}
+	return req, sc.done()
+}
+
+// respError converts a non-OK response into a client-side error.
+// Unavailable keeps its sentinel so the retry loop can recognise it.
+func respError(st byte, msg string) error {
+	if st == stUnavailable {
+		return fmt.Errorf("%w: %s", ErrUnavailable, msg)
+	}
+	if st == stOwnerLimit {
+		return fmt.Errorf("%w: %s", ErrOwnerLimit, msg)
+	}
+	return fmt.Errorf("netboot: tracker %s: %s", statusText(st), msg)
+}
+
+// ---- Framing. ----
+
+// writeTrackerFrame prefixes body with its u32 length and writes both
+// in one syscall using the caller's scratch buffer (returned for
+// reuse).
+func writeTrackerFrame(w io.Writer, scratch, body []byte) ([]byte, error) {
+	scratch = scratch[:0]
+	scratch = appendU32(scratch, uint32(len(body)))
+	scratch = append(scratch, body...)
+	_, err := w.Write(scratch)
+	return scratch, err
+}
+
+// readTrackerFrame reads one length-prefixed frame into buf (grown as
+// needed) and returns the body slice aliasing buf.
+func readTrackerFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, nil, err // io.EOF passes through for clean close detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxTrackerFrame {
+		return buf, nil, fmt.Errorf("netboot: frame length %d out of range", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return buf, nil, fmt.Errorf("netboot: truncated frame: %w", err)
+	}
+	return buf, body, nil
+}

@@ -8,8 +8,9 @@
 //   - hung connections (a "zombie" handshakes and then freezes with the
 //     TCP connection open: the stale-BM case no read error ever
 //     surfaces),
-//   - a tracker outage window (HTTP 503 until lifted, exercising the
-//     capped-exponential re-bootstrap backoff),
+//   - a tracker outage window (the binary tracker answers "unavailable"
+//     until lifted, exercising the capped-exponential re-bootstrap
+//     backoff),
 //
 // and finally asserts recovery: every surviving peer back at or above
 // the target partner count with positive per-lane progress inside the
@@ -20,8 +21,6 @@ package netchaos
 import (
 	"fmt"
 	"net"
-	"net/http"
-	"sync/atomic"
 	"time"
 
 	"coolstream/internal/buffer"
@@ -45,8 +44,8 @@ type Config struct {
 	// Zombies is how many hung connections are injected into random
 	// live peers.
 	Zombies int
-	// BootOutage is how long the tracker answers 503 mid-run (0 = no
-	// outage).
+	// BootOutage is how long the tracker answers "unavailable" mid-run
+	// (0 = no outage).
 	BootOutage time.Duration
 	// Warmup is the streaming time before any fault fires.
 	Warmup time.Duration
@@ -125,21 +124,6 @@ type Report struct {
 	PusherAborts     int
 }
 
-// downableHandler serves the bootstrap registry until told to go down,
-// then answers 503 (retryable through the netboot client's backoff).
-type downableHandler struct {
-	srv  *netboot.Server
-	down atomic.Bool
-}
-
-func (d *downableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if d.down.Load() {
-		http.Error(w, "netchaos: injected tracker outage", http.StatusServiceUnavailable)
-		return
-	}
-	d.srv.ServeHTTP(w, r)
-}
-
 // Run executes one chaos scenario and reports recovery.
 func Run(cfg Config) (Report, error) {
 	cfg.applyDefaults()
@@ -149,23 +133,32 @@ func Run(cfg Config) (Report, error) {
 	}
 	rng := xrand.New(cfg.Seed ^ 0xc001c0de)
 
-	// --- Bootstrap tracker on a real socket. ---
-	handler := &downableHandler{srv: netboot.NewServer(cfg.Seed)}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// --- Bootstrap tracker: the production binary protocol on a real
+	// socket. SetDown makes it answer retryable "unavailable" for the
+	// outage window.
+	tracker := netboot.NewTCPServer(
+		netboot.NewRegistry(netboot.RegistryConfig{Seed: cfg.Seed}),
+		netboot.TCPServerConfig{})
+	trackerAddr, err := tracker.Listen("127.0.0.1:0")
 	if err != nil {
 		return Report{}, err
 	}
-	hs := &http.Server{Handler: handler}
-	go hs.Serve(ln)
-	defer hs.Close()
-	base := "http://" + ln.Addr().String()
-	logf("bootstrap tracker at %s", base)
+	defer tracker.Close()
+	logf("bootstrap tracker (binary) at %s", trackerAddr)
 
-	bootClient := func(id int32) *netboot.Client {
-		c := netboot.NewClient(base, &http.Client{Timeout: 2 * time.Second})
+	var clients []*netboot.TCPClient
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	bootClient := func(id int32) *netboot.TCPClient {
+		c := netboot.NewTCPClient(trackerAddr)
+		c.SetTimeout(2 * time.Second)
 		c.SetBackoff(faults.Backoff{
 			Base: 50 * sim.Millisecond, Cap: 400 * sim.Millisecond, JitterFrac: 0.5,
 		}, 4, uint64(id))
+		clients = append(clients, c)
 		return c
 	}
 
@@ -296,10 +289,10 @@ func Run(cfg Config) (Report, error) {
 
 	// Tracker outage while the survivors are re-partnering.
 	if cfg.BootOutage > 0 {
-		handler.down.Store(true)
+		tracker.SetDown(true)
 		logf("tracker down for %v", cfg.BootOutage)
 		time.Sleep(cfg.BootOutage)
-		handler.down.Store(false)
+		tracker.SetDown(false)
 		logf("tracker restored")
 	}
 

@@ -70,6 +70,10 @@ type RecoveryStats struct {
 	GossipSent int
 	// GossipMerged counts candidate entries merged from gossip replies.
 	GossipMerged int
+	// LeaseRenewals counts successful periodic tracker re-registrations
+	// (lease renewals) — the keep-alive that stops the tracker's lease
+	// expiry from evicting a live-but-quiet peer.
+	LeaseRenewals int
 	// PusherAborts counts abnormal pusher exits that sent the child a
 	// teardown notice (see abortPusher).
 	PusherAborts int
@@ -95,6 +99,10 @@ type ManagerConfig struct {
 	// DialCooldown keeps a failed candidate out of replenishment
 	// attempts for this long (default 5s).
 	DialCooldown time.Duration
+	// RenewEvery is the tracker lease-renewal period (default 10s —
+	// a third of the registry's default 30s lease, so two renewals can
+	// be lost before the lease lapses). Ignored when boot is nil.
+	RenewEvery time.Duration
 	// Seed drives the deterministic candidate shuffle.
 	Seed uint64
 }
@@ -127,6 +135,9 @@ func (c *ManagerConfig) applyDefaults(bmPeriod time.Duration) error {
 	if c.DialCooldown <= 0 {
 		c.DialCooldown = 5 * time.Second
 	}
+	if c.RenewEvery <= 0 {
+		c.RenewEvery = 10 * time.Second
+	}
 	return nil
 }
 
@@ -152,23 +163,51 @@ func (n *Node) EnableMaintenance(cfg ManagerConfig, boot Bootstrap) error {
 	n.selfAddr = n.Addr()
 	n.mu.Unlock()
 
+	// A stoppable boot client (both netboot clients) aborts any backoff
+	// pause the moment the node shuts down, instead of sleeping it out.
+	if s, ok := boot.(interface{ SetStop(<-chan struct{}) }); ok {
+		s.SetStop(n.done)
+	}
+
 	rng := xrand.New(cfg.Seed ^ uint64(n.cfg.ID)*0x9e3779b97f4a7c15)
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
 		ticker := time.NewTicker(cfg.Interval)
 		defer ticker.Stop()
+		renew := time.NewTicker(cfg.RenewEvery)
+		defer renew.Stop()
 		for {
 			select {
 			case <-ticker.C:
+				n.reapStalePartners(cfg)
+				n.replenishPartners(cfg, rng)
+			case <-renew.C:
+				n.renewLease()
 			case <-n.done:
 				return
 			}
-			n.reapStalePartners(cfg)
-			n.replenishPartners(cfg, rng)
 		}
 	}()
 	return nil
+}
+
+// renewLease re-registers with the tracker to keep the lease alive: a
+// peer with a full partner set never rebootstraps, and without this
+// keep-alive the tracker's expiry would evict it even though it is
+// perfectly healthy.
+func (n *Node) renewLease() {
+	n.mu.Lock()
+	boot, selfAddr := n.boot, n.selfAddr
+	n.mu.Unlock()
+	if boot == nil {
+		return
+	}
+	if boot.Register(n.cfg.ID, selfAddr) == nil {
+		n.mu.Lock()
+		n.rec.LeaseRenewals++
+		n.mu.Unlock()
+	}
 }
 
 // Recovery returns a snapshot of the self-healing counters.

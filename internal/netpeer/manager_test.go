@@ -202,8 +202,11 @@ func TestManagerRebootstrapsThroughOutage(t *testing.T) {
 }
 
 // TestCloseDuringReplenishNoLeak is the shutdown regression: Close
-// while the maintenance loop is mid-replenishment (slow failing dials)
-// must not leak the maintenance goroutine or stall.
+// while the maintenance loop is mid-replenishment (slow failing dials,
+// and a tracker client stuck in a 10-second retry backoff against a
+// dead address) must not leak the maintenance goroutine or stall.
+// EnableMaintenance wires the node's done channel into the boot
+// client's stop hook, so the backoff pause aborts immediately.
 func TestCloseDuringReplenishNoLeak(t *testing.T) {
 	base := runtime.NumGoroutine()
 	cfg := testConfig(1, 0)
@@ -216,16 +219,21 @@ func TestCloseDuringReplenishNoLeak(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustListen(t, n)
+	// Tracker at a dead address with a backoff far longer than the
+	// Close deadline below: without stop wiring, rebootstrap would pin
+	// the maintenance goroutine in its retry sleep.
+	bc := netboot.NewClient("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond})
+	bc.SetBackoff(faults.Backoff{Base: 10 * sim.Second, Cap: 20 * sim.Second}, 5, 1)
 	mcfg := testMgrConfig(3)
 	mcfg.Interval = 30 * time.Millisecond
 	mcfg.DialCooldown = time.Millisecond // keep candidates hot so dials keep happening
-	if err := n.EnableMaintenance(mcfg, nil); err != nil {
+	if err := n.EnableMaintenance(mcfg, bc); err != nil {
 		t.Fatal(err)
 	}
 	for i := int32(10); i < 16; i++ {
 		n.mcacheAdd(i, fmt.Sprintf("127.0.0.1:%d", 40000+i))
 	}
-	time.Sleep(200 * time.Millisecond) // let replenishment churn
+	time.Sleep(400 * time.Millisecond) // replenishment churns, rebootstrap enters its backoff
 	done := make(chan struct{})
 	go func() {
 		n.Close()
@@ -239,6 +247,59 @@ func TestCloseDuringReplenishNoLeak(t *testing.T) {
 	waitFor(t, 3*time.Second, func() bool {
 		return runtime.NumGoroutine() <= base+2
 	}, "maintenance goroutine leaked past Close")
+}
+
+// TestManagerRenewsLease pins the keep-alive half of lease expiry: a
+// healthy peer with a full partner set (so it never rebootstraps) must
+// keep renewing its tracker lease, while a peer with no renewal loop
+// lapses and disappears from candidates.
+func TestManagerRenewsLease(t *testing.T) {
+	reg := netboot.NewRegistry(netboot.RegistryConfig{LeaseTTL: 500 * time.Millisecond, Seed: 5})
+	hs := httptest.NewServer(netboot.NewServerWith(reg))
+	defer hs.Close()
+
+	b := mustNode(t, testConfig(2, 0))
+	addrB := mustListen(t, b)
+
+	a := mustNode(t, testConfig(1, 0))
+	addrA := mustListen(t, a)
+	bc := testBootClient(hs.URL, 1)
+	if err := bc.Register(1, addrA); err != nil {
+		t.Fatal(err)
+	}
+	// Peer 77 registers once and never renews — a crashed peer.
+	if _, err := reg.Register(77, "127.0.0.1:47777", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	mcfg := testMgrConfig(1)
+	mcfg.RenewEvery = 100 * time.Millisecond
+	if err := a.EnableMaintenance(mcfg, bc); err != nil {
+		t.Fatal(err)
+	}
+	// Full partner set: replenishment (and with it rebootstrap's
+	// incidental re-register) never runs; only renewLease keeps the
+	// lease alive.
+	if _, err := a.Connect(addrB); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(1200 * time.Millisecond) // > 2 lease TTLs
+
+	cands := reg.Candidates(10, netboot.ExcludeNone)
+	ids := make(map[int32]bool, len(cands))
+	for _, e := range cands {
+		ids[e.ID] = true
+	}
+	if !ids[1] {
+		t.Fatalf("renewing peer evicted: candidates %+v", cands)
+	}
+	if ids[77] {
+		t.Fatalf("silent peer still a candidate after %v TTL: %+v", 500*time.Millisecond, cands)
+	}
+	if rec := a.Recovery(); rec.LeaseRenewals < 5 {
+		t.Fatalf("LeaseRenewals %d, want ≥5 over 1.2s at 100ms", rec.LeaseRenewals)
+	}
 }
 
 // TestEnableMaintenanceGuards pins the config validation and the
