@@ -51,8 +51,8 @@ func main() {
 
 func run() (err error) {
 	var (
-		scale = flag.String("scale", "medium", "small | medium | large")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		scale  = flag.String("scale", "medium", "small | medium | large")
+		seed   = flag.Uint64("seed", 1, "random seed")
 		only   = flag.String("only", "", "comma-separated subset (fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,eq36,tree,mcache,resource,allocator,loss,peerwise,reps)")
 		reps   = flag.Int("reps", 5, "seeds for the replication table (reps experiment)")
 		shards = flag.Int("shards", 1, "world shards for parallel control (1 = legacy engine, 0 = one per core)")
@@ -62,6 +62,11 @@ func run() (err error) {
 		trackerPeers   = flag.Int("trackerpeers", 5000, "tracker: preloaded registrations")
 		trackerClients = flag.Int("trackerclients", 8, "tracker: concurrent load workers")
 		trackerJSON    = flag.String("trackerjson", "", "tracker: write results to this JSON file (default stdout)")
+
+		netplane      = flag.Bool("netplane", false, "run the data-plane saturation harness (legacy vs batched) instead of the simulator experiments")
+		netplaneDur   = flag.Duration("netplanedur", 3*time.Second, "netplane: measured window per plane")
+		netplanePeers = flag.Int("netplanepeers", 8, "netplane: full-stream children on the source")
+		netplaneJSON  = flag.String("netplanejson", "", "netplane: write results to this JSON file (default stdout)")
 	)
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
@@ -77,6 +82,9 @@ func run() (err error) {
 	}()
 	if *tracker {
 		return trackerBench(*trackerDur, *trackerPeers, *trackerClients, *trackerJSON)
+	}
+	if *netplane {
+		return netplaneBench(*netplaneDur, *netplanePeers, *netplaneJSON)
 	}
 	spec, ok := scales[*scale]
 	if !ok {

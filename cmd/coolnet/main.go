@@ -39,6 +39,7 @@ import (
 	"coolstream/internal/netboot"
 	"coolstream/internal/netchaos"
 	"coolstream/internal/netpeer"
+	"coolstream/internal/netsat"
 )
 
 func main() {
@@ -66,20 +67,26 @@ func run() error {
 		adapt    = flag.Bool("adapt", false, "enable the peer-adaptation monitor (Inequalities 1-2)")
 		selfheal = flag.Bool("selfheal", false, "enable the self-healing membership manager (needs -bootstrap)")
 
-		scenario = flag.String("scenario", "", "self-contained scenario: chaos")
-		peers    = flag.Int("peers", 8, "chaos: number of peers")
+		scenario = flag.String("scenario", "", "self-contained scenario: chaos | saturate")
+		peers    = flag.Int("peers", 8, "chaos/saturate: number of peers")
 		kills    = flag.Int("kills", 2, "chaos: abrupt peer kills mid-run")
 		zombies  = flag.Int("zombies", 2, "chaos: hung connections injected mid-run")
 		outage   = flag.Duration("outage", 1500*time.Millisecond, "chaos: tracker outage duration (0 = none)")
 		recovery = flag.Duration("recovery", 4*time.Second, "chaos: recovery window after the faults")
 		seed     = flag.Uint64("seed", 1, "chaos: victim-selection seed")
+
+		satWindow = flag.Duration("satwindow", 3*time.Second, "saturate: measured window per plane")
+		satSweep  = flag.Int("satsweep", 0, "saturate: sweep peer count up to this cap (0 = fixed -peers comparison)")
 	)
 	flag.Parse()
 
-	if *scenario == "chaos" {
+	switch *scenario {
+	case "chaos":
 		return runChaos(*peers, *parentsN, *kills, *zombies, *outage, *recovery, *seed)
-	}
-	if *scenario != "" {
+	case "saturate":
+		return runSaturate(*peers, *satWindow, *satSweep)
+	case "":
+	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
 
@@ -238,6 +245,68 @@ func runChaos(peers, target, kills, zombies int, outage, recovery time.Duration,
 	}
 	fmt.Println("chaos: all survivors re-partnered with positive per-lane progress — recovered")
 	return nil
+}
+
+// runSaturate measures the live data plane: the same star overlay on
+// the legacy (one-write-per-frame, full-BM) plane and on the batched
+// plane, reporting write syscalls and bytes per delivered block and BM
+// signalling bytes per peer. With -satsweep N it instead doubles the
+// peer count per plane until continuity collapses, reporting the
+// sustainable population.
+func runSaturate(peers int, window time.Duration, sweepMax int) error {
+	base := netsat.Config{
+		Peers:    peers,
+		Duration: window,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("saturate: "+format+"\n", args...)
+		},
+	}
+	if sweepMax > 0 {
+		for _, legacy := range []bool{true, false} {
+			cfg := base
+			cfg.Legacy = legacy
+			reps, sustainable, err := netsat.Sweep(cfg, peers, sweepMax, 0.9)
+			if err != nil {
+				return err
+			}
+			last := reps[len(reps)-1]
+			fmt.Printf("saturate: legacy=%v sustainable peers %d (last run: %d peers, min CI %.3f)\n",
+				legacy, sustainable, last.Peers, last.MinContinuity)
+		}
+		return nil
+	}
+	legacyCfg := base
+	legacyCfg.Legacy = true
+	legacyRep, err := netsat.Run(legacyCfg)
+	if err != nil {
+		return err
+	}
+	batchedRep, err := netsat.Run(base)
+	if err != nil {
+		return err
+	}
+	printSaturate(legacyRep, batchedRep)
+	return nil
+}
+
+func printSaturate(legacy, batched netsat.Report) {
+	fmt.Printf("\n%-22s %14s %14s %8s\n", "metric", "legacy", "batched", "ratio")
+	row := func(name string, l, b float64, format string) {
+		ratio := 0.0
+		if b > 0 {
+			ratio = l / b
+		}
+		fmt.Printf("%-22s %14s %14s %7.2fx\n", name,
+			fmt.Sprintf(format, l), fmt.Sprintf(format, b), ratio)
+	}
+	row("delivered blocks", float64(legacy.Delivered), float64(batched.Delivered), "%.0f")
+	row("write syscalls", float64(legacy.WriteCalls), float64(batched.WriteCalls), "%.0f")
+	row("writes / block", legacy.WritesPerBlock, batched.WritesPerBlock, "%.3f")
+	row("bytes / block", legacy.BytesPerBlock, batched.BytesPerBlock, "%.1f")
+	row("BM bytes / peer / s", legacy.BMBytesPerPeerSec, batched.BMBytesPerPeerSec, "%.0f")
+	fmt.Printf("%-22s %14.3f %14.3f\n", "min continuity", legacy.MinContinuity, batched.MinContinuity)
+	fmt.Printf("%-22s %14.3f %14.3f\n", "mean continuity", legacy.MeanContinuity, batched.MeanContinuity)
+	fmt.Printf("%-22s %14s %14d\n\n", "fan-out shared frames", "-", batched.FanShared)
 }
 
 // newBootClient builds a tracker client from the -bootstrap URL: the

@@ -121,5 +121,11 @@ func (m *BufferMap) UnmarshalBinary(data []byte) error {
 	for i := range m.Subscribed {
 		m.Subscribed[i] = data[off+i/8]&(1<<(i%8)) != 0
 	}
+	// Reject set bits past lane K in the bitmap's last byte: the
+	// encoder never produces them, so accepting them would give the
+	// same map two wire forms.
+	if tail := k % 8; tail != 0 && data[len(data)-1]&^byte(1<<tail-1) != 0 {
+		return fmt.Errorf("buffer: buffer map bitmap sets bits past lane %d", k)
+	}
 	return nil
 }

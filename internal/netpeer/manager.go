@@ -77,6 +77,13 @@ type RecoveryStats struct {
 	// PusherAborts counts abnormal pusher exits that sent the child a
 	// teardown notice (see abortPusher).
 	PusherAborts int
+	// SlowPartnerTeardowns counts partnerships torn down because the
+	// partner could not drain its bounded outbound queue (see
+	// conn.enqueue in writer.go).
+	SlowPartnerTeardowns int
+	// BMFailTeardowns counts partnerships torn down by the BM loop
+	// after persistent buffer-map send failures.
+	BMFailTeardowns int
 }
 
 // ManagerConfig parameterises the maintenance loop.

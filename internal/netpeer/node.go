@@ -32,6 +32,29 @@ type Config struct {
 	// net.DialTimeout). Fault-injection wrappers hook in here (see
 	// internal/faults.Injector.WrapDial).
 	Dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
+	// LegacyPlane disables the batched data plane: every send takes the
+	// direct one-write-per-frame path and BM exchanges always carry full
+	// maps. This is the "before" configuration the saturation harness
+	// measures the batched plane against.
+	LegacyPlane bool
+	// FlushBytes caps one coalesced write (default 64 KiB).
+	FlushBytes int
+	// FlushDelay is how long the writer lingers for more frames when the
+	// queue holds less than FlushBytes (default 2ms; negative disables
+	// lingering, making every flush immediate).
+	FlushDelay time.Duration
+	// QueueBytes bounds each partner's outbound queue; overflow tears
+	// the partnership down as a slow partner (default 256 KiB).
+	QueueBytes int
+	// BMKeyframeEvery is the period, in BM exchanges, of absolute
+	// keyframes between differential updates (default 16).
+	BMKeyframeEvery int
+	// MaxFrameBytes bounds inbound frames on partner connections
+	// (default BlockBytes+4096, floor 16 KiB). Partner conns only carry
+	// blocks of a known size and small control frames; accepting the
+	// protocol-wide 16 MiB limit would let one bad peer force huge
+	// allocations.
+	MaxFrameBytes int
 }
 
 // DefaultWriteTimeout is the per-frame write deadline used when
@@ -64,22 +87,76 @@ type conn struct {
 	wt       time.Duration
 	c        net.Conn
 	wmu      sync.Mutex
+	// n points back to the owning node for stats and config; nil on
+	// bare conns (handshake rejects, tests) which always take the
+	// direct send path.
+	n *Node
+
+	// Batched writer state (see writer.go). writerOn is set under n.mu
+	// before the conn is published and never cleared.
+	writerOn bool
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	q        []outFrame
+	qBytes   int
+	qErr     error
+
+	// BM delta sender state, guarded by n.mu: the last map sent on this
+	// conn, the current epoch, whether the receiver acked it, and how
+	// many deltas followed the last keyframe. bmFails is touched only
+	// by the bmLoop goroutine.
+	bmSent     buffer.BufferMap
+	bmHave     bool
+	bmEpoch    uint8
+	bmAcked    bool
+	bmSinceKey int
+	bmFails    int
+
+	// BM delta receiver state, guarded by n.mu: the sender's epoch as
+	// last established by a keyframe.
+	rxEpoch uint8
+	rxHave  bool
 }
 
+// send hands one frame to the partner: enqueued on the batched writer
+// when one is attached, written directly otherwise.
 func (cn *conn) send(m protocol.Message) error {
+	if cn.writerOn {
+		return cn.enqueueMsg(m)
+	}
 	return cn.sendTimeout(m, cn.wt)
 }
 
-// sendTimeout writes one frame under an explicit deadline; the graceful
-// departure path uses a shorter deadline than ordinary sends so Close
-// cannot stall on a dead partner.
+// sendTimeout writes one frame directly under an explicit deadline,
+// bypassing the writer queue — the handshake, teardown and departure
+// paths use it so their frames cannot queue behind bulk traffic (and
+// the graceful paths use a shorter deadline than ordinary sends so
+// Close cannot stall on a dead partner).
 func (cn *conn) sendTimeout(m protocol.Message, wt time.Duration) error {
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
 	if err := cn.c.SetWriteDeadline(time.Now().Add(wt)); err != nil {
 		return fmt.Errorf("netpeer: set write deadline: %w", err)
 	}
-	return protocol.WriteFrame(cn.c, m)
+	bp := encPool.Get().(*[]byte)
+	buf, err := protocol.AppendFrame((*bp)[:0], m)
+	if err != nil {
+		encPool.Put(bp)
+		return err
+	}
+	_, werr := cn.c.Write(buf)
+	size := len(buf)
+	*bp = buf[:0]
+	encPool.Put(bp)
+	if werr != nil {
+		return fmt.Errorf("protocol: frame write: %w", werr)
+	}
+	if cn.n != nil {
+		cn.n.stats.countFrame(m.Type, size)
+		cn.n.stats.writeCalls.Add(1)
+		cn.n.stats.bytesSent.Add(uint64(size))
+	}
+	return nil
 }
 
 type pushKey struct {
@@ -138,6 +215,14 @@ type Node struct {
 	// of on their next tick.
 	done chan struct{}
 
+	// stats are the data-plane counters (see stats.go); fanMu guards the
+	// shared fan-out frame cache (see fanFrame in writer.go).
+	stats    netStats
+	fanMu    sync.Mutex
+	fanCache map[fanKey][]byte
+	fanOrder []fanKey
+	fanPos   int
+
 	wg sync.WaitGroup
 }
 
@@ -149,6 +234,26 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = defaultFlushBytes
+	}
+	if cfg.FlushDelay == 0 {
+		cfg.FlushDelay = defaultFlushDelay
+	} else if cfg.FlushDelay < 0 {
+		cfg.FlushDelay = 0
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = defaultQueueBytes
+	}
+	if cfg.BMKeyframeEvery <= 0 {
+		cfg.BMKeyframeEvery = defaultBMKeyframeEvery
+	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = cfg.Layout.BlockBytes + 4096
+		if cfg.MaxFrameBytes < 16*1024 {
+			cfg.MaxFrameBytes = 16 * 1024
+		}
 	}
 	n := &Node{
 		cfg:        cfg,
@@ -238,13 +343,13 @@ func (n *Node) acceptLoop() {
 // handleInbound performs the accept side of the partnership handshake.
 func (n *Node) handleInbound(c net.Conn) {
 	c.SetReadDeadline(time.Now().Add(5 * time.Second))
-	fr := protocol.NewFrameReader(c)
+	fr := protocol.NewFrameReaderLimit(c, n.cfg.MaxFrameBytes)
 	req, err := fr.Read()
 	if err != nil || req.Type != protocol.TypePartnerRequest {
 		c.Close()
 		return
 	}
-	cn := &conn{peer: req.From, wt: n.cfg.WriteTimeout, c: c}
+	cn := &conn{peer: req.From, wt: n.cfg.WriteTimeout, c: c, n: n}
 	if req.Addr != "" && req.From != n.cfg.ID {
 		// The dialer advertised its listen address: remember it so the
 		// membership gossip can pass it onwards.
@@ -284,13 +389,13 @@ func (n *Node) Connect(addr string) (int32, error) {
 	if err != nil {
 		return 0, err
 	}
-	cn := &conn{outgoing: true, wt: n.cfg.WriteTimeout, c: c}
+	cn := &conn{outgoing: true, wt: n.cfg.WriteTimeout, c: c, n: n}
 	if err := cn.send(protocol.Message{Type: protocol.TypePartnerRequest, From: n.cfg.ID, To: -1, Addr: n.Addr()}); err != nil {
 		c.Close()
 		return 0, err
 	}
 	c.SetReadDeadline(time.Now().Add(5 * time.Second))
-	fr := protocol.NewFrameReader(c)
+	fr := protocol.NewFrameReaderLimit(c, n.cfg.MaxFrameBytes)
 	resp, err := fr.Read()
 	if err != nil {
 		// I/O failure: the peer vanished or sent a malformed frame.
@@ -359,6 +464,11 @@ func (n *Node) register(cn *conn) regStatus {
 	}
 	n.conns[cn.peer] = cn
 	n.lastSeen[cn.peer] = time.Now()
+	if !n.cfg.LegacyPlane {
+		// Attach the batched writer now, while cn is still invisible to
+		// other senders; a conn that lost the tie-break never gets one.
+		cn.startWriter()
+	}
 	return regLive
 }
 
@@ -385,6 +495,9 @@ func (n *Node) dropPartnerLocked(cn *conn) {
 // readLoop dispatches inbound messages until the connection dies.
 func (n *Node) readLoop(cn *conn, fr *protocol.FrameReader) {
 	defer func() {
+		// Retire the batched writer first so it stops touching the conn,
+		// then tear the partnership down.
+		cn.closeQueue(errConnClosed)
 		cn.c.Close()
 		n.mu.Lock()
 		// Partner death: drop the conn, forget its stale buffer map
@@ -394,9 +507,12 @@ func (n *Node) readLoop(cn *conn, fr *protocol.FrameReader) {
 		n.dropPartnerLocked(cn)
 		n.mu.Unlock()
 	}()
+	// One message reused across frames: every handler below either
+	// copies what it keeps (BM.Clone, mcacheAdd's strings) or finishes
+	// with the data before the next ReadInto overwrites it.
+	var m protocol.Message
 	for {
-		m, err := fr.Read()
-		if err != nil {
+		if err := fr.ReadInto(&m); err != nil {
 			return
 		}
 		// Any frame proves the partner's control loop alive.
@@ -408,6 +524,14 @@ func (n *Node) readLoop(cn *conn, fr *protocol.FrameReader) {
 			n.mu.Lock()
 			n.lastBM[cn.peer] = m.BM.Clone()
 			n.lastBMAt[cn.peer] = time.Now()
+			n.mu.Unlock()
+		case protocol.TypeBMDelta:
+			n.applyBMDelta(cn, m.Delta)
+		case protocol.TypeBMAck:
+			n.mu.Lock()
+			if m.AckEpoch == cn.bmEpoch {
+				cn.bmAcked = true
+			}
 			n.mu.Unlock()
 		case protocol.TypeSubscribe:
 			n.startPusher(cn, int(m.SubStream), m.StartSeq)
@@ -436,6 +560,39 @@ func (n *Node) readLoop(cn *conn, fr *protocol.FrameReader) {
 			n.mu.Unlock()
 			return
 		}
+	}
+}
+
+// applyBMDelta folds one differential buffer-map update into the
+// partner's tracked map. A keyframe (absolute delta) replaces the map,
+// establishes the conn's receive epoch and is acknowledged, closing the
+// sender's resync loop; a relative delta applies only when it chains
+// cleanly (epoch matches and a base map exists) — otherwise it is
+// dropped and the map simply goes stale until the sender's next
+// keyframe, exactly as if the frame were lost.
+func (n *Node) applyBMDelta(cn *conn, d protocol.BMDelta) {
+	ack := false
+	n.mu.Lock()
+	if d.Absolute {
+		if bm, err := protocol.ApplyBMDelta(buffer.BufferMap{}, d); err == nil {
+			n.lastBM[cn.peer] = bm
+			n.lastBMAt[cn.peer] = time.Now()
+			cn.rxEpoch, cn.rxHave = d.Epoch, true
+			ack = true
+		}
+	} else if cn.rxHave && d.Epoch == cn.rxEpoch {
+		if base, ok := n.lastBM[cn.peer]; ok {
+			if bm, err := protocol.ApplyBMDelta(base, d); err == nil {
+				n.lastBM[cn.peer] = bm
+				n.lastBMAt[cn.peer] = time.Now()
+			}
+		}
+	}
+	n.mu.Unlock()
+	if ack {
+		cn.send(protocol.Message{
+			Type: protocol.TypeBMAck, From: n.cfg.ID, To: cn.peer, AckEpoch: d.Epoch,
+		})
 	}
 }
 
@@ -503,10 +660,20 @@ func (n *Node) startPusher(cn *conn, j int, startSeq int64) {
 				n.abortPusher(cn, j)
 				return
 			}
-			err := cn.send(protocol.Message{
-				Type: protocol.TypeBlockPush, From: n.cfg.ID, To: cn.peer,
-				SubStream: int16(j), StartSeq: next, Payload: n.payload,
-			})
+			var err error
+			if cn.writerOn {
+				// Shared fan-out: the block is encoded once per (j, seq)
+				// and every child's writer enqueues the same buffer.
+				var frame []byte
+				if frame, err = n.fanFrame(j, next); err == nil {
+					err = cn.enqueueShared(frame)
+				}
+			} else {
+				err = cn.send(protocol.Message{
+					Type: protocol.TypeBlockPush, From: n.cfg.ID, To: cn.peer,
+					SubStream: int16(j), StartSeq: next, Payload: n.payload,
+				})
+			}
 			if err != nil {
 				n.abortPusher(cn, j)
 				return
@@ -569,6 +736,7 @@ func (n *Node) receiveBlock(j int, seq int64, payload []byte) {
 	if err != nil {
 		return
 	}
+	n.stats.blocksReceived.Add(1)
 	if combined > 0 {
 		n.cb.Append(combined)
 	}
@@ -628,10 +796,18 @@ func (n *Node) StartSource() error {
 }
 
 // bmLoop periodically sends the node's buffer map to every partner.
+// On the batched plane most exchanges are BMDelta frames: the changes
+// versus the last map sent on that conn, with an absolute keyframe
+// every BMKeyframeEvery exchanges (and after an unacknowledged keyframe
+// outlives its grace) so a receiver that lost sync converges on the
+// next keyframe. A reconnect is a new conn, so it always starts with a
+// keyframe. Legacy conns keep receiving full BMExchange maps.
 func (n *Node) bmLoop() {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.cfg.BMPeriod)
 	defer ticker.Stop()
+	var bm buffer.BufferMap // reused across ticks; copied at encode time
+	conns := make([]*conn, 0, 8)
 	for {
 		select {
 		case <-ticker.C:
@@ -643,31 +819,76 @@ func (n *Node) bmLoop() {
 			n.mu.Unlock()
 			return
 		}
-		var bm buffer.BufferMap
-		if n.started {
-			bm = buffer.NewBufferMap(n.cfg.Layout.K)
+		started := n.started
+		if started {
+			bm.Reset(n.cfg.Layout.K)
 			for j := 0; j < n.cfg.Layout.K; j++ {
 				bm.Latest[j] = n.sb.Latest(j)
+				bm.Subscribed[j] = false
 			}
 		}
-		conns := make([]*conn, 0, len(n.conns))
+		conns = conns[:0]
 		for _, cn := range n.conns {
 			conns = append(conns, cn)
 		}
 		n.mu.Unlock()
+		// One clone shared (read-only) as every batched conn's bmSent
+		// base for next tick's diff.
+		var tickBM buffer.BufferMap
 		for _, cn := range conns {
-			if bm.K() == 0 {
+			var m protocol.Message
+			switch {
+			case !started:
 				// Nothing to advertise yet (buffers not initialised):
 				// heartbeat instead, so partners can tell a quiet node
 				// from a hung one.
-				cn.send(protocol.Message{
-					Type: protocol.TypePing, From: n.cfg.ID, To: cn.peer,
-				})
+				m = protocol.Message{Type: protocol.TypePing, From: n.cfg.ID, To: cn.peer}
+			case !cn.writerOn || n.cfg.Layout.K > protocol.MaxDeltaLanes:
+				m = protocol.Message{Type: protocol.TypeBMExchange, From: n.cfg.ID, To: cn.peer, BM: bm}
+			default:
+				if tickBM.K() == 0 {
+					tickBM = bm.Clone()
+				}
+				m = protocol.Message{Type: protocol.TypeBMDelta, From: n.cfg.ID, To: cn.peer}
+				n.mu.Lock()
+				key := !cn.bmHave || cn.bmSinceKey+1 >= n.cfg.BMKeyframeEvery ||
+					(!cn.bmAcked && cn.bmSinceKey+1 > bmAckGrace)
+				var d protocol.BMDelta
+				var derr error
+				if !key {
+					d, derr = protocol.DiffBM(cn.bmSent, tickBM, cn.bmEpoch)
+					key = derr != nil
+				}
+				if key {
+					cn.bmEpoch++
+					d, derr = protocol.KeyBM(tickBM, cn.bmEpoch)
+					cn.bmAcked, cn.bmSinceKey = false, 0
+				} else {
+					cn.bmSinceKey++
+				}
+				cn.bmSent, cn.bmHave = tickBM, derr == nil
+				n.mu.Unlock()
+				if derr != nil {
+					continue // unreachable with a validated layout
+				}
+				m.Delta = d
+			}
+			if err := cn.send(m); err != nil {
+				cn.bmFails++
+				if cn.bmFails >= bmFailLimit {
+					// A partner that persistently cannot take BM traffic
+					// is dead weight for the adaptation planner: tear it
+					// down through the maintenance path instead of
+					// silently failing forever.
+					n.mu.Lock()
+					n.dropPartnerLocked(cn)
+					n.rec.BMFailTeardowns++
+					n.mu.Unlock()
+					cn.c.Close()
+				}
 				continue
 			}
-			cn.send(protocol.Message{
-				Type: protocol.TypeBMExchange, From: n.cfg.ID, To: cn.peer, BM: bm,
-			})
+			cn.bmFails = 0
 		}
 	}
 }

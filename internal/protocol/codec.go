@@ -30,6 +30,12 @@ func Marshal(m Message) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	if compactHeader(m.Type) {
+		// The compact varint-header types live in the append codec;
+		// there is one encoder for them, so reference == fast by
+		// construction.
+		return AppendMessage(nil, m)
+	}
 	var b bytes.Buffer
 	b.WriteByte(byte(m.Type))
 	writeI32 := func(v int32) { binary.Write(&b, binary.BigEndian, v) }
@@ -84,6 +90,10 @@ func Marshal(m Message) ([]byte, error) {
 // Unmarshal decodes a message produced by Marshal.
 func Unmarshal(data []byte) (Message, error) {
 	var m Message
+	if len(data) > 0 && compactHeader(MsgType(data[0])) {
+		err := DecodeMessage(data, &m)
+		return m, err
+	}
 	r := bytes.NewReader(data)
 	var typ uint8
 	if err := binary.Read(r, binary.BigEndian, &typ); err != nil {

@@ -181,7 +181,7 @@ func TestRoundTripProperty(t *testing.T) {
 
 func TestMsgTypeString(t *testing.T) {
 	seen := map[string]bool{}
-	for typ := TypeMCacheRequest; typ <= TypePing; typ++ {
+	for typ := TypeMCacheRequest; typ <= TypeBMAck; typ++ {
 		s := typ.String()
 		if s == "" || seen[s] {
 			t.Fatalf("bad or duplicate string %q", s)

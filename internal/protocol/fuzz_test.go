@@ -19,6 +19,15 @@ func FuzzUnmarshal(f *testing.F) {
 	bm := buffer.NewBufferMap(4)
 	bm.Latest = []int64{1, 2, 3, 4}
 	seedMsgs = append(seedMsgs, Message{Type: TypeBMExchange, From: 9, To: 10, BM: bm})
+	seedMsgs = append(seedMsgs,
+		Message{Type: TypeBMAck, From: 2, To: 1, AckEpoch: 3},
+		Message{Type: TypeBMDelta, From: 1, To: 2,
+			Delta: BMDelta{Epoch: 1, Absolute: true, Lanes: []int64{5, 6, 7}, Sub: []bool{true, false, true}}},
+		Message{Type: TypeBMDelta, From: -1, To: 400,
+			Delta: BMDelta{Epoch: 9, Lanes: []int64{1, 1, 1}}},
+		Message{Type: TypeBMDelta, From: 3, To: 4,
+			Delta: BMDelta{Epoch: 2, Lanes: []int64{0, -2, 4}, Sub: []bool{false, true, true}}},
+	)
 	for _, m := range seedMsgs {
 		data, err := Marshal(m)
 		if err != nil {
@@ -30,6 +39,13 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{0xFF, 0x00, 0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Unmarshal(data)
+		// Differential: the scanning decoder must agree with the
+		// reference decoder on accept/reject for every input.
+		var m2 Message
+		err2 := DecodeMessage(data, &m2)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("decoders disagree: Unmarshal=%v DecodeMessage=%v", err, err2)
+		}
 		if err != nil {
 			return
 		}
@@ -39,6 +55,11 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if !bytes.Equal(again, data) {
 			t.Fatalf("marshal not canonical:\n% x\n% x", data, again)
+		}
+		// And the append encoder agrees on the decoded value.
+		fast, err := AppendMessage(nil, m2)
+		if err != nil || !bytes.Equal(fast, data) {
+			t.Fatalf("append encoder diverges (%v):\n% x\n% x", err, data, fast)
 		}
 	})
 }

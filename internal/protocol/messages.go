@@ -41,6 +41,14 @@ const (
 	// advertise yet (no buffers) still proves its control loop is alive,
 	// so partners can distinguish "quiet" from "hung".
 	TypePing
+	// TypeBMDelta carries a compact buffer-map update: per-lane changes
+	// against the previous update on the same connection, with periodic
+	// absolute keyframes. Replaces TypeBMExchange at steady state.
+	TypeBMDelta
+	// TypeBMAck acknowledges a BMDelta keyframe epoch, letting the
+	// sender keep emitting relative deltas with confidence the receiver
+	// holds the base.
+	TypeBMAck
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +76,10 @@ func (t MsgType) String() string {
 		return "block-push"
 	case TypePing:
 		return "ping"
+	case TypeBMDelta:
+		return "bm-delta"
+	case TypeBMAck:
+		return "bm-ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -112,6 +124,10 @@ type Message struct {
 	// PartnerRequest: the dialer's advertised listen address, so the
 	// acceptor can gossip it onwards ("" when the dialer has none).
 	Addr string
+	// BMDelta: the compact buffer-map update.
+	Delta BMDelta
+	// BMAck: the keyframe epoch being acknowledged.
+	AckEpoch uint8
 }
 
 // Validate performs structural checks appropriate for the type.
@@ -150,8 +166,12 @@ func (m Message) Validate() error {
 		if len(m.Addr) > MaxAddrLen {
 			return fmt.Errorf("protocol: partner-request address %d bytes", len(m.Addr))
 		}
-	case TypePartnerAccept, TypePartnerReject, TypeLeave, TypePing:
-		// No payload.
+	case TypeBMDelta:
+		if err := m.Delta.validate(); err != nil {
+			return err
+		}
+	case TypePartnerAccept, TypePartnerReject, TypeLeave, TypePing, TypeBMAck:
+		// No payload (the ack epoch may take any value).
 	default:
 		return fmt.Errorf("protocol: unknown message type %d", m.Type)
 	}
