@@ -67,6 +67,13 @@ func run() (err error) {
 		netplaneDur   = flag.Duration("netplanedur", 3*time.Second, "netplane: measured window per plane")
 		netplanePeers = flag.Int("netplanepeers", 8, "netplane: full-stream children on the source")
 		netplaneJSON  = flag.String("netplanejson", "", "netplane: write results to this JSON file (default stdout)")
+
+		tickab       = flag.Bool("tickab", false, "run the interleaved tick A/B harness (shard-count variants in alternating windows) instead of the simulator experiments")
+		count        = flag.Int("count", 5, "tickab: interleaved measurement rounds per variant (median/spread over rounds)")
+		tickabPeers  = flag.Int("tickabpeers", 200_000, "tickab: synthetic population per variant world")
+		tickabShards = flag.String("tickabshards", "1,8", "tickab: comma-separated shard-count variants")
+		tickabTicks  = flag.Int("tickabticks", 5, "tickab: engine ticks per measurement window")
+		tickabJSON   = flag.String("tickabjson", "", "tickab: write results to this JSON file")
 	)
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
@@ -85,6 +92,9 @@ func run() (err error) {
 	}
 	if *netplane {
 		return netplaneBench(*netplaneDur, *netplanePeers, *netplaneJSON)
+	}
+	if *tickab {
+		return tickabBench(*tickabPeers, *tickabShards, *count, *tickabTicks, *tickabJSON)
 	}
 	spec, ok := scales[*scale]
 	if !ok {

@@ -96,6 +96,10 @@ func run() (err error) {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
 	cfg.DeferControl = *deferCtl
+	// Phase labels only pay off when a CPU profile is actually being
+	// captured; auto-enable them with -cpuprofile so `go tool pprof
+	// -tagfocus phase=...` works out of the box.
+	cfg.LabelPhases = prof.CPUProfile != ""
 	if *loadScen != "" {
 		f, err := os.Open(*loadScen)
 		if err != nil {

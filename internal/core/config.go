@@ -87,6 +87,12 @@ type Config struct {
 	// DeferControl forces the deferred-effect serialization at one
 	// shard — the A/B hook pinning Shards=1 ≡ Shards=N.
 	DeferControl bool
+	// LabelPhases tags every tick-phase worker with a runtime/pprof
+	// label (phase=allocate/advance/playback/control/drain/merge) so a
+	// CPU profile captured alongside the run splits by phase. Costs a
+	// small per-worker-call allocation — tools enable it only when a
+	// profile is actually being collected.
+	LabelPhases bool
 }
 
 // ScaledCutoff converts a real-time duration to the workload's

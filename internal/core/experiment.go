@@ -121,6 +121,7 @@ func Run(cfg Config) (*Result, error) {
 		world.MeterPhases(true)
 	}
 	world.ForceDeferredControl = cfg.DeferControl
+	world.LabelPhases(cfg.LabelPhases)
 	if cfg.StallContinuity > 0 {
 		world.StallContinuity = cfg.StallContinuity
 		world.StallAbandonProb = cfg.StallAbandonProb

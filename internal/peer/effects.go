@@ -3,7 +3,9 @@ package peer
 import (
 	"time"
 
+	"coolstream/internal/gossip"
 	"coolstream/internal/logsys"
+	"coolstream/internal/profiling"
 	"coolstream/internal/sim"
 )
 
@@ -80,6 +82,18 @@ const (
 	// partner kill of the fault step, routed through the same apply
 	// path so fault damage is identical in both engines.
 	effKill
+	// effCrashDetach is the visitor-side half of a split partner
+	// crash: detach the sub-streams in bitmask b (baked at emit time;
+	// see the equivalence note on emitCrash) from the corpse. Target =
+	// src, so the visitor's own shard commits it in the parallel
+	// target pass.
+	effCrashDetach
+	// effCrashChildren is the corpse-side half: remove src from the
+	// corpse's child registries for bitmask b and attempt the corpse
+	// reclaim. a = corpse ID; target = corpse, so the corpse's shard
+	// commits it — concurrent detectors of the same crash serialize on
+	// that one shard in canonical order.
+	effCrashChildren
 )
 
 // effect is one deferred cross-node mutation. src and seq are the
@@ -137,13 +151,65 @@ func (vc *vctx) parent(n *Node, j int) int {
 	return n.Subs[j].Parent
 }
 
-// emit appends an effect from the visited node to the shard outbox.
+// emit appends an effect from the visited node to the shard's residue
+// outbox — the sequential barrier pass. Residue effects and routed
+// effects share one per-shard seq counter, so the union of all queues
+// a shard emits is totally ordered by (src, seq): the global canonical
+// order is well defined across both drain passes and the residue.
 func (vc *vctx) emit(k effectKind, a, b int32, t sim.Time, f float64) {
 	sh := vc.sh
 	sh.outbox = append(sh.outbox, effect{
 		kind: k, src: int32(vc.node.ID), seq: sh.effSeq, a: a, b: b, t: t, f: f,
 	})
 	sh.effSeq++
+}
+
+// emitPar routes an effect to the shard owning its *target* node: it
+// lands in outPar[target shard], and at the barrier that shard — and
+// only that shard — applies it, in canonical (src, seq) order
+// restricted to its own targets. Single-target effects (crash halves,
+// start-sub, gossip) commit this way in parallel; everything
+// multi-target stays in the sequential residue via emit.
+func (vc *vctx) emitPar(target int, k effectKind, a, b int32, f float64) {
+	sh := vc.sh
+	ti := vc.w.nodes[target].shard
+	sh.outPar[ti] = append(sh.outPar[ti], effect{
+		kind: k, src: int32(vc.node.ID), seq: sh.effSeq, a: a, b: b, f: f,
+	})
+	sh.effSeq++
+}
+
+// emitCrash emits the two halves of a partner-crash teardown. The
+// sub-stream set served by the corpse is baked into a bitmask at emit
+// time rather than re-scanned at apply time; the two are equivalent
+// because between emit and apply the only earlier-canonical effects
+// that touch the visitor's parents are its own — refreshBMs runs
+// first in the visit, so those are crash detaches with disjoint masks
+// (the vc overlay already excludes previously detached sub-streams),
+// and no departure can intervene before the barrier. Layouts with
+// more than 31 sub-streams fall back to the legacy scan-at-apply
+// residue effect.
+func (vc *vctx) emitCrash(n *Node, corpse int) {
+	var mask int32
+	for j := range n.Subs {
+		if vc.parent(n, j) == corpse {
+			if j < 31 {
+				mask |= 1 << uint(j)
+			}
+			vc.pendPar[j] = NoParent
+			vc.pendSet[j] = true
+			vc.pendAny = true
+		}
+	}
+	if len(n.Subs) > 31 {
+		vc.emit(effPartnerCrash, int32(corpse), 0, 0, 0)
+		return
+	}
+	vc.emitPar(n.ID, effCrashDetach, int32(corpse), mask, 0)
+	// Emitted even for an empty mask: the legacy effect always
+	// attempted the corpse reclaim, and the last detector must still
+	// trigger the donation.
+	vc.emitPar(corpse, effCrashChildren, int32(corpse), mask, 0)
 }
 
 // setParent is the choke point for subscription changes decided inside
@@ -234,7 +300,200 @@ func (w *World) drainEffects(now sim.Time) {
 	for _, sh := range w.shards {
 		sh.effTotal += int64(len(sh.outbox))
 		sh.outbox = sh.outbox[:0]
+		for i := range sh.outPar {
+			sh.effTotal += int64(len(sh.outPar[i]))
+			sh.outPar[i] = sh.outPar[i][:0]
+		}
+		for i := range sh.gossipOut {
+			sh.gossipOut[i] = sh.gossipOut[i][:0]
+		}
 		sh.effSeq = 0
+	}
+}
+
+// gossipSampleN is the §III-C partner-sample size of one gossip
+// exchange (the legacy literal 4 in the in-place path).
+const gossipSampleN = 4
+
+// gossipReply carries the sampled entries of one deferred gossip
+// exchange from the partner's shard (which owns the partner's mCache
+// and its RNG stream) back to the source's shard, which inserts them
+// into the source's mCache in the second drain pass. The entries are
+// copied out immediately because MCache.Sample returns scratch that
+// the next Sample on the same cache reuses.
+type gossipReply struct {
+	src, seq int32
+	n        int32
+	ents     [gossipSampleN]gossip.Entry
+}
+
+// growDrainScratch sizes the per-shard routing queues to the current
+// shard count. Called at the top of controlSharded so late SetShards
+// calls (and the ForceDeferredControl one-shard bridge) are covered.
+func (w *World) growDrainScratch() {
+	ns := len(w.shards)
+	for _, sh := range w.shards {
+		for len(sh.outPar) < ns {
+			sh.outPar = append(sh.outPar, nil)
+		}
+		for len(sh.gossipOut) < ns {
+			sh.gossipOut = append(sh.gossipOut, nil)
+		}
+		for len(sh.mergeCur) < ns {
+			sh.mergeCur = append(sh.mergeCur, 0)
+		}
+	}
+}
+
+// drainTargetRange is the first parallel drain pass: each target shard
+// k-way-merges the routed queues outPar[self] of every emitting shard
+// by (src, seq) and applies them. Every effect here mutates only nodes
+// owned by the applying shard (plus the shared topo epochs, which are
+// atomic), so the passes over disjoint target shards commute; within
+// one target the apply order is the global canonical order restricted
+// to that target, which is what makes the result independent of the
+// shard partition.
+func (w *World) drainTargetRange(lo, hi int) {
+	if w.labelPhases {
+		profiling.WithLabel("drain", func() { w.drainTargets(lo, hi) })
+		return
+	}
+	w.drainTargets(lo, hi)
+}
+
+func (w *World) drainTargets(lo, hi int) {
+	now := w.tickNow
+	for ti := lo; ti < hi; ti++ {
+		t := w.shards[ti]
+		cur := t.mergeCur[:len(w.shards)]
+		for i := range cur {
+			cur[i] = 0
+		}
+		for {
+			best := -1
+			var bk effect
+			for i, sh := range w.shards {
+				q := sh.outPar[ti]
+				if cur[i] < len(q) {
+					if e := q[cur[i]]; best < 0 || e.src < bk.src ||
+						(e.src == bk.src && e.seq < bk.seq) {
+						best, bk = i, e
+					}
+				}
+			}
+			if best < 0 {
+				break
+			}
+			cur[best]++
+			w.applyTargetEffect(t, bk, now)
+		}
+	}
+}
+
+// drainSourceRange is the second parallel drain pass: each source
+// shard k-way-merges the gossip replies addressed to it (filled by the
+// target pass) by (src, seq) and inserts the sampled entries into its
+// own nodes' mCaches. Each reply queue is produced in target-pass
+// apply order — canonical order restricted to that target shard — so
+// restricting further to one source shard keeps it (src, seq)-sorted
+// and the merge again lands on the canonical restriction.
+func (w *World) drainSourceRange(lo, hi int) {
+	if w.labelPhases {
+		profiling.WithLabel("drain", func() { w.drainSources(lo, hi) })
+		return
+	}
+	w.drainSources(lo, hi)
+}
+
+func (w *World) drainSources(lo, hi int) {
+	now := w.tickNow
+	for si := lo; si < hi; si++ {
+		s := w.shards[si]
+		cur := s.mergeCur[:len(w.shards)]
+		for i := range cur {
+			cur[i] = 0
+		}
+		for {
+			best := -1
+			var bk *gossipReply
+			for i, sh := range w.shards {
+				q := sh.gossipOut[si]
+				if cur[i] < len(q) {
+					if r := &q[cur[i]]; bk == nil || r.src < bk.src ||
+						(r.src == bk.src && r.seq < bk.seq) {
+						best, bk = i, r
+					}
+				}
+			}
+			if best < 0 {
+				break
+			}
+			cur[best]++
+			n := w.nodes[bk.src]
+			if n.MCache != nil {
+				for i := int32(0); i < bk.n; i++ {
+					n.MCache.Insert(bk.ents[i], now)
+				}
+			}
+		}
+	}
+}
+
+// applyTargetEffect commits one routed effect on its target's shard.
+// Unlike the residue path there are no departed-state re-checks: no
+// departure can happen between the visit phase and the drain (the
+// fault step precedes control, stall abandons commit in the residue
+// after this pass, and engine-driven departs fire outside the tick),
+// so the liveness the emitting visit saw still holds — dropping the
+// checks here is deterministic, not an optimization gamble.
+func (w *World) applyTargetEffect(t *worldShard, e effect, now sim.Time) {
+	if w.drainLogOn {
+		t.drainLog = append(t.drainLog, [2]int32{e.src, e.seq})
+	}
+	switch e.kind {
+	case effCrashDetach:
+		n := w.nodes[e.src]
+		for j := 0; e.b>>uint(j) != 0; j++ {
+			if e.b&(1<<uint(j)) != 0 {
+				n.Subs[j].Parent = NoParent
+				n.Subs[j].RateBps = 0
+			}
+		}
+	case effCrashChildren:
+		corpse := w.nodes[e.a]
+		for j := 0; e.b>>uint(j) != 0; j++ {
+			if e.b&(1<<uint(j)) != 0 {
+				corpse.removeChild(j, int(e.src))
+			}
+		}
+		w.reclaimCorpseChildren(corpse)
+	case effStartSub:
+		n := w.nodes[e.src]
+		if n.State != StateJoining {
+			return
+		}
+		n.startPos = e.f
+		for j := range n.Subs {
+			n.Subs[j].H = e.f
+		}
+		if e.a != 0 {
+			n.State = StateSubscribing
+			n.StartSubAt = now
+		}
+	case effGossip:
+		src := w.nodes[e.src]
+		partner := w.nodes[e.a]
+		if src.MCache == nil || partner.MCache == nil {
+			return
+		}
+		r := gossipReply{src: e.src, seq: e.seq}
+		for _, en := range partner.MCache.Sample(gossipSampleN, int(e.src), nil) {
+			r.ents[r.n] = en
+			r.n++
+		}
+		si := int(src.shard)
+		t.gossipOut[si] = append(t.gossipOut[si], r)
+		partner.MCache.Insert(w.bootEntry(src), now)
 	}
 }
 
@@ -374,20 +633,35 @@ func (w *World) applySetParent(n *Node, j, parent int) {
 	p.addChild(j, n.ID)
 }
 
-// controlSharded is the deferred-effect control phase. Three stages:
+// controlSharded is the deferred-effect control phase. Four stages:
 //
 //  1. sequential: route the playback phase's Inequality (1) flag
 //     lists to their owner shards and drain every shard's wheel into
 //     a sorted, deduplicated due list;
 //  2. parallel: each shard visits its due nodes with its own visit
 //     context — all cross-node mutations become effects;
-//  3. sequential barrier: flush the record lanes, drain the effect
-//     outboxes in canonical (src, seq) order, fold the counters.
+//  3. parallel barrier: the target pass commits each shard's routed
+//     inbox (crash halves, start-subs, gossip samples) and the source
+//     pass commits the gossip replies — metered as Drain;
+//  4. sequential barrier: flush the record lanes, drain the residue
+//     outboxes in canonical (src, seq) order, fold the counters —
+//     metered as Merge, the tick's true sequential tail.
 func (w *World) controlSharded(now sim.Time) {
-	for _, flagged := range w.advFlagShards {
-		for _, id := range flagged {
-			sh := w.shards[w.nodes[id].shard]
-			sh.wheelBuf = append(sh.wheelBuf, id)
+	w.growDrainScratch()
+	if w.nshards > 1 {
+		// Shard-local playback already partitioned the flag lists by
+		// owner shard: route with one append per shard instead of a
+		// per-ID shard lookup.
+		for si := 0; si < w.nshards && si < len(w.advFlagShards); si++ {
+			sh := w.shards[si]
+			sh.wheelBuf = append(sh.wheelBuf, w.advFlagShards[si]...)
+		}
+	} else {
+		for _, flagged := range w.advFlagShards {
+			for _, id := range flagged {
+				sh := w.shards[w.nodes[id].shard]
+				sh.wheelBuf = append(sh.wheelBuf, id)
+			}
 		}
 	}
 	for _, sh := range w.shards {
@@ -406,10 +680,32 @@ func (w *World) controlSharded(now sim.Time) {
 	}
 	w.tickNow = now
 	sim.ParallelGrain(len(w.shards), 1, w.shardVisitFn)
+	if w.testBarrierHook != nil {
+		w.testBarrierHook()
+	}
 	var t0 time.Time
 	if w.phaseClock {
 		t0 = time.Now()
 	}
+	sim.ParallelGrain(len(w.shards), 1, w.drainTargetFn)
+	sim.ParallelGrain(len(w.shards), 1, w.drainSourceFn)
+	if w.phaseClock {
+		w.Phases.Drain += time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+	}
+	if w.labelPhases {
+		profiling.WithLabel("merge", func() { w.mergeBarrier(now) })
+	} else {
+		w.mergeBarrier(now)
+	}
+	if w.phaseClock {
+		w.Phases.Merge += time.Since(t0).Nanoseconds()
+	}
+}
+
+// mergeBarrier is the sequential tail of the sharded tick: record-lane
+// flush, residue effect drain, counter folds.
+func (w *World) mergeBarrier(now sim.Time) {
 	w.flushShardRecords()
 	w.drainEffects(now)
 	for _, sh := range w.shards {
@@ -425,15 +721,20 @@ func (w *World) controlSharded(now sim.Time) {
 		}
 		sh.natRefusals = 0
 	}
-	if w.phaseClock {
-		w.Phases.Merge += time.Since(t0).Nanoseconds()
-	}
 }
 
 // shardVisitRange is the parallel stage of controlSharded: shards
 // [lo, hi) visit their due nodes. Bound once as shardVisitFn so the
 // steady-state tick allocates no closures.
 func (w *World) shardVisitRange(lo, hi int) {
+	if w.labelPhases {
+		profiling.WithLabel("control", func() { w.shardVisits(lo, hi) })
+		return
+	}
+	w.shardVisits(lo, hi)
+}
+
+func (w *World) shardVisits(lo, hi int) {
 	now := w.tickNow
 	for si := lo; si < hi; si++ {
 		sh := w.shards[si]

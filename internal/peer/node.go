@@ -45,6 +45,21 @@ func (s State) String() string {
 // NoParent marks a sub-stream without a live parent.
 const NoParent = -1
 
+// nodeHot packs the playback-phase hot per-node fields — the playback
+// deadline position and the continuity accumulators of one report
+// interval — carved from per-shard contiguous arenas (nodeChunk
+// granularity, like the node shells themselves): the playback sweep
+// touches exactly these fields for every ready node every tick, and
+// packing them keeps that sweep on dense cache lines instead of
+// striding whole node shells. They are deliberately outside the run
+// digest: playback integration feeds the digest only through the
+// records and departures it triggers.
+type nodeHot struct {
+	playDeadline float64 // current deadline position (per-sub-stream seq)
+	missedBlocks float64
+	totalBlocks  float64
+}
+
 // Subscription is one sub-stream's receive state.
 type Subscription struct {
 	// Parent is the serving node ID, or NoParent when stalled.
@@ -120,8 +135,12 @@ type Node struct {
 	// startPos is the per-sub-stream sequence chosen at join (m - Tp).
 	startPos float64
 
-	// Playback state.
-	playDeadline float64 // current deadline position (per-sub-stream seq)
+	// hot points at the node's packed playback-phase fields in its
+	// shard's contiguous hot arena (see nodeHot and newNode): the
+	// playback sweep touches deadline and continuity accumulators for
+	// every ready node every tick, and packing them keeps that sweep
+	// on dense cache lines instead of striding whole node shells.
+	hot *nodeHot
 	// readyPending defers the media-ready bookkeeping (session counter,
 	// and — without a sharded sink — the log record) from the parallel
 	// playback phase to the sequential control phase. readyLogged marks
@@ -130,10 +149,8 @@ type Node struct {
 	readyLogged  bool
 
 	// Report-interval accumulators.
-	missedBlocks  float64
-	totalBlocks   float64
-	upBytes       float64
-	downBytes     float64
+	upBytes   float64
+	downBytes float64
 	lastReportAt  sim.Time
 	CumUploadB    float64
 	CumDownloadB  float64

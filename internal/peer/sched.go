@@ -217,7 +217,7 @@ func (w *World) stallDue(n *Node, now sim.Time) sim.Time {
 		return farFuture
 	}
 	cross := now
-	if num := (1-w.StallContinuity)*n.totalBlocks - n.missedBlocks; num > 0 {
+	if num := (1-w.StallContinuity)*n.hot.totalBlocks - n.hot.missedBlocks; num > 0 {
 		cross = now + sim.Time(num/(w.StallContinuity*kbeta)*1000)
 	}
 	if gate > cross {

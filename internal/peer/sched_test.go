@@ -107,8 +107,8 @@ func projectNode(n *Node) nodeProjection {
 		LastAdaptAt:   n.lastAdaptAt,
 		RecruitingDue: n.recruitingDue,
 		CumUp:         n.CumUploadB, CumDown: n.CumDownloadB,
-		Missed: n.missedBlocks, Total: n.totalBlocks,
-		PlayDeadline:   n.playDeadline,
+		Missed: n.hot.missedBlocks, Total: n.hot.totalBlocks,
+		PlayDeadline:   n.hot.playDeadline,
 		StartPos:       n.startPos,
 		PartnerChanges: n.partnerChanges,
 	}

@@ -52,6 +52,7 @@ type worldShard struct {
 	nodeArena  []Node
 	subArena   []Subscription
 	childArena [][]int
+	hotArena   []nodeHot
 	mapPool    []map[int]*Partner
 	intPool    [][]int
 	plistPool  [][]*Partner
@@ -61,13 +62,32 @@ type worldShard struct {
 	fillerPool []*netmodel.Filler
 	ppool      partnerPool
 
-	// Deferred-control state: the shard's visit context, the effect
-	// outbox (drained in canonical (src, seq) order at the barrier) and
-	// the shard's record lane for control-phase log records.
+	// Deferred-control state: the shard's visit context, the residue
+	// effect outbox (drained sequentially in canonical (src, seq) order
+	// at the barrier), the target-routed queues of the parallel drain
+	// passes and the shard's record lane for control-phase log records.
 	vc     vctx
 	outbox []effect
 	effSeq int32
-	recBuf []logsys.Record
+	// outPar[t] holds effects this shard emitted whose target node
+	// lives on shard t; shard t alone applies them in the parallel
+	// target pass. gossipOut[s] holds the gossip replies this shard
+	// produced (as a target) for source nodes owned by shard s; shard s
+	// alone consumes them in the source pass. mergeCur is the shard's
+	// private cursor scratch for those k-way merges, and drainLog
+	// captures the applied (src, seq) order when the property-test hook
+	// is armed.
+	outPar    [][]effect
+	gossipOut [][]gossipReply
+	mergeCur  []int
+	drainLog  [][2]int32
+	recBuf    []logsys.Record
+
+	// memberEpoch counts this shard's membership changes and removed
+	// marks that at least one of them was a departure, not a join —
+	// the dirty-shard state of the incremental mergedActive rebuild.
+	memberEpoch uint64
+	removed     bool
 
 	// Per-tick counters, folded into the world totals at the barrier
 	// so parallel visits never touch shared counters.
@@ -189,8 +209,15 @@ func (w *World) compactShard(sh *worldShard) {
 // mergedActive returns the sorted union of every shard's active list.
 // With one shard it aliases the shard's own list — no copy, so the
 // small-world fast path costs exactly what the pre-shard engine did.
-// With several shards the k-way merge scratch is rebuilt only when
-// membership changed since the last merge (memberEpoch).
+// With several shards the rebuild is incremental per dirty shard:
+// join-only changes merge just the dirty shards' appended suffixes
+// onto the cached tail (node IDs are assigned monotonically, so every
+// ID appended since the last merge exceeds every cached ID), and
+// departures re-merge only the dirty shards' lists against the cached
+// list with the dirty shards' old entries filtered out. Clean shards
+// are never re-read, so a single join or depart no longer pays a full
+// k-way re-merge of all shards. Callers settle departures
+// (compactAllActive) before merging, as before.
 func (w *World) mergedActive() []int {
 	if w.nshards == 1 {
 		return w.shards[0].active
@@ -198,6 +225,105 @@ func (w *World) mergedActive() []int {
 	if w.memberEpoch == w.mergedEpoch && w.mergedIDs != nil {
 		return w.mergedIDs
 	}
+	if w.mergedIDs == nil || len(w.mergedShardEpochs) != len(w.shards) {
+		return w.rebuildMergedFull()
+	}
+	dirty := w.dirtyScratch[:0]
+	removed := false
+	for i, sh := range w.shards {
+		if sh.memberEpoch != w.mergedShardEpochs[i] {
+			dirty = append(dirty, i)
+			if sh.removed {
+				removed = true
+			}
+		}
+	}
+	w.dirtyScratch = dirty
+	if len(dirty) == 0 {
+		w.mergedEpoch = w.memberEpoch
+		return w.mergedIDs
+	}
+	cur := w.effCur[:len(dirty)]
+	if !removed {
+		// Append-only fast path: d-way merge of the dirty shards'
+		// suffixes, appended to the cached list.
+		for i, si := range dirty {
+			cur[i] = w.mergedShardLens[si]
+		}
+		out := w.mergedIDs
+		for {
+			best, bestID := -1, 0
+			for i, si := range dirty {
+				a := w.shards[si].active
+				if cur[i] < len(a) {
+					if id := a[cur[i]]; best < 0 || id < bestID {
+						best, bestID = i, id
+					}
+				}
+			}
+			if best < 0 {
+				break
+			}
+			out = append(out, bestID)
+			cur[best]++
+		}
+		w.mergedIDs = out
+		w.noteMerged()
+		return out
+	}
+	// Departure path: drop the dirty shards' old entries from the
+	// cached list and two-way merge it with the d-way merge of the
+	// dirty shards' (compacted) lists, into the double buffer.
+	mark := w.dirtyMark
+	for len(mark) < len(w.shards) {
+		mark = append(mark, false)
+	}
+	w.dirtyMark = mark
+	for _, si := range dirty {
+		mark[si] = true
+	}
+	for i := range cur {
+		cur[i] = 0
+	}
+	out := w.mergedScratch[:0]
+	old := w.mergedIDs
+	oi := 0
+	for {
+		for oi < len(old) && mark[w.nodes[old[oi]].shard] {
+			oi++
+		}
+		best, bestID := -1, 0
+		for i, si := range dirty {
+			a := w.shards[si].active
+			if cur[i] < len(a) {
+				if id := a[cur[i]]; best < 0 || id < bestID {
+					best, bestID = i, id
+				}
+			}
+		}
+		if oi >= len(old) && best < 0 {
+			break
+		}
+		if best < 0 || (oi < len(old) && old[oi] < bestID) {
+			out = append(out, old[oi])
+			oi++
+		} else {
+			out = append(out, bestID)
+			cur[best]++
+		}
+	}
+	for _, si := range dirty {
+		mark[si] = false
+	}
+	w.mergedScratch = w.mergedIDs[:0]
+	w.mergedIDs = out
+	w.noteMerged()
+	return out
+}
+
+// rebuildMergedFull is the from-scratch k-way merge — first use and
+// shard-count growth only.
+func (w *World) rebuildMergedFull() []int {
 	out := w.mergedIDs[:0]
 	cur := w.effCur[:len(w.shards)]
 	for i := range cur {
@@ -219,8 +345,25 @@ func (w *World) mergedActive() []int {
 		cur[best]++
 	}
 	w.mergedIDs = out
-	w.mergedEpoch = w.memberEpoch
+	w.noteMerged()
 	return out
+}
+
+// noteMerged records the per-shard membership state the cached merge
+// reflects and clears the dirty flags.
+func (w *World) noteMerged() {
+	for len(w.mergedShardEpochs) < len(w.shards) {
+		w.mergedShardEpochs = append(w.mergedShardEpochs, 0)
+	}
+	for len(w.mergedShardLens) < len(w.shards) {
+		w.mergedShardLens = append(w.mergedShardLens, 0)
+	}
+	for i, sh := range w.shards {
+		w.mergedShardEpochs[i] = sh.memberEpoch
+		w.mergedShardLens[i] = len(sh.active)
+		sh.removed = false
+	}
+	w.mergedEpoch = w.memberEpoch
 }
 
 // activeView settles departures on every shard and returns the merged
@@ -267,8 +410,12 @@ type PhaseNanos struct {
 	Playback int64
 	Account  int64
 	Control  int64
-	// Merge is the sequential barrier of the deferred-effect engine:
-	// effect drain, record-lane flush and counter folds.
+	// Drain is the parallel half of the deferred-effect barrier: the
+	// per-target-shard effect pass and the per-source-shard gossip
+	// reply pass.
+	Drain int64
+	// Merge is the sequential tail of the deferred-effect engine:
+	// record-lane flush, residue effect drain and counter folds.
 	Merge int64
 }
 
@@ -281,6 +428,13 @@ func (w *World) MeterPhases(on bool) {
 		w.controlClock = true
 	}
 }
+
+// LabelPhases wraps every tick-phase worker in a runtime/pprof label
+// (phase=allocate/advance/playback/control/drain/merge) so a CPU
+// profile splits by phase: `go tool pprof -tagfocus phase=advance`.
+// Off by default — the label push/pop costs a context allocation per
+// worker call, so it is only worth paying under -cpuprofile.
+func (w *World) LabelPhases(on bool) { w.labelPhases = on }
 
 // PhaseStats returns the accumulated per-phase wall times.
 func (w *World) PhaseStats() PhaseNanos {

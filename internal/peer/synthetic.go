@@ -1,0 +1,105 @@
+package peer
+
+import (
+	"fmt"
+
+	"coolstream/internal/gossip"
+	"coolstream/internal/logsys"
+	"coolstream/internal/netmodel"
+	"coolstream/internal/sim"
+)
+
+// NewSyntheticWorld builds an nPeers overlay directly in its settled
+// steady state, bypassing the join protocol: ramping a large
+// population through bootstrap handshakes would spend hours of
+// virtual (and real) time before the first measured tick. The
+// synthetic overlay is self-consistent — a fanout-10 forest rooted at
+// the server tier with every sub-stream at the live edge, ring
+// partnerships i±1/i±2 plus the parent link (so §IV-B never sees a
+// parent outside the partner set), upload provisioned above
+// fanout×rate so the forest stays at the live edge, and
+// BM/gossip/report clocks staggered across their periods the way a
+// long-running population's would be. Churn knobs are zeroed so two
+// worlds built with the same arguments tick identically — the
+// property the interleaved A/B harness (cmd/coolbench -tickab) and
+// BenchmarkTickMillionPeer both lean on. The returned engine is
+// warmed past the first BM round; each engine.Run(now+tick) advances
+// one full tick of the settled population.
+func NewSyntheticWorld(nPeers, shards int) (*World, *sim.Engine, error) {
+	p := DefaultParams()
+	engine := sim.NewEngine(sim.Second)
+	w, err := NewWorld(p, engine, logsys.NopSink{}, netmodel.ConstantLatency{D: 50 * sim.Millisecond},
+		gossip.RandomReplace{}, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := w.SetShards(shards); err != nil {
+		return nil, nil, err
+	}
+	w.StallAbandonProb = 0
+	w.CrashProb = 0
+	const fanout = 10
+	root := w.AddServer(2 * fanout * 768e3)
+	engine.Run(30 * sim.Second)
+	now := engine.Now()
+	live := w.liveEdge(now)
+	base := len(w.nodes)
+	if nPeers < 1 {
+		return nil, nil, fmt.Errorf("synthetic world needs at least one peer, got %d", nPeers)
+	}
+	for i := 0; i < nPeers; i++ {
+		n := w.newNode(netmodel.Endpoint{
+			Class:       netmodel.UserClass(i % 4),
+			UploadBps:   (fanout + 2) * 768e3,
+			DownloadBps: 4 * 768e3,
+		}, 1000+i)
+		n.State = StateReady
+		n.ReadyAt = now
+		n.startPos = live
+		n.hot.playDeadline = live - 20
+		n.lastAdaptAt = now
+		n.bmDue = now + sim.Time(i%5+1)*sim.Second
+		n.lastGossipAt = now - sim.Time(i%15)*sim.Second
+		n.lastReportAt = now - sim.Time(i%300)*sim.Second
+		parent := root.ID
+		if pi := i/fanout - 1; pi >= 0 {
+			parent = base + pi
+		}
+		pn := w.nodes[parent]
+		for j := range n.Subs {
+			n.Subs[j].H = live
+			n.Subs[j].Parent = parent
+			pn.addChild(j, n.ID)
+		}
+	}
+	// Partnerships: both directions of each edge, wired exactly as
+	// completePartnership leaves them.
+	link := func(a, c *Node) {
+		pa := a.pool.get()
+		pa.Outgoing = true
+		c.fillBufferMap(&pa.BM, a.ID)
+		pa.BMAt = now
+		pa.EstablishedAt = now
+		a.setPartner(c.ID, pa)
+		pc := c.pool.get()
+		pc.Outgoing = false
+		a.fillBufferMap(&pc.BM, c.ID)
+		pc.BMAt = now
+		pc.EstablishedAt = now
+		c.setPartner(a.ID, pc)
+	}
+	for i := 0; i < nPeers; i++ {
+		n := w.nodes[base+i]
+		link(n, w.nodes[n.Subs[0].Parent])
+		if i+1 < nPeers {
+			link(n, w.nodes[base+i+1])
+		}
+		if i+2 < nPeers {
+			link(n, w.nodes[base+i+2])
+		}
+	}
+	// Warm the topology caches, the due wheels and the first BM round
+	// before the timer starts.
+	engine.Run(engine.Now() + 6*sim.Second)
+	return w, engine, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"coolstream/internal/logsys"
 	"coolstream/internal/netmodel"
+	"coolstream/internal/profiling"
 	"coolstream/internal/sim"
 )
 
@@ -42,8 +43,15 @@ func (w *World) tick(prev, now sim.Time) {
 	if w.Faults != nil {
 		w.tickLoss = w.Faults.LossFrac(now)
 	}
+	// Lane and flag-list counts cover both indexing schemes: the
+	// legacy worker-sharded playback indexes by worker slot (<
+	// GOMAXPROCS), the shard-local playback by world shard (< nshards).
+	lanes := runtime.GOMAXPROCS(0)
+	if w.nshards > lanes {
+		lanes = w.nshards
+	}
 	if w.sharded != nil {
-		w.ensureLanes(runtime.GOMAXPROCS(0))
+		w.ensureLanes(lanes)
 	}
 	if w.wheelOn() {
 		// Stage the Inequality (1) detector for the playback shards: a
@@ -52,7 +60,7 @@ func (w *World) tick(prev, now sim.Time) {
 		// tick's control drain (see playbackShard and controlWheel).
 		w.tickAdaptCut = now - w.P.Ta
 		w.tickTsF = float64(w.P.Ts)
-		for p := runtime.GOMAXPROCS(0); len(w.advFlagShards) < p; {
+		for len(w.advFlagShards) < lanes {
 			w.advFlagShards = append(w.advFlagShards, nil)
 		}
 		for i := range w.advFlagShards {
@@ -110,17 +118,51 @@ func (w *World) dispatchControl(now sim.Time) {
 // allocate runs the water-filling allocator on every serving node.
 // Each parent writes the allocated rate into its children's
 // subscription slots; a (child, sub-stream) slot has exactly one
-// parent, so the parallel writes never collide.
+// parent, so the parallel writes never collide — including across
+// world shards, which is why the shard-local path needs no routing.
+// With more than one shard the phase iterates the per-shard active
+// lists directly (one worker per world shard, no merged-view
+// rebuild); the single-shard path keeps the legacy range split over
+// the merged snapshot. The allocator is per-parent independent, so
+// both partitions compute bit-identical rates.
 func (w *World) allocate() {
+	if w.nshards > 1 {
+		sim.ParallelGrain(w.nshards, 1, w.allocateLocalFn)
+		return
+	}
 	sim.Parallel(len(w.tickIDs), w.allocateFn)
 }
 
 func (w *World) allocateShard(lo, hi int) {
+	if w.labelPhases {
+		profiling.WithLabel("allocate", func() { w.allocateIDs(w.tickIDs[lo:hi]) })
+		return
+	}
+	w.allocateIDs(w.tickIDs[lo:hi])
+}
+
+// allocateLocalRange allocates for world shards [lo, hi) over their
+// own active lists.
+func (w *World) allocateLocalRange(lo, hi int) {
+	if w.labelPhases {
+		profiling.WithLabel("allocate", func() { w.allocateLocal(lo, hi) })
+		return
+	}
+	w.allocateLocal(lo, hi)
+}
+
+func (w *World) allocateLocal(lo, hi int) {
+	for si := lo; si < hi; si++ {
+		w.allocateIDs(w.shards[si].active)
+	}
+}
+
+func (w *World) allocateIDs(ids []int) {
 	subRate := w.P.Layout.SubRateBps()
 	k := w.P.Layout.K
 	equalSplit := w.P.EqualSplitAllocator()
-	for idx := lo; idx < hi; idx++ {
-		n := w.nodes[w.tickIDs[idx]]
+	for _, id := range ids {
+		n := w.nodes[id]
 		demands := n.allocDemands[:0]
 		slots := n.allocSlots[:0]
 		for j := 0; j < k; j++ {
@@ -175,6 +217,14 @@ func (w *World) advance() {
 }
 
 func (w *World) advanceShard(lo, hi int) {
+	if w.labelPhases {
+		profiling.WithLabel("advance", func() { w.advanceSubs(lo, hi) })
+		return
+	}
+	w.advanceSubs(lo, hi)
+}
+
+func (w *World) advanceSubs(lo, hi int) {
 	live := w.tickLive
 	dt := w.tickDt
 	// Burst loss thins every transfer by the staged fraction. With no
@@ -190,10 +240,10 @@ func (w *World) advanceShard(lo, hi int) {
 			nodes[sid].Subs[j].H = live
 		}
 		for _, e := range w.topo.order[j] {
-			s := &nodes[e.child].Subs[j]
+			s := e.cs
 			moved := s.RateBps * dt * lossKeep / blockBits
 			newH := s.H + moved
-			if parentH := nodes[e.parent].Subs[j].H; newH > parentH {
+			if parentH := *e.ph; newH > parentH {
 				newH = parentH
 			}
 			if newH > live {
@@ -212,7 +262,16 @@ func (w *World) advanceShard(lo, hi int) {
 // media-ready transitions. Each node touches only its own state; with
 // a sharded sink, media-ready records are logged straight from the
 // shard's own lane (the merge on drain restores canonical order).
+// With more than one world shard the sweep runs over the per-shard
+// active lists (one worker per world shard), so the Inequality (1)
+// flag lists come out pre-partitioned by owner shard — the control
+// phase routes them with a straight append instead of a per-ID
+// shard lookup.
 func (w *World) playback() {
+	if w.nshards > 1 {
+		sim.ParallelGrain(w.nshards, 1, w.playbackLocalFn)
+		return
+	}
 	sim.ParallelShard(len(w.tickIDs), minPhaseGrain, w.playbackFn)
 }
 
@@ -221,6 +280,30 @@ func (w *World) playback() {
 const minPhaseGrain = 64
 
 func (w *World) playbackShard(shard, lo, hi int) {
+	if w.labelPhases {
+		profiling.WithLabel("playback", func() { w.playbackIDs(shard, w.tickIDs[lo:hi]) })
+		return
+	}
+	w.playbackIDs(shard, w.tickIDs[lo:hi])
+}
+
+// playbackLocalRange plays back world shards [lo, hi) over their own
+// active lists; flag lists and log lanes are indexed by world shard.
+func (w *World) playbackLocalRange(lo, hi int) {
+	if w.labelPhases {
+		profiling.WithLabel("playback", func() { w.playbackLocal(lo, hi) })
+		return
+	}
+	w.playbackLocal(lo, hi)
+}
+
+func (w *World) playbackLocal(lo, hi int) {
+	for si := lo; si < hi; si++ {
+		w.playbackIDs(si, w.shards[si].active)
+	}
+}
+
+func (w *World) playbackIDs(shard int, ids []int) {
 	dt := w.tickDt
 	beta := w.P.Layout.SubBlocksPerSecond()
 	readyBlocks := w.P.ReadyBlocks()
@@ -234,8 +317,8 @@ func (w *World) playbackShard(shard, lo, hi int) {
 	// phase of this same tick would observe. Each shard owns a disjoint
 	// slice of nodes and its own flag list, so the writes never collide.
 	flagging := w.wheelOn() && shard < len(w.advFlagShards)
-	for idx := lo; idx < hi; idx++ {
-		n := w.nodes[w.tickIDs[idx]]
+	for _, id := range ids {
+		n := w.nodes[id]
 		if n.IsServer() {
 			continue
 		}
@@ -244,7 +327,7 @@ func (w *World) playbackShard(shard, lo, hi int) {
 			if n.MinH() >= n.startPos+readyBlocks {
 				n.State = StateReady
 				n.ReadyAt = w.Engine.Now()
-				n.playDeadline = n.startPos
+				n.hot.playDeadline = n.startPos
 				n.readyPending = true
 				if lane != nil {
 					// Lock-free parallel log: same record the control
@@ -254,16 +337,17 @@ func (w *World) playbackShard(shard, lo, hi int) {
 				}
 			}
 		case StateReady:
-			d0 := n.playDeadline
+			h := n.hot
+			d0 := h.playDeadline
 			d1 := d0 + beta*dt
 			for j := range n.Subs {
 				s := &n.Subs[j]
 				h0 := s.H - s.movedBlocks
 				rho := s.movedBlocks / dt
-				n.missedBlocks += missedSeq(h0, rho, d0, d1, beta)
-				n.totalBlocks += d1 - d0
+				h.missedBlocks += missedSeq(h0, rho, d0, d1, beta)
+				h.totalBlocks += d1 - d0
 			}
-			n.playDeadline = d1
+			h.playDeadline = d1
 		}
 		if flagging && !n.advFlag && n.lastAdaptAt <= w.tickAdaptCut &&
 			len(n.partnerList) > 0 &&
@@ -428,14 +512,7 @@ func (w *World) refreshBMs(vc *vctx, n *Node, now sim.Time) (evalHint bool) {
 			n.delPartner(pid)
 			n.partnerChanges++
 			if vc.deferred {
-				for j := range n.Subs {
-					if vc.parent(n, j) == pid {
-						vc.pendPar[j] = NoParent
-						vc.pendSet[j] = true
-						vc.pendAny = true
-					}
-				}
-				vc.emit(effPartnerCrash, int32(pid), 0, 0, 0)
+				vc.emitCrash(n, pid)
 			} else {
 				for j := range n.Subs {
 					if n.Subs[j].Parent == pid {
@@ -501,7 +578,7 @@ func (w *World) gossipStep(vc *vctx, n *Node, now sim.Time) {
 		return // detected and torn down at the next BM refresh
 	}
 	if vc.deferred {
-		vc.emit(effGossip, int32(pid), 0, 0, 0)
+		vc.emitPar(pid, effGossip, int32(pid), 0, 0)
 		return
 	}
 	for _, e := range partner.MCache.Sample(4, n.ID, nil) {
@@ -543,7 +620,7 @@ func (w *World) tryInitialSubscription(vc *vctx, n *Node, now sim.Time) {
 	}
 	start := float64(best - w.P.Tp)
 	if vc.deferred {
-		vc.emit(effStartSub, 0, 0, 0, start)
+		vc.emitPar(n.ID, effStartSub, 0, 0, start)
 	} else {
 		n.startPos = start
 		for j := range n.Subs {
@@ -558,7 +635,7 @@ func (w *World) tryInitialSubscription(vc *vctx, n *Node, now sim.Time) {
 	}
 	if got > 0 {
 		if vc.deferred {
-			vc.emit(effStartSub, 1, 0, 0, start)
+			vc.emitPar(n.ID, effStartSub, 1, 0, start)
 		} else {
 			n.State = StateSubscribing
 			n.StartSubAt = now
@@ -746,13 +823,13 @@ func (w *World) maintainPartners(vc *vctx, n *Node, now sim.Time) {
 // server, which is why NAT/firewall users' *reported* continuity can
 // exceed direct-connect users' despite worse actual service.
 func (w *World) stallCheck(vc *vctx, n *Node, now sim.Time) {
-	if n.State != StateReady || n.totalBlocks <= 0 || w.StallAbandonProb <= 0 {
+	if n.State != StateReady || n.hot.totalBlocks <= 0 || w.StallAbandonProb <= 0 {
 		return
 	}
 	if now-n.lastReportAt < w.P.ReportPeriod/4 {
 		return // too little evidence this interval
 	}
-	ci := 1 - n.missedBlocks/n.totalBlocks
+	ci := 1 - n.hot.missedBlocks/n.hot.totalBlocks
 	if ci >= w.StallContinuity {
 		return
 	}
@@ -782,9 +859,9 @@ func (w *World) statusReports(vc *vctx, n *Node, now sim.Time) {
 	}
 	n.lastReportAt = now
 	continuity := 1.0
-	hasCI := n.State == StateReady && n.totalBlocks > 0
+	hasCI := n.State == StateReady && n.hot.totalBlocks > 0
 	if hasCI {
-		continuity = 1 - n.missedBlocks/n.totalBlocks
+		continuity = 1 - n.hot.missedBlocks/n.hot.totalBlocks
 		if continuity < 0 {
 			continuity = 0
 		}
@@ -806,7 +883,7 @@ func (w *World) statusReports(vc *vctx, n *Node, now sim.Time) {
 		NATParentLinks:  natLinks,
 		PartnerChanges:  n.partnerChanges,
 	})
-	n.missedBlocks, n.totalBlocks = 0, 0
+	n.hot.missedBlocks, n.hot.totalBlocks = 0, 0
 	n.upBytes, n.downBytes = 0, 0
 	n.partnerChanges = 0
 	if vc.deferred {

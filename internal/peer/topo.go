@@ -1,5 +1,7 @@
 package peer
 
+import "sync/atomic"
+
 // The fluid data plane advances H values along the per-sub-stream
 // parent forests every tick, but the forests themselves change orders
 // of magnitude more slowly — overlay adaptation is rate-limited by Ta,
@@ -19,11 +21,21 @@ package peer
 // bit-identical H values because each edge's update depends only on
 // the child's state and its parent's already-advanced position.
 
-// edge is one parent→child link of a sub-stream forest. IDs are int32
-// to halve the cache footprint of the hot sweep; the simulator would
-// exhaust memory long before node IDs overflow 31 bits.
+// edge is one parent→child link of a sub-stream forest. cs points at
+// the child's sub-stream-j subscription and ph at the parent's H —
+// both resolved once at rebuild time, so the advance sweep loads its
+// hot floats directly instead of chasing node pointer → Subs slice
+// header → element twice per edge per tick. The pointers stay valid
+// between rebuilds because subscription slots are arena-carved and
+// never move; any structural change bumps the epoch and re-resolves.
+// parent/child keep the IDs (int32 — the simulator would exhaust
+// memory long before they overflow 31 bits) for the topology oracle
+// tests and debugging.
 type edge struct {
-	parent, child int32
+	cs     *Subscription
+	ph     *float64
+	parent int32
+	child  int32
 }
 
 // topoCache holds the per-sub-stream epoch counters and the cached
@@ -53,14 +65,18 @@ func newTopoCache(k int) *topoCache {
 	return t
 }
 
-// bump invalidates sub-stream j's cached order.
-func (t *topoCache) bump(j int) { t.epoch[j]++ }
+// bump invalidates sub-stream j's cached order. Atomic: the parallel
+// target drain pass lets distinct shards tear down children of
+// distinct corpses concurrently, and two corpses can share a
+// sub-stream index. The counter only needs to move, not to be read
+// coherently mid-pass — ensureTopo reads it after the barrier.
+func (t *topoCache) bump(j int) { atomic.AddUint64(&t.epoch[j], 1) }
 
 // bumpAll invalidates every sub-stream (node departure: the active
 // set and root determination change for all forests at once).
 func (t *topoCache) bumpAll() {
 	for j := range t.epoch {
-		t.epoch[j]++
+		atomic.AddUint64(&t.epoch[j], 1)
 	}
 }
 
@@ -102,8 +118,15 @@ func (w *World) rebuildTopo(j int) {
 // dangling lists, and those are never roots nor reachable), so every
 // attached node is visited exactly once.
 func appendSubtree(order []edge, nodes []*Node, j, id int) []edge {
-	for _, c := range nodes[id].children[j] {
-		order = append(order, edge{int32(id), int32(c)})
+	children := nodes[id].children[j]
+	if len(children) == 0 {
+		return order
+	}
+	ph := &nodes[id].Subs[j].H
+	for _, c := range children {
+		order = append(order, edge{
+			cs: &nodes[c].Subs[j], ph: ph, parent: int32(id), child: int32(c),
+		})
 		order = appendSubtree(order, nodes, j, c)
 	}
 	return order

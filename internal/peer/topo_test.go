@@ -15,7 +15,10 @@ func referenceTopo(w *World, j int) []edge {
 	var walk func(id int)
 	walk = func(id int) {
 		for _, c := range w.nodes[id].children[j] {
-			order = append(order, edge{int32(id), int32(c)})
+			order = append(order, edge{
+				cs: &w.nodes[c].Subs[j], ph: &w.nodes[id].Subs[j].H,
+				parent: int32(id), child: int32(c),
+			})
 			walk(c)
 		}
 	}

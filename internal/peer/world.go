@@ -35,10 +35,20 @@ type World struct {
 	shards  []*worldShard
 	nshards int
 	// memberEpoch counts membership mutations; mergedActive rebuilds
-	// its merged-ID scratch only when it moved past mergedEpoch.
-	memberEpoch uint64
-	mergedEpoch uint64
-	mergedIDs   []int
+	// its merged-ID scratch only when it moved past mergedEpoch, and
+	// only for the shards whose own memberEpoch moved (the dirty
+	// shards). mergedShardEpochs/mergedShardLens record the per-shard
+	// state the cached merge reflects; mergedScratch is the departure
+	// path's double buffer; dirtyScratch/dirtyMark are rebuild
+	// scratch.
+	memberEpoch       uint64
+	mergedEpoch       uint64
+	mergedIDs         []int
+	mergedShardEpochs []uint64
+	mergedShardLens   []int
+	mergedScratch     []int
+	dirtyScratch      []int
+	dirtyMark         []bool
 	// effCur is the k-way merge cursor scratch (one slot per shard)
 	// shared by the sequential merge loops.
 	effCur []int
@@ -51,9 +61,18 @@ type World struct {
 	// so every vctx helper reduces to the legacy in-place behaviour.
 	seqCtx vctx
 	// shardVisitFn is the bound parallel stage of controlSharded;
-	// tickNow stages the visit timestamp for it.
+	// drainTargetFn/drainSourceFn are the bound parallel drain passes;
+	// tickNow stages the visit timestamp for them.
 	shardVisitFn func(lo, hi int)
-	tickNow      sim.Time
+	drainTargetFn func(lo, hi int)
+	drainSourceFn func(lo, hi int)
+	tickNow       sim.Time
+	// testBarrierHook (tests only) runs after the parallel visit phase
+	// and before the drain passes — the window where every routed
+	// queue is complete and untouched. drainLogOn arms the per-shard
+	// applied-order capture of the drain-order property test.
+	testBarrierHook func()
+	drainLogOn      bool
 
 	servers  []int // IDs of the server tier, in creation order (never departs)
 	sessions int
@@ -134,6 +153,13 @@ type World struct {
 	allocateFn func(lo, hi int)
 	advanceFn  func(lo, hi int)
 	playbackFn func(shard, lo, hi int)
+	// allocateLocalFn/playbackLocalFn are the shard-local variants
+	// (one worker per world shard over its own active list).
+	allocateLocalFn func(lo, hi int)
+	playbackLocalFn func(lo, hi int)
+	// labelPhases wraps every phase worker in a pprof phase label so
+	// CPU profiles attribute samples by tick phase (LabelPhases).
+	labelPhases bool
 	tickIDs    []int
 	controlIDs []int
 	tickDt     float64
@@ -202,7 +228,11 @@ func NewWorld(p Params, engine *sim.Engine, sink logsys.Sink, latency netmodel.L
 	w.allocateFn = w.allocateShard
 	w.advanceFn = w.advanceShard
 	w.playbackFn = w.playbackShard
+	w.allocateLocalFn = w.allocateLocalRange
+	w.playbackLocalFn = w.playbackLocalRange
 	w.shardVisitFn = w.shardVisitRange
+	w.drainTargetFn = w.drainTargetRange
+	w.drainSourceFn = w.drainSourceRange
 	w.bootstrapFn = w.bootstrapFire
 	w.leaveFn = w.leaveFire
 	w.timeoutFn = w.timeoutFire
@@ -285,6 +315,11 @@ func (w *World) newNode(ep netmodel.Endpoint, userID int) *Node {
 	}
 	children := sh.childArena[:k:k]
 	sh.childArena = sh.childArena[k:]
+	if len(sh.hotArena) == 0 {
+		sh.hotArena = make([]nodeHot, nodeChunk)
+	}
+	hot := &sh.hotArena[0]
+	sh.hotArena = sh.hotArena[1:]
 
 	n.ID = id
 	n.shard = int32(sh.idx)
@@ -294,6 +329,7 @@ func (w *World) newNode(ep netmodel.Endpoint, userID int) *Node {
 	n.JoinedAt = w.Engine.Now()
 	n.Subs = subs
 	n.children = children
+	n.hot = hot
 	n.topo = w.topo
 	n.pool = &sh.ppool
 	// The node RNG is seeded from the world stream and the "node-<id>"
@@ -351,6 +387,7 @@ func (w *World) newNode(ep netmodel.Endpoint, userID int) *Node {
 	if !ep.Server {
 		sh.activePeers++
 	}
+	sh.memberEpoch++
 	w.memberEpoch++
 	w.touchNode(id)
 	return n
@@ -400,6 +437,8 @@ func (w *World) removeActive(id int) {
 	if !n.IsServer() {
 		sh.activePeers--
 	}
+	sh.memberEpoch++
+	sh.removed = true
 	w.memberEpoch++
 }
 

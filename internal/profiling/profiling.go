@@ -5,12 +5,26 @@
 package profiling
 
 import (
+	"context"
 	"flag"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 )
+
+// WithLabel runs fn with the pprof label phase=<name> attached to the
+// current goroutine, so CPU profiles split samples by tick phase
+// (allocate/advance/playback/control/drain/merge) without manual
+// correlation: `go tool pprof -tagfocus phase=advance`. Call it
+// *inside* parallel worker functions — pprof labels attach to the
+// running goroutine and do not propagate to pool workers spawned
+// outside the labelled region.
+func WithLabel(name string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) {
+		fn()
+	})
+}
 
 // Flags holds the output paths of the three collectors; an empty path
 // leaves that collector off.
