@@ -25,9 +25,19 @@
 //
 // It exits non-zero if any surviving peer fails to re-partner and
 // recover per-lane progress inside the recovery window.
+//
+// A flash-crowd run (warm overlay, then a joiner burst several times
+// its size, measured with the admission ladder off and on):
+//
+//	coolnet -scenario surge -surgejson BENCH_surge.json
+//
+// It exits non-zero unless the ladder-on run admits the crowd while
+// protecting the established peers' continuity AND the ladder-off run
+// demonstrably collapses.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -40,6 +50,7 @@ import (
 	"coolstream/internal/netchaos"
 	"coolstream/internal/netpeer"
 	"coolstream/internal/netsat"
+	"coolstream/internal/netsurge"
 )
 
 func main() {
@@ -67,16 +78,20 @@ func run() error {
 		adapt    = flag.Bool("adapt", false, "enable the peer-adaptation monitor (Inequalities 1-2)")
 		selfheal = flag.Bool("selfheal", false, "enable the self-healing membership manager (needs -bootstrap)")
 
-		scenario = flag.String("scenario", "", "self-contained scenario: chaos | saturate")
+		scenario = flag.String("scenario", "", "self-contained scenario: chaos | saturate | surge")
 		peers    = flag.Int("peers", 8, "chaos/saturate: number of peers")
 		kills    = flag.Int("kills", 2, "chaos: abrupt peer kills mid-run")
 		zombies  = flag.Int("zombies", 2, "chaos: hung connections injected mid-run")
 		outage   = flag.Duration("outage", 1500*time.Millisecond, "chaos: tracker outage duration (0 = none)")
 		recovery = flag.Duration("recovery", 4*time.Second, "chaos: recovery window after the faults")
-		seed     = flag.Uint64("seed", 1, "chaos: victim-selection seed")
+		seed     = flag.Uint64("seed", 1, "chaos/surge: scenario seed")
 
 		satWindow = flag.Duration("satwindow", 3*time.Second, "saturate: measured window per plane")
 		satSweep  = flag.Int("satsweep", 0, "saturate: sweep peer count up to this cap (0 = fixed -peers comparison)")
+
+		surgeWarm    = flag.Int("surgewarm", 0, "surge: established peers before the storm (0 = default 3)")
+		surgeJoiners = flag.Int("surgejoiners", 0, "surge: joiner burst size (0 = default 4x warm)")
+		surgeJSON    = flag.String("surgejson", "", "surge: write the off/on pair report to this JSON file")
 	)
 	flag.Parse()
 
@@ -85,6 +100,8 @@ func run() error {
 		return runChaos(*peers, *parentsN, *kills, *zombies, *outage, *recovery, *seed)
 	case "saturate":
 		return runSaturate(*peers, *satWindow, *satSweep)
+	case "surge":
+		return runSurge(*surgeWarm, *surgeJoiners, *seed, *surgeJSON)
 	case "":
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
@@ -244,6 +261,52 @@ func runChaos(peers, target, kills, zombies int, outage, recovery time.Duration,
 		return fmt.Errorf("overlay did not recover within %v", recovery)
 	}
 	fmt.Println("chaos: all survivors re-partnered with positive per-lane progress — recovered")
+	return nil
+}
+
+// runSurge runs the flash-crowd storm twice — admission ladder off,
+// then on — writes the pair report as JSON when asked, and exits
+// non-zero unless the ladder demonstrably changes the outcome: joins
+// succeed and the established swarm keeps its continuity with the
+// ladder on, and the same storm drags the established swarm down with
+// it off.
+func runSurge(warm, joiners int, seed uint64, jsonPath string) error {
+	cfg := netsurge.Config{
+		Warm: warm, Joiners: joiners, Seed: seed,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("surge: "+format+"\n", args...)
+		},
+	}
+	pair, err := netsurge.RunPair(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("surge: ladder off: join success %.2f, established min CI %.3f\n",
+		pair.Off.JoinSuccess, pair.Off.EstablishedMinContinuity)
+	fmt.Printf("surge: ladder on:  join success %.2f, established min CI %.3f, retries p90=%d, ttfb p90=%.0fms\n",
+		pair.On.JoinSuccess, pair.On.EstablishedMinContinuity,
+		pair.On.RetriesP90, pair.On.TTFBP90Ms)
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(pair, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("surge: pair report written to %s\n", jsonPath)
+	}
+	switch {
+	case pair.On.JoinSuccess < 0.95:
+		return fmt.Errorf("ladder on: join success %.2f < 0.95", pair.On.JoinSuccess)
+	case pair.On.EstablishedMinContinuity < 0.95:
+		return fmt.Errorf("ladder on: established min continuity %.3f < 0.95",
+			pair.On.EstablishedMinContinuity)
+	case pair.Off.EstablishedMinContinuity > 0.8:
+		return fmt.Errorf("ladder off: established min continuity %.3f > 0.8 — storm did not bite",
+			pair.Off.EstablishedMinContinuity)
+	}
+	fmt.Println("surge: crowd admitted, established swarm protected, unprotected run collapsed — pass")
 	return nil
 }
 

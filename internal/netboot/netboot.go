@@ -71,12 +71,18 @@ func (s *Server) Registry() *Registry { return s.reg }
 // longer parses as 0 (which silently excluded peer 0), and `n` is
 // clamped server-side so one query cannot serialize the registry.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	release := s.reg.BeginOp()
+	defer release()
 	q := r.URL.Query()
 	switch r.URL.Path {
 	case "/register":
 		id, err := parseID(q)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !s.reg.AdmitRegister(id) {
+			s.unavailable(w)
 			return
 		}
 		owner := r.RemoteAddr
@@ -121,6 +127,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			exclude = int32(v)
 		}
+		if !s.reg.AdmitCandidates() {
+			s.unavailable(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.reg.Candidates(n, exclude))
 	case "/count":
@@ -129,6 +139,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// unavailable answers a shed request: 503 with a Retry-After header
+// mirroring the binary protocol's retry-after hint (whole seconds,
+// rounded up — the header has no finer granularity).
+func (s *Server) unavailable(w http.ResponseWriter) {
+	if d := s.reg.RetryAfter(); d > 0 {
+		secs := int64((d + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	http.Error(w, "netboot: tracker overloaded", http.StatusServiceUnavailable)
 }
 
 func parseID(q url.Values) (int32, error) {
@@ -213,6 +234,7 @@ func (c *Client) RetryStats() (retried, attempts int) {
 func (c *Client) get(path string) (*http.Response, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		var hint time.Duration
 		resp, err := c.hc.Get(c.base + path)
 		if err == nil && resp.StatusCode < 500 {
 			if resp.StatusCode >= 300 {
@@ -225,8 +247,21 @@ func (c *Client) get(path string) (*http.Response, error) {
 		if err != nil {
 			lastErr = err
 		} else {
-			resp.Body.Close()
-			lastErr = fmt.Errorf("netboot: %s: %s", path, resp.Status)
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+					hint = time.Duration(secs) * time.Second
+				}
+				// Surface the hint like the binary client does, so
+				// retry loops above us can honour it too.
+				lastErr = &UnavailableError{
+					Msg:        fmt.Sprintf("%s: %s", path, resp.Status),
+					RetryAfter: hint,
+				}
+				resp.Body.Close()
+			} else {
+				resp.Body.Close()
+				lastErr = fmt.Errorf("netboot: %s: %s", path, resp.Status)
+			}
 		}
 		if attempt >= c.maxAttempts || !c.backoff.Enabled() {
 			return nil, lastErr
@@ -238,7 +273,11 @@ func (c *Client) get(path string) (*http.Response, error) {
 		c.attempts++
 		stop := c.stop
 		c.mu.Unlock()
-		if !sleepOrStop(c.backoff.Duration(attempt, c.retryKey), stop) {
+		d := c.backoff.Duration(attempt, c.retryKey)
+		if hint > d {
+			d = hint
+		}
+		if !sleepOrStop(d, stop) {
 			return nil, fmt.Errorf("netboot: retry aborted by stop: %w", lastErr)
 		}
 	}

@@ -128,6 +128,7 @@ type Registry struct {
 	cfg     RegistryConfig
 	shards  []*regShard
 	queries atomic.Uint64 // per-query sampling stream derivation
+	shed    atomic.Pointer[shedState]
 
 	ownerMu sync.Mutex
 	owners  map[string]int

@@ -34,6 +34,22 @@ import (
 // (outage window, SetDown, overload), as opposed to a caller bug.
 var ErrUnavailable = errors.New("netboot: tracker unavailable")
 
+// UnavailableError is the concrete retryable refusal: it satisfies
+// errors.Is(err, ErrUnavailable) and carries the server's retry-after
+// hint (0 = none; back off at the client's own pace). Retry loops —
+// the client's own and netpeer's join engine — honour the hint.
+type UnavailableError struct {
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("%v: %s", ErrUnavailable, e.Msg)
+}
+
+// Is makes errors.Is(err, ErrUnavailable) hold.
+func (e *UnavailableError) Is(target error) bool { return target == ErrUnavailable }
+
 // TCPServerConfig parameterises the binary tracker endpoint. The zero
 // value selects production defaults.
 type TCPServerConfig struct {
@@ -203,11 +219,17 @@ func (s *TCPServer) respond(dst, body []byte, owner string) []byte {
 	if err != nil {
 		return appendErrResp(dst, stBadRequest, err.Error())
 	}
+	retryMs := uint32(s.reg.RetryAfter() / time.Millisecond)
 	if s.down.Load() {
-		return appendErrResp(dst, stUnavailable, "tracker down")
+		return appendUnavailableResp(dst, "tracker down", retryMs)
 	}
+	release := s.reg.BeginOp()
+	defer release()
 	switch req.op {
 	case opRegister:
+		if !s.reg.AdmitRegister(req.id) {
+			return appendUnavailableResp(dst, "tracker overloaded", retryMs)
+		}
 		ttl, err := s.reg.Register(req.id, req.addr, owner)
 		if errors.Is(err, ErrOwnerLimit) {
 			return appendErrResp(dst, stOwnerLimit, err.Error())
@@ -222,6 +244,9 @@ func (s *TCPServer) respond(dst, body []byte, owner string) []byte {
 	case opCandidates:
 		if req.n == 0 {
 			return appendErrResp(dst, stBadRequest, "candidates: n must be >= 1")
+		}
+		if !s.reg.AdmitCandidates() {
+			return appendUnavailableResp(dst, "tracker overloaded", retryMs)
 		}
 		return appendCandidatesResp(dst, s.reg.Candidates(req.n, req.exclude))
 	case opCount:
@@ -394,6 +419,12 @@ func (c *TCPClient) roundTrip(encode func([]byte) []byte, decode func(*scanner) 
 		}
 		c.attempts++
 		d := c.backoff.Duration(attempt, c.retryKey)
+		// A shed tracker knows its own recovery horizon better than our
+		// schedule does: never retry before its hint.
+		var ue *UnavailableError
+		if errors.As(lastErr, &ue) && ue.RetryAfter > d {
+			d = ue.RetryAfter
+		}
 		stop := c.stop
 		c.mu.Unlock()
 		stopped := !sleepOrStop(d, stop)
@@ -449,15 +480,18 @@ func (c *TCPClient) tryOnceLocked(encode func([]byte) []byte, decode func(*scann
 	st := sc.u8("status")
 	if st != stOK {
 		msg := sc.str("error message")
+		var retryMs uint32
+		if st == stUnavailable {
+			retryMs = sc.u32("retry-after")
+		}
 		if err := sc.done(); err != nil {
 			c.dropConnLocked()
 			return err
 		}
-		rerr := respError(st, msg)
-		if !errors.Is(rerr, ErrUnavailable) {
-			return &terminalError{err: rerr}
+		if st == stUnavailable {
+			return &UnavailableError{Msg: msg, RetryAfter: time.Duration(retryMs) * time.Millisecond}
 		}
-		return rerr
+		return &terminalError{err: respError(st, msg)}
 	}
 	if err := decode(&sc); err != nil {
 		c.dropConnLocked()

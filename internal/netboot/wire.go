@@ -33,7 +33,7 @@ const (
 const (
 	stOK          = 0
 	stBadRequest  = 1 // malformed params; retrying cannot help
-	stUnavailable = 2 // outage/overload; retryable with backoff
+	stUnavailable = 2 // outage/overload; retryable. Body carries a u32 retry-after hint (ms, 0 = none) after the message.
 	stOwnerLimit  = 3 // per-IP registration bound hit
 )
 
@@ -120,6 +120,14 @@ func appendErrResp(dst []byte, st byte, msg string) []byte {
 	dst = append(dst, st)
 	dst = appendU16(dst, uint16(len(msg)))
 	return append(dst, msg...)
+}
+
+// appendUnavailableResp appends a retryable unavailable response: the
+// standard error body followed by a u32 retry-after hint in ms (0 =
+// no hint; back off at the client's own pace).
+func appendUnavailableResp(dst []byte, msg string, retryAfterMs uint32) []byte {
+	dst = appendErrResp(dst, stUnavailable, msg)
+	return appendU32(dst, retryAfterMs)
 }
 
 // ---- Scan-style decoders. ----

@@ -111,6 +111,36 @@ func TestWireErrorResp(t *testing.T) {
 	}
 }
 
+// TestWireUnavailableRetryAfter pins the extended unavailable
+// response — error body plus u32 retry-after hint — as the client
+// scans it.
+func TestWireUnavailableRetryAfter(t *testing.T) {
+	body := appendUnavailableResp(nil, "tracker overloaded", 750)
+	sc := scanner{b: body}
+	if st := sc.u8("status"); st != stUnavailable {
+		t.Fatalf("status %d", st)
+	}
+	if msg := sc.str("msg"); msg != "tracker overloaded" {
+		t.Fatalf("msg %q", msg)
+	}
+	if ms := sc.u32("retry-after"); ms != 750 {
+		t.Fatalf("retry-after %d, want 750", ms)
+	}
+	if err := sc.done(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncating the hint must error, never panic.
+	for cut := len(body) - 4; cut < len(body); cut++ {
+		sc := scanner{b: body[:cut]}
+		sc.u8("status")
+		sc.str("msg")
+		sc.u32("retry-after")
+		if sc.done() == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
 // TestWireFraming pins the frame reader's bounds and the scratch-buffer
 // reuse contract.
 func TestWireFraming(t *testing.T) {

@@ -73,8 +73,9 @@ func TestConnectDistinguishesRejectFromReadError(t *testing.T) {
 		if _, err := fr.Read(); err != nil {
 			return
 		}
-		// Answer with the wrong message type.
-		protocol.WriteFrame(c, protocol.Message{Type: protocol.TypePartnerReject, From: 9, To: 1})
+		// Answer with a message type that is not part of the handshake
+		// at all (a reject is protocol — see below).
+		protocol.WriteFrame(c, protocol.Message{Type: protocol.TypePing, From: 9, To: 1})
 		// Give the client a moment to read before the deferred close.
 		time.Sleep(200 * time.Millisecond)
 	}()
@@ -84,11 +85,40 @@ func TestConnectDistinguishesRejectFromReadError(t *testing.T) {
 	if err == nil {
 		t.Fatal("wrong-type handshake accepted")
 	}
-	if !strings.Contains(err.Error(), "partner-reject") || !strings.Contains(err.Error(), "from 9") {
+	if !strings.Contains(err.Error(), "ping") || !strings.Contains(err.Error(), "from 9") {
 		t.Fatalf("rejection error lacks response type/source: %v", err)
 	}
 	if strings.Contains(err.Error(), "<nil>") {
 		t.Fatalf("rejection error still reports nil read error: %v", err)
+	}
+
+	// A PartnerReject answer is an admission refusal, not a protocol
+	// violation: it must surface as a typed *RejectedError naming the
+	// refusing peer.
+	lnRej, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnRej.Close()
+	go func() {
+		c, err := lnRej.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		if _, err := protocol.NewFrameReader(c).Read(); err != nil {
+			return
+		}
+		protocol.WriteFrame(c, protocol.Message{Type: protocol.TypePartnerReject, From: 9, To: 1})
+		time.Sleep(200 * time.Millisecond)
+	}()
+	_, err = n.Connect(lnRej.Addr().String())
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("want *RejectedError, got %v", err)
+	}
+	if rej.Peer != 9 {
+		t.Fatalf("rejecting peer %d, want 9", rej.Peer)
 	}
 
 	// I/O failure: the peer hangs up mid-handshake.

@@ -1,0 +1,147 @@
+package netpeer
+
+import (
+	"testing"
+	"time"
+
+	"coolstream/internal/faults"
+	"coolstream/internal/netboot"
+	"coolstream/internal/sim"
+)
+
+// joinTracker spins up a binary tracker and returns its address plus a
+// client factory.
+func joinTracker(t *testing.T, reg *netboot.Registry) func(id int32) *netboot.TCPClient {
+	t.Helper()
+	srv := netboot.NewTCPServer(reg, netboot.TCPServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return func(id int32) *netboot.TCPClient {
+		c := netboot.NewTCPClient(addr)
+		c.SetTimeout(2 * time.Second)
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+}
+
+// startTestSource boots a streaming source registered with the tracker.
+func startTestSource(t *testing.T, cfg Config, bc *netboot.TCPClient) *Node {
+	t.Helper()
+	src := mustNode(t, cfg)
+	addr := mustListen(t, src)
+	if err := src.StartSource(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Register(0, addr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the live edge advance
+	return src
+}
+
+// TestJoinAgainstLiveOverlay joins a fresh peer through the tracker
+// into a streaming overlay and requires a first block inside the
+// deadline.
+func TestJoinAgainstLiveOverlay(t *testing.T) {
+	reg := netboot.NewRegistry(netboot.RegistryConfig{Seed: 1})
+	client := joinTracker(t, reg)
+	startTestSource(t, testConfig(0, 4*testLayout.RateBps), client(0))
+
+	j := mustNode(t, testConfig(7, 0))
+	selfAddr := mustListen(t, j)
+	st, err := j.Join(JoinConfig{
+		Boot: client(7), SelfAddr: selfAddr, Register: true,
+		TargetPartners: 1, Deadline: 6 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("join: %v (stats %+v)", err, st)
+	}
+	if !st.Joined || st.Partners < 1 {
+		t.Fatalf("join stats %+v", st)
+	}
+	if st.TimeToFirstBlock <= 0 || st.TimeToPartner <= 0 {
+		t.Fatalf("milestones not stamped: %+v", st)
+	}
+	// Registration happened: the tracker can now hand this peer out.
+	if reg.Count() != 2 {
+		t.Fatalf("tracker count %d, want 2", reg.Count())
+	}
+}
+
+// TestJoinWalksAlternates fills the only tracker-known peer and checks
+// the joiner reaches the overlay through the reject's alternates.
+func TestJoinWalksAlternates(t *testing.T) {
+	reg := netboot.NewRegistry(netboot.RegistryConfig{Seed: 2})
+	client := joinTracker(t, reg)
+	srcCfg := testConfig(0, 8*testLayout.RateBps)
+	srcCfg.MaxPartners = 1
+	src := startTestSource(t, srcCfg, client(0))
+
+	// A warm peer takes the source's only partner slot and relays.
+	warm := mustNode(t, testConfig(1, 8*testLayout.RateBps))
+	warmAddr := mustListen(t, warm)
+	wst, err := warm.Join(JoinConfig{
+		Boot: client(1), SelfAddr: warmAddr, Register: false,
+		TargetPartners: 1, Deadline: 6 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("warm join: %v (stats %+v)", err, wst)
+	}
+	// Only the source stays registered: the joiner's sole tracker
+	// candidate is full, so its path runs through the alternates.
+	if len(src.Partners()) != 1 {
+		t.Fatalf("source partners %v", src.Partners())
+	}
+
+	j := mustNode(t, testConfig(9, 0))
+	selfAddr := mustListen(t, j)
+	st, err := j.Join(JoinConfig{
+		Boot: client(9), SelfAddr: selfAddr, Register: false,
+		TargetPartners: 1, Deadline: 8 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("join via alternates: %v (stats %+v)", err, st)
+	}
+	if st.Rejects == 0 || st.AlternatesLearned == 0 {
+		t.Fatalf("join never exercised the reject path: %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("reject did not count as a retry: %+v", st)
+	}
+}
+
+// TestJoinHonorsTrackerShed heats a shedding tracker and verifies the
+// joiner observes the unavailability, waits out retry-after hints, and
+// still joins once the meter decays.
+func TestJoinHonorsTrackerShed(t *testing.T) {
+	reg := netboot.NewRegistry(netboot.RegistryConfig{Seed: 3})
+	client := joinTracker(t, reg)
+	startTestSource(t, testConfig(0, 4*testLayout.RateBps), client(0))
+
+	reg.EnableShedding(netboot.ShedConfig{
+		MaxOpsPerSec: 50, RetryAfter: 300 * time.Millisecond,
+	})
+	for i := 0; i < 200; i++ {
+		reg.BeginOp()()
+	}
+
+	j := mustNode(t, testConfig(11, 0))
+	selfAddr := mustListen(t, j)
+	st, err := j.Join(JoinConfig{
+		Boot: client(11), SelfAddr: selfAddr, Register: true,
+		TargetPartners: 1, Deadline: 10 * time.Second,
+		Backoff: faults.Backoff{Base: 20 * sim.Millisecond, Cap: 80 * sim.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("join through shed tracker: %v (stats %+v)", err, st)
+	}
+	if st.TrackerUnavailable == 0 {
+		t.Fatalf("shed tracker never observed: %+v", st)
+	}
+	if st.RetryAfterWaits == 0 {
+		t.Fatalf("retry-after hint never floored a pause: %+v", st)
+	}
+}

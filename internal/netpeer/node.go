@@ -55,11 +55,58 @@ type Config struct {
 	// protocol-wide 16 MiB limit would let one bad peer force huge
 	// allocations.
 	MaxFrameBytes int
+
+	// MaxPartners caps the partner set as seen by INBOUND handshakes
+	// (0 = unlimited). A full node answers PartnerRequest with a
+	// PartnerReject carrying alternate candidates from its mCache, so a
+	// flash-crowd joiner is redirected, not dead-ended. Outbound
+	// Connects are not capped: the node itself decides when to dial.
+	MaxPartners int
+	// MaxPendingHandshakes bounds concurrent inbound handshakes — the
+	// pre-registration window where a goroutine and a read deadline are
+	// the only state. Connections past the bound are dropped before any
+	// protocol work (default 64; negative = unlimited). This is the
+	// accept-side storm fuse: a SYN flood of joiners costs one closed
+	// socket each, not a goroutine pile-up.
+	MaxPendingHandshakes int
+	// RejectAlternates is how many mCache candidates ride along on an
+	// admission reject (default 4; negative = none).
+	RejectAlternates int
+	// UploadSlots caps concurrently served sub-stream subscriptions
+	// (0 = unlimited). A subscribe past the cap — or before this node's
+	// own buffers are initialised — is refused with an Unsubscribe
+	// notice, so the child re-plans immediately instead of starving on
+	// a silent lane. This protects established children: the upload
+	// bucket is shared, and admitting a 9th lane onto bandwidth sized
+	// for 8 degrades all 9.
+	UploadSlots int
+	// DialTimeout bounds the outbound TCP dial in Connect (0 selects
+	// DefaultDialTimeout; negative is a configuration error).
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the handshake read on both ends (0
+	// selects DefaultHandshakeTimeout; negative is a configuration
+	// error).
+	HandshakeTimeout time.Duration
 }
 
 // DefaultWriteTimeout is the per-frame write deadline used when
 // Config.WriteTimeout is zero.
 const DefaultWriteTimeout = 10 * time.Second
+
+// DefaultDialTimeout and DefaultHandshakeTimeout bound connection
+// establishment when the corresponding Config field is zero.
+const (
+	DefaultDialTimeout      = 5 * time.Second
+	DefaultHandshakeTimeout = 5 * time.Second
+)
+
+// defaultPendingHandshakes is the inbound handshake concurrency bound
+// when Config.MaxPendingHandshakes is zero.
+const defaultPendingHandshakes = 64
+
+// defaultRejectAlternates is how many candidates a full node attaches
+// to an admission reject when Config.RejectAlternates is zero.
+const defaultRejectAlternates = 4
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
@@ -74,6 +121,18 @@ func (c Config) Validate() error {
 	}
 	if c.WriteTimeout < 0 {
 		return fmt.Errorf("netpeer: WriteTimeout %v", c.WriteTimeout)
+	}
+	if c.DialTimeout < 0 {
+		return fmt.Errorf("netpeer: DialTimeout %v", c.DialTimeout)
+	}
+	if c.HandshakeTimeout < 0 {
+		return fmt.Errorf("netpeer: HandshakeTimeout %v", c.HandshakeTimeout)
+	}
+	if c.MaxPartners < 0 {
+		return fmt.Errorf("netpeer: MaxPartners %d", c.MaxPartners)
+	}
+	if c.UploadSlots < 0 {
+		return fmt.Errorf("netpeer: UploadSlots %d", c.UploadSlots)
 	}
 	return nil
 }
@@ -215,8 +274,19 @@ type Node struct {
 	// of on their next tick.
 	done chan struct{}
 
+	// hsReserved counts inbound handshakes that passed the partner-cap
+	// check but have not registered yet: the cap is enforced against
+	// len(conns)+hsReserved so two concurrent handshakes cannot both
+	// squeeze through the last slot. Guarded by mu.
+	hsReserved int
+	// hsSem bounds concurrent inbound handshake goroutines; nil =
+	// unlimited.
+	hsSem chan struct{}
+
 	// stats are the data-plane counters (see stats.go); fanMu guards the
-	// shared fan-out frame cache (see fanFrame in writer.go).
+	// shared fan-out frame cache (see fanFrame in writer.go). adm are
+	// the admission-control counters (see admission.go).
+	adm      admissionStats
 	stats    netStats
 	fanMu    sync.Mutex
 	fanCache map[fanKey][]byte
@@ -255,6 +325,20 @@ func New(cfg Config) (*Node, error) {
 			cfg.MaxFrameBytes = 16 * 1024
 		}
 	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if cfg.MaxPendingHandshakes == 0 {
+		cfg.MaxPendingHandshakes = defaultPendingHandshakes
+	}
+	if cfg.RejectAlternates == 0 {
+		cfg.RejectAlternates = defaultRejectAlternates
+	} else if cfg.RejectAlternates < 0 {
+		cfg.RejectAlternates = 0
+	}
 	n := &Node{
 		cfg:        cfg,
 		bkt:        newBucket(cfg.UploadBps),
@@ -271,6 +355,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	for j := range n.laneParent {
 		n.laneParent[j] = -1
+	}
+	if cfg.MaxPendingHandshakes > 0 {
+		n.hsSem = make(chan struct{}, cfg.MaxPendingHandshakes)
 	}
 	n.cond = sync.NewCond(&n.mu)
 	return n, nil
@@ -332,6 +419,18 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if n.hsSem != nil {
+			select {
+			case n.hsSem <- struct{}{}:
+			default:
+				// Handshake concurrency bound hit: shed the connection
+				// before spending a goroutine on it. The dialer sees a
+				// closed socket and retries through its backoff.
+				n.adm.handshakesShed.Add(1)
+				c.Close()
+				continue
+			}
+		}
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
@@ -342,7 +441,18 @@ func (n *Node) acceptLoop() {
 
 // handleInbound performs the accept side of the partnership handshake.
 func (n *Node) handleInbound(c net.Conn) {
-	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Release the handshake slot exactly once: on every early return,
+	// or as soon as the partnership is registered (the readLoop may run
+	// for hours; it must not hold a handshake slot).
+	released := n.hsSem == nil
+	releaseHS := func() {
+		if !released {
+			released = true
+			<-n.hsSem
+		}
+	}
+	defer releaseHS()
+	c.SetReadDeadline(time.Now().Add(n.cfg.HandshakeTimeout))
 	fr := protocol.NewFrameReaderLimit(c, n.cfg.MaxFrameBytes)
 	req, err := fr.Read()
 	if err != nil || req.Type != protocol.TypePartnerRequest {
@@ -364,28 +474,46 @@ func (n *Node) handleInbound(c net.Conn) {
 		c.Close()
 		return
 	}
+	if !n.reservePartnerSlot(req.From) {
+		// Admission control: the partner set is full. Reject, but hand
+		// the joiner alternates from the mCache so the storm spreads
+		// across the overlay instead of dead-ending here (§II mCache —
+		// the same candidates gossip would have carried).
+		n.adm.partnersRejected.Add(1)
+		cn.send(protocol.Message{
+			Type: protocol.TypePartnerReject, From: n.cfg.ID, To: req.From,
+			Entries: n.rejectAlternates(req.From),
+		})
+		c.Close()
+		return
+	}
 	if err := cn.send(protocol.Message{Type: protocol.TypePartnerAccept, From: n.cfg.ID, To: req.From}); err != nil {
+		n.releasePartnerSlot()
 		c.Close()
 		return
 	}
 	c.SetReadDeadline(time.Time{})
-	if n.register(cn) != regLive {
+	if n.registerReserved(cn) != regLive {
 		c.Close()
 		return
 	}
+	n.adm.partnersAdmitted.Add(1)
+	releaseHS()
 	n.readLoop(cn, fr)
 }
 
 // Connect establishes a partnership towards addr and returns the
 // remote node's ID. When a concurrent inbound connection from the same
 // peer already won the duplicate tie-break, Connect reports success
-// over that surviving connection.
+// over that surviving connection. A full peer's admission reject comes
+// back as a *RejectedError whose alternates (already merged into the
+// mCache) give the caller somewhere else to try.
 func (n *Node) Connect(addr string) (int32, error) {
 	dial := n.cfg.Dialer
 	if dial == nil {
 		dial = net.DialTimeout
 	}
-	c, err := dial("tcp", addr, 5*time.Second)
+	c, err := dial("tcp", addr, n.cfg.DialTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -394,7 +522,7 @@ func (n *Node) Connect(addr string) (int32, error) {
 		c.Close()
 		return 0, err
 	}
-	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	c.SetReadDeadline(time.Now().Add(n.cfg.HandshakeTimeout))
 	fr := protocol.NewFrameReaderLimit(c, n.cfg.MaxFrameBytes)
 	resp, err := fr.Read()
 	if err != nil {
@@ -402,9 +530,22 @@ func (n *Node) Connect(addr string) (int32, error) {
 		c.Close()
 		return 0, fmt.Errorf("netpeer: handshake read: %w", err)
 	}
+	if resp.Type == protocol.TypePartnerReject {
+		// The peer is full (or refused us). Keep its alternates: they
+		// are live candidates the rejecting node vouches for, exactly
+		// what the next dial attempt needs.
+		c.Close()
+		n.adm.rejectsReceived.Add(1)
+		var alts []protocol.PeerEntry
+		if len(resp.Entries) > 0 {
+			alts = append(alts, resp.Entries...)
+			n.mcacheMerge(alts)
+		}
+		return 0, &RejectedError{Peer: resp.From, Alternates: alts}
+	}
 	if resp.Type != protocol.TypePartnerAccept {
-		// The peer answered but declined (or spoke out of protocol) —
-		// a different failure from the read error above.
+		// The peer answered but spoke out of protocol — a different
+		// failure from the read error above.
 		c.Close()
 		return 0, fmt.Errorf("netpeer: handshake rejected: got %v from %d", resp.Type, resp.From)
 	}
@@ -449,9 +590,19 @@ const (
 // the lower-ID node survives (the dialer sees it as outgoing, the
 // acceptor as incoming, so both resolve to the same TCP connection). A
 // same-direction duplicate is a reconnect and supersedes the stale conn.
-func (n *Node) register(cn *conn) regStatus {
+func (n *Node) register(cn *conn) regStatus { return n.registerConn(cn, false) }
+
+// registerReserved is register for an inbound conn holding a partner
+// slot reservation from reservePartnerSlot; the reservation converts
+// into (or is consumed by) the registration atomically.
+func (n *Node) registerReserved(cn *conn) regStatus { return n.registerConn(cn, true) }
+
+func (n *Node) registerConn(cn *conn, reserved bool) regStatus {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if reserved {
+		n.hsReserved--
+	}
 	if n.closed {
 		return regClosed
 	}
@@ -629,6 +780,18 @@ func (n *Node) startPusher(cn *conn, j int, startSeq int64) {
 	n.mu.Lock()
 	if n.closed || n.pushers[key] != nil {
 		n.mu.Unlock()
+		return
+	}
+	if n.cfg.UploadSlots > 0 && (len(n.pushers) >= n.cfg.UploadSlots || !n.started) {
+		// Upload admission: the slot budget is spent (or this node has
+		// nothing to serve yet). Refuse loudly — an Unsubscribe notice
+		// makes the child orphan the lane and re-plan now, instead of
+		// waiting out the adaptation inequalities on a silent lane.
+		n.mu.Unlock()
+		n.adm.subscribesRejected.Add(1)
+		cn.sendTimeout(protocol.Message{
+			Type: protocol.TypeUnsubscribe, From: n.cfg.ID, To: cn.peer, SubStream: int16(j),
+		}, leaveTimeout(cn.wt))
 		return
 	}
 	n.pushers[key] = st

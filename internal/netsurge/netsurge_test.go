@@ -1,0 +1,84 @@
+package netsurge
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSurgeLadderProtects runs the flash crowd with the full admission
+// ladder and requires both halves of the acceptance bar: the crowd
+// gets in, and the established swarm keeps streaming.
+func TestSurgeLadderProtects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surge run takes ~10s")
+	}
+	rep, err := Run(Config{Ladder: true, Seed: 7, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JoinSuccess < 0.95 {
+		t.Errorf("join success %.2f, want >= 0.95", rep.JoinSuccess)
+	}
+	if rep.EstablishedMinContinuity < 0.95 {
+		t.Errorf("established min continuity %.3f, want >= 0.95", rep.EstablishedMinContinuity)
+	}
+	for _, o := range rep.Outcomes {
+		if !o.Stats.Joined {
+			t.Logf("joiner %d failed: %s (stats %+v)", o.ID, o.Err, o.Stats)
+		}
+	}
+}
+
+// TestSurgeCollapsesWithoutLadder runs the same storm with admission
+// off and requires the collapse the ladder exists to prevent: the
+// established peers' continuity dragged below 0.8 by the crowd.
+func TestSurgeCollapsesWithoutLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surge run takes ~10s")
+	}
+	rep, err := Run(Config{Ladder: false, Seed: 7, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EstablishedMinContinuity > 0.8 {
+		t.Errorf("established min continuity %.3f with no admission control, want <= 0.8 (collapse)",
+			rep.EstablishedMinContinuity)
+	}
+}
+
+// TestHistogramAndPercentiles pins the small stats helpers.
+func TestHistogramAndPercentiles(t *testing.T) {
+	h := histogram([]int{0, 0, 1, 3, 12}, 8)
+	if h[0] != 2 || h[1] != 1 || h[3] != 1 || h[8] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	sorted := []int{0, 1, 1, 2, 9}
+	if p := percentileInt(sorted, 0.5); p != 1 {
+		t.Fatalf("p50 %d", p)
+	}
+	if p := percentileInt(sorted, 0.9); p != 2 {
+		t.Fatalf("p90 %d", p)
+	}
+	if p := percentileInt(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile %d", p)
+	}
+	if p := percentileFloat([]float64{1, 2, 3}, 0.9); p != 2 {
+		t.Fatalf("float p90 %v", p)
+	}
+}
+
+// TestDefaultsScale checks the 4× flash-crowd default wiring.
+func TestDefaultsScale(t *testing.T) {
+	c := Config{}
+	c.applyDefaults()
+	if c.Joiners != 4*c.Warm {
+		t.Fatalf("joiners %d, warm %d: want a 4x burst", c.Joiners, c.Warm)
+	}
+	if c.Warmup <= 0 || c.Measure <= 0 || c.JoinDeadline <= 0 {
+		t.Fatalf("durations not defaulted: %+v", c)
+	}
+	if c.Layout.K == 0 {
+		t.Fatal("layout not defaulted")
+	}
+	_ = time.Second
+}

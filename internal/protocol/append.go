@@ -70,7 +70,7 @@ func AppendMessage(dst []byte, m Message) ([]byte, error) {
 	switch m.Type {
 	case TypeMCacheRequest:
 		dst = appendU16(dst, uint16(m.Want))
-	case TypeMCacheReply:
+	case TypeMCacheReply, TypePartnerReject:
 		if len(m.Entries) > 0xffff {
 			return nil, fmt.Errorf("protocol: %d entries exceed reply limit", len(m.Entries))
 		}
@@ -297,7 +297,7 @@ func DecodeMessage(data []byte, m *Message) error {
 	switch m.Type {
 	case TypeMCacheRequest:
 		m.Want = int16(s.u16("want"))
-	case TypeMCacheReply:
+	case TypeMCacheReply, TypePartnerReject:
 		n := int(s.u16("entry count"))
 		if s.err != nil {
 			return s.err
@@ -381,7 +381,7 @@ func DecodeMessage(data []byte, m *Message) error {
 		}
 		copy(payload, body)
 		m.Payload = payload
-	case TypePartnerAccept, TypePartnerReject, TypeLeave, TypePing:
+	case TypePartnerAccept, TypeLeave, TypePing:
 		// No payload.
 	default:
 		return fmt.Errorf("protocol: unknown message type %d", uint8(m.Type))

@@ -24,7 +24,7 @@ func genMessage(r *xrand.RNG, typ MsgType) Message {
 	switch typ {
 	case TypeMCacheRequest:
 		m.Want = int16(1 + r.Intn(100))
-	case TypeMCacheReply:
+	case TypeMCacheReply, TypePartnerReject:
 		m.Entries = make([]PeerEntry, r.Intn(10))
 		for i := range m.Entries {
 			m.Entries[i] = PeerEntry{

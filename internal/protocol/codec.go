@@ -18,6 +18,8 @@ import (
 //	  mcache-request : i16 want
 //	  mcache-reply   : u16 n, n × (i32 id, u8 class, i64 joinedAt,
 //	                   i16 partners, u16 addrLen, addr bytes)
+//	  partner-reject : u16 n, n × entry (alternate candidates; same
+//	                   entry layout as mcache-reply, n may be 0)
 //	  partner-request: u16 addrLen, addr bytes (advertised listener)
 //	  bm-exchange    : u16 len, BufferMap.MarshalBinary bytes
 //	  subscribe      : i16 substream, i64 startSeq
@@ -44,7 +46,7 @@ func Marshal(m Message) ([]byte, error) {
 	switch m.Type {
 	case TypeMCacheRequest:
 		binary.Write(&b, binary.BigEndian, m.Want)
-	case TypeMCacheReply:
+	case TypeMCacheReply, TypePartnerReject:
 		if len(m.Entries) > 0xffff {
 			return nil, fmt.Errorf("protocol: %d entries exceed reply limit", len(m.Entries))
 		}
@@ -111,7 +113,7 @@ func Unmarshal(data []byte) (Message, error) {
 		if err := binary.Read(r, binary.BigEndian, &m.Want); err != nil {
 			return m, fmt.Errorf("protocol: truncated want: %w", err)
 		}
-	case TypeMCacheReply:
+	case TypeMCacheReply, TypePartnerReject:
 		var n uint16
 		if err := binary.Read(r, binary.BigEndian, &n); err != nil {
 			return m, fmt.Errorf("protocol: truncated entry count: %w", err)
@@ -201,7 +203,7 @@ func Unmarshal(data []byte) (Message, error) {
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
 			return m, fmt.Errorf("protocol: truncated payload: %w", err)
 		}
-	case TypePartnerAccept, TypePartnerReject, TypeLeave, TypePing:
+	case TypePartnerAccept, TypeLeave, TypePing:
 		// No payload.
 	default:
 		return m, fmt.Errorf("protocol: unknown message type %d", typ)

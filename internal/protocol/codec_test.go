@@ -68,6 +68,29 @@ func TestRoundTripEmptyMCacheReply(t *testing.T) {
 	}
 }
 
+func TestRoundTripPartnerRejectAlternates(t *testing.T) {
+	m := Message{Type: TypePartnerReject, From: 4, To: 9, Entries: []PeerEntry{
+		{ID: 2, Class: netmodel.Direct, JoinedAtMs: 55, PartnerCount: 4, Addr: "127.0.0.1:9102"},
+		{ID: 6, Class: netmodel.NAT, Addr: "127.0.0.1:9106"},
+	}}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(got.Entries, m.Entries) {
+		t.Fatalf("alternates differ: %+v vs %+v", got.Entries, m.Entries)
+	}
+	// A bare reject (no alternates) still round-trips.
+	got = roundTrip(t, Message{Type: TypePartnerReject, From: 4, To: 9})
+	if len(got.Entries) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+	// Oversized alternate addresses are refused like mcache entries.
+	bad := Message{Type: TypePartnerReject, Entries: []PeerEntry{
+		{ID: 1, Addr: string(make([]byte, MaxAddrLen+1))},
+	}}
+	if _, err := Marshal(bad); err == nil {
+		t.Fatal("oversized alternate address accepted")
+	}
+}
+
 func TestRoundTripBMExchange(t *testing.T) {
 	bm := buffer.NewBufferMap(4)
 	bm.Latest = []int64{10, 11, 9, 12}

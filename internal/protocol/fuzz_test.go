@@ -12,6 +12,11 @@ import (
 func FuzzUnmarshal(f *testing.F) {
 	seedMsgs := []Message{
 		{Type: TypePartnerRequest, From: 1, To: 2},
+		{Type: TypePartnerReject, From: 2, To: 1},
+		{Type: TypePartnerReject, From: 2, To: 1, Entries: []PeerEntry{
+			{ID: 7, JoinedAtMs: 12, PartnerCount: 2, Addr: "127.0.0.1:9007"},
+			{ID: 8},
+		}},
 		{Type: TypeMCacheRequest, From: 1, To: -1, Want: 20},
 		{Type: TypeSubscribe, From: 3, To: 4, SubStream: 2, StartSeq: 100},
 		{Type: TypeBlockPush, From: 5, To: 6, SubStream: 1, StartSeq: 7, Payload: []byte("data")},

@@ -25,7 +25,11 @@ const (
 	TypePartnerRequest
 	// TypePartnerAccept accepts a partnership request.
 	TypePartnerAccept
-	// TypePartnerReject declines a partnership request.
+	// TypePartnerReject declines a partnership request. It carries an
+	// optional list of alternate candidates from the rejecting node's
+	// mCache (reject-with-alternates): a refused joiner still learns
+	// dialable addresses, so admission control redirects load instead of
+	// dead-ending it.
 	TypePartnerReject
 	// TypeBMExchange carries a buffer map to a partner.
 	TypeBMExchange
@@ -111,6 +115,7 @@ type Message struct {
 	// MCacheRequest: number of entries wanted.
 	Want int16
 	// MCacheReply: candidate entries.
+	// PartnerReject: alternate candidates (may be empty).
 	Entries []PeerEntry
 	// BMExchange: the sender's buffer map towards the receiver.
 	BM buffer.BufferMap
@@ -137,8 +142,9 @@ func (m Message) Validate() error {
 		if m.Want <= 0 {
 			return fmt.Errorf("protocol: mcache-request wants %d entries", m.Want)
 		}
-	case TypeMCacheReply:
-		// Empty replies are legal (bootstrap knows no one yet).
+	case TypeMCacheReply, TypePartnerReject:
+		// Empty lists are legal (bootstrap knows no one yet; a rejecting
+		// node may have no alternates to offer).
 		for i, e := range m.Entries {
 			if len(e.Addr) > MaxAddrLen {
 				return fmt.Errorf("protocol: entry %d address %d bytes", i, len(e.Addr))
@@ -170,7 +176,7 @@ func (m Message) Validate() error {
 		if err := m.Delta.validate(); err != nil {
 			return err
 		}
-	case TypePartnerAccept, TypePartnerReject, TypeLeave, TypePing, TypeBMAck:
+	case TypePartnerAccept, TypeLeave, TypePing, TypeBMAck:
 		// No payload (the ack epoch may take any value).
 	default:
 		return fmt.Errorf("protocol: unknown message type %d", m.Type)
